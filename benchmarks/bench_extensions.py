@@ -1,0 +1,48 @@
+"""Benches for the extension experiments (deadline support, load sweep).
+
+These are not paper artifacts; they quantify the extensions Section 5.2
+sketches and the utilization/delay trade-off the conclusion claims.
+"""
+
+import numpy as np
+
+from repro.experiments import deadlines, loadsweep
+
+from .conftest import run_once
+
+
+def test_deadline_acceptance_vs_slack(benchmark, config, shape_gates):
+    rendered = run_once(benchmark, deadlines.run, config)
+    print("\n" + rendered)
+    if not shape_gates:
+        return
+    _, rates = deadlines.acceptance_by_slack(config)
+    # "no deadline" (the R_max·Δt ladder alone) admits the most; finite
+    # slack is NOT monotone at high load — tight deadlines shed doomed
+    # jobs instantly, freeing capacity for later arrivals (see the module
+    # docstring) — so the gate only pins the dominant endpoint and that
+    # deadlines do bind (some finite slack rejects more than none).
+    assert rates[-1] == rates.max()
+    assert rates[:-1].min() < rates[-1]
+
+
+def test_load_sweep_tradeoff(benchmark, config, shape_gates):
+    rendered = run_once(benchmark, loadsweep.run, config)
+    print("\n" + rendered)
+    if not shape_gates:
+        return
+    points = loadsweep.sweep(config)
+    online = {p.load: p for p in points if p.scheduler == "online"}
+    batch = {p.load: p for p in points if p.scheduler != "online"}
+    loads = sorted(online)
+    # waits grow with load under both schedulers
+    online_waits = [online[x].mean_wait_h for x in loads]
+    batch_waits = [batch[x].mean_wait_h for x in loads]
+    assert online_waits[-1] > online_waits[0]
+    assert batch_waits[-1] > batch_waits[0]
+    # past saturation, batch pays with far longer waits; online pays with
+    # a bounded rejection rate
+    top = loads[-1]
+    assert batch[top].mean_wait_h > online[top].mean_wait_h
+    assert online[top].acceptance < 1.0
+    assert batch[top].acceptance == 1.0

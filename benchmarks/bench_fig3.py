@@ -1,0 +1,32 @@
+"""Bench F3 — Figure 3: temporal penalty vs temporal size (KTH).
+
+Shape assertions: the batch scheduler must penalize short jobs more than
+the online co-allocator (the paper reports an order of magnitude; our
+EASY comparator is a stronger baseline than the 2009 production
+schedulers, so the gate is conservative), and both curves must show the
+penalty *decreasing* with job duration overall.
+"""
+
+import numpy as np
+
+from repro.experiments import fig3
+
+from .conftest import run_once
+
+
+def test_fig3_temporal_penalty(benchmark, config, shape_gates):
+    rendered = run_once(benchmark, fig3.run, config)
+    print("\n" + rendered)
+    if not shape_gates:
+        return
+    lefts, curves = fig3.series(config)
+    online, batch = curves["KTH-online"], curves["KTH-batch"]
+    small = lefts < 2.0
+    # batch hurts small jobs more than online
+    assert np.nanmean(batch[small]) > np.nanmean(online[small])
+    # penalty decays with duration under both schedulers
+    for curve in (online, batch):
+        head = np.nanmean(curve[lefts < 2.0])
+        tail = np.nanmean(curve[(lefts >= 8.0)])
+        assert head > tail
+    benchmark.extra_info["figure"] = rendered

@@ -1,0 +1,33 @@
+"""Bench F4 — Figure 4: waiting-time and temporal-size distributions.
+
+Shape assertions (paper Section 5.1): the online scheduler's waiting
+times concentrate at small values with a tail *far* shorter than the
+batch scheduler's (19 h vs 674 h on CTC in the paper), and the workloads
+themselves differ — most KTH jobs under 2 h, few CTC jobs under 2 h.
+"""
+
+from repro.experiments import fig4
+
+from .conftest import run_once
+
+
+def test_fig4_distributions(benchmark, config, shape_gates):
+    rendered = run_once(benchmark, fig4.run, config)
+    print("\n" + rendered)
+
+    if not shape_gates:
+        return
+    # (a) tails: online max wait far below batch max wait on both systems
+    tails = fig4.max_waits(config)
+    for workload in ("CTC", "KTH"):
+        assert tails[f"{workload}-online"] < 0.5 * tails[f"{workload}-batch"], (
+            f"{workload}: online tail {tails[f'{workload}-online']:.1f}h not well "
+            f"below batch {tails[f'{workload}-batch']:.1f}h"
+        )
+
+    # (b) duration mix: KTH short-job mass dominates, CTC's does not
+    lefts, curves = fig4.duration_distributions(config)
+    first_bin = 0  # [0, 2) hours
+    assert curves["KTH"][first_bin] > 0.5
+    assert curves["CTC"][first_bin] < 0.2
+    benchmark.extra_info["figure"] = rendered

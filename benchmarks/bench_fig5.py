@@ -1,0 +1,38 @@
+"""Bench F5 — Figure 5: average waiting time vs job spatial size.
+
+Shape assertions: waiting time grows with spatial size under both
+schedulers, and the online algorithm's overall average sits below the
+batch scheduler's (its horizon-wide look-ahead packs wide jobs instead
+of queueing them).
+"""
+
+import numpy as np
+
+from repro.experiments import fig5
+
+from .conftest import run_once
+
+
+def _clean(values):
+    return values[~np.isnan(values)]
+
+
+def test_fig5_wait_vs_spatial_size(benchmark, config, shape_gates):
+    rendered = run_once(benchmark, fig5.run, config)
+    print("\n" + rendered)
+    if not shape_gates:
+        return
+    for workload in ("CTC", "KTH"):
+        lefts, curves = fig5.series(workload, config)
+        online = curves[f"{workload}-online"]
+        batch = curves[f"{workload}-batch"]
+        # growth: wide jobs wait longer than narrow ones under both
+        for curve in (online, batch):
+            vals = _clean(curve)
+            assert vals[-1] > vals[0], f"{workload}: no growth with spatial size"
+        # online is the cheaper scheduler on average across size bins
+        both = ~(np.isnan(online) | np.isnan(batch))
+        assert np.mean(online[both]) < np.mean(batch[both]), (
+            f"{workload}: online waits not below batch"
+        )
+    benchmark.extra_info["figure"] = rendered

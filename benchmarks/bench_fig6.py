@@ -1,0 +1,34 @@
+"""Bench F6 — Figure 6: waiting-time distribution vs reservation fraction ρ.
+
+Shape assertions (paper Section 5.2): as ρ grows, probability mass moves
+into the [0, 3 h] band (the reservation lead window) — visible as a drop
+in the zero-wait bin and growth around the 3-hour peak — while the far
+tail does not grow.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6
+
+from .conftest import run_once
+
+
+def test_fig6_waiting_vs_rho(benchmark, config, shape_gates):
+    rendered = run_once(benchmark, fig6.run, config)
+    print("\n" + rendered)
+    if not shape_gates:
+        return
+    for workload in ("CTC", "KTH"):
+        lefts, curves = fig6.series(workload, config)
+        zero_bin = [curves[f"{workload}-rho={r:g}"][0] for r in fig6.RHOS]
+        # the instant-start mass shrinks monotonically-ish with rho
+        assert zero_bin[0] > zero_bin[-1], f"{workload}: zero-wait mass did not shrink"
+        # mass within the 0-3h lead band grows with rho
+        band = (lefts >= 1.0) & (lefts < 4.0)
+        band_mass = [float(curves[f"{workload}-rho={r:g}"][band].sum()) for r in fig6.RHOS]
+        assert band_mass[-1] > band_mass[0], f"{workload}: no 3-hour peak appears"
+        # tails stay put: mass beyond 6h varies little across rho
+        tail = lefts >= 6.0
+        tail_mass = [float(curves[f"{workload}-rho={r:g}"][tail].sum()) for r in fig6.RHOS]
+        assert max(tail_mass) - min(tail_mass) < 0.15, f"{workload}: tail moved with rho"
+    benchmark.extra_info["figure"] = rendered

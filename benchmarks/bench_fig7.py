@@ -1,0 +1,33 @@
+"""Bench F7 — Figure 7: average wait and operation counts vs ρ.
+
+Shape assertions (paper Section 5.2): (a) the average waiting time grows
+with the advance-reservation fraction for every workload; (b) the number
+of operations per request stays roughly flat — the algorithm scales with
+ρ (the paper's curves move well under 2x across the whole range).
+"""
+
+from repro.experiments import fig7
+
+from .conftest import run_once
+
+
+def test_fig7_scalability_vs_rho(benchmark, config, shape_gates):
+    rendered = run_once(benchmark, fig7.run, config)
+    print("\n" + rendered)
+
+    if not shape_gates:
+        return
+    rhos, wait_curves = fig7.waiting_series(config)
+    for workload, waits in wait_curves.items():
+        assert waits[-1] > waits[0], f"{workload}: waits did not grow with rho"
+        # growth is dominated by the ~1.5h mean lead time, not pathology:
+        # rho=1 adds at most the max lead (3h) over rho=0
+        assert waits[-1] - waits[0] < 3.5 * 3600.0, f"{workload}: wait growth exceeds lead"
+
+    _, op_curves = fig7.ops_series(config)
+    for workload, ops in op_curves.items():
+        lo, hi = min(ops), max(ops)
+        assert hi < 3.0 * max(lo, 1.0), (
+            f"{workload}: operations vary {hi / max(lo, 1.0):.1f}x across rho — not flat"
+        )
+    benchmark.extra_info["figure"] = rendered

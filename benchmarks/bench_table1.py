@@ -1,0 +1,23 @@
+"""Bench T1 — regenerate Table 1 (workload features) and verify it.
+
+Checks, not just prints: processor/job columns must equal the paper's and
+the measured mean durations must match within calibration tolerance.
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+from .conftest import run_once
+
+
+def test_table1_workload_features(benchmark, config, shape_gates):
+    rendered = run_once(benchmark, table1.run, config)
+    print("\n" + rendered)
+    measured = {name: (procs, avg) for name, procs, _, avg in table1.rows(config)}
+    for name, (paper_procs, _, paper_avg) in table1.PAPER_ROWS.items():
+        procs, avg = measured[name]
+        assert procs == paper_procs
+        if shape_gates:
+            assert avg == pytest.approx(paper_avg, rel=0.15)
+    benchmark.extra_info["table"] = rendered

@@ -1,0 +1,53 @@
+"""Benchmark configuration.
+
+The experiment benchmarks replay simulations; each regenerates one paper
+table/figure and attaches the rendered text to the benchmark record
+(``benchmark.extra_info``) while timing the run.  Scale via::
+
+    REPRO_SCALE=smoke  pytest benchmarks/ --benchmark-only   # seconds
+    REPRO_SCALE=bench  pytest benchmarks/ --benchmark-only   # default
+    REPRO_SCALE=full   pytest benchmarks/ --benchmark-only   # paper sizes
+
+Simulation results are memoized per process (see
+``repro.experiments.runner``), so benchmarks that share runs — e.g. every
+Figure 3/4/5/Table 2 bench consumes the same CTC/KTH simulations — pay
+for them once; the timed number for each bench is the marginal cost of
+regenerating its artifact.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+_SCALES = {
+    "smoke": ExperimentConfig(n_jobs=400),
+    "bench": ExperimentConfig(n_jobs=1500),
+    "full": ExperimentConfig(n_jobs=None),
+}
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    scale = os.environ.get("REPRO_SCALE", "bench")
+    try:
+        return _SCALES[scale]
+    except KeyError:
+        raise pytest.UsageError(
+            f"REPRO_SCALE={scale!r} unknown; choose from {sorted(_SCALES)}"
+        ) from None
+
+
+@pytest.fixture(scope="session")
+def shape_gates(config) -> bool:
+    """The paper-shape assertions need enough jobs for stable statistics;
+    at smoke scale the benches only exercise the plumbing and timing."""
+    return config.n_jobs is None or config.n_jobs >= 1000
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one execution (simulations are too heavy for repeat rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

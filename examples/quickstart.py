@@ -1,0 +1,61 @@
+"""Quickstart: co-allocating servers with advance reservations.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the public API end to end: on-demand allocation, an
+advance reservation, the Δt retry ladder, a temporal range search with
+post-processing, and cancellation.
+"""
+
+from repro import CoAllocationScheduler, Request
+
+HOUR = 3600.0
+
+
+def main() -> None:
+    # A 16-server system; 15-minute slots; a 24-hour scheduling horizon.
+    # Δt defaults to τ and R_max to Q/2, the paper's settings.
+    sched = CoAllocationScheduler(n_servers=16, tau=900.0, q_slots=96)
+
+    # --- on-demand request: 4 servers for 2 hours, starting now ---------
+    alloc = sched.schedule(Request(qr=0.0, sr=0.0, lr=2 * HOUR, nr=4, rid=1))
+    print(f"job 1 -> servers {alloc.servers} at t={alloc.start:.0f}s "
+          f"({alloc.attempts} attempt(s), delay {alloc.delay:.0f}s)")
+
+    # --- advance reservation: 8 servers, tomorrow's demo at 10:00 -------
+    demo_start = 10 * HOUR
+    alloc2 = sched.schedule(
+        Request(qr=0.0, sr=demo_start, lr=1 * HOUR, nr=8, rid=2)
+    )
+    print(f"job 2 -> {alloc2.nr} servers reserved for t={alloc2.start / HOUR:.0f}h")
+
+    # --- saturate the system and watch the Δt ladder kick in ------------
+    alloc3 = sched.schedule(Request(qr=0.0, sr=0.0, lr=2 * HOUR, nr=14, rid=3))
+    print(f"job 3 (14 servers) -> starts at t={alloc3.start / HOUR:.2f}h "
+          f"after {alloc3.attempts} attempts (the first windows were full)")
+
+    # --- range search: who is free 6h-8h from now? ----------------------
+    free = sched.range_search(6 * HOUR, 8 * HOUR)
+    print(f"range search [6h, 8h): {len(free)} servers free")
+    # pick two specific servers (post-processing is up to the caller)
+    chosen = sorted(free, key=lambda p: p.server)[:2]
+    alloc4 = sched.commit(chosen, 6 * HOUR, 8 * HOUR, rid=4)
+    print(f"job 4 -> committed servers {alloc4.servers} from the range search")
+
+    # --- deadlines -------------------------------------------------------
+    rush = sched.schedule(
+        Request(qr=0.0, sr=0.0, lr=HOUR, nr=2, rid=5, deadline=4 * HOUR)
+    )
+    verdict = f"meets its {4:.0f}h deadline (ends {rush.end / HOUR:.1f}h)" if rush else "rejected"
+    print(f"job 5 -> {verdict}")
+
+    # --- utilization and cancellation ------------------------------------
+    print(f"utilization over the first 12h: {sched.utilization(0, 12 * HOUR):.1%}")
+    sched.cancel(2)
+    print(f"after cancelling job 2:         {sched.utilization(0, 12 * HOUR):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Applications of the co-allocation core (Section 3 + Section 6).
+
+* :class:`~repro.apps.vcl.VCLManager` — Virtual Computing Laboratory
+  reservation front-end (desktops + HPC, alternative-time suggestions);
+* :class:`~repro.apps.lambda_grid.LambdaGridScheduler` — PCE-style
+  path + wavelength co-allocation on a WDM network;
+* :class:`~repro.apps.mapreduce.MapReduceScheduler` — gang allocation of
+  map and reduce waves with an atomic shuffle barrier;
+* :class:`~repro.apps.workflow.WorkflowScheduler` — DAGs of co-allocation
+  requests committed atomically via advance reservations;
+* :class:`~repro.apps.multisite.MultiSiteBroker` — atomic probe/plan/
+  commit co-allocation across administrative sites (the DUROC problem).
+"""
+
+from .lambda_grid import LambdaGridScheduler, Lightpath
+from .multisite import CommitRace, CrossSiteAllocation, MultiSiteBroker, Site
+from .mapreduce import MapReducePlan, MapReduceScheduler
+from .vcl import ReservationDenied, VCLManager, VCLReservation
+from .workflow import Stage, StagePlan, WorkflowPlan, WorkflowScheduler
+
+__all__ = [
+    "LambdaGridScheduler",
+    "Lightpath",
+    "CommitRace",
+    "CrossSiteAllocation",
+    "MapReducePlan",
+    "MapReduceScheduler",
+    "MultiSiteBroker",
+    "Site",
+    "ReservationDenied",
+    "Stage",
+    "StagePlan",
+    "VCLManager",
+    "VCLReservation",
+    "WorkflowPlan",
+    "WorkflowScheduler",
+]

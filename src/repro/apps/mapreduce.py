@@ -1,0 +1,156 @@
+"""Gang allocation for MapReduce-style jobs.
+
+The paper motivates co-allocation with MapReduce: the middleware "needs
+to allocate compute nodes to handle multiple map and reduce instances"
+— a gang of nodes for the map wave, then a (usually smaller) gang for
+the reduce wave that can only start when every map finishes.
+
+:class:`MapReduceScheduler` plans both waves atomically: the map wave is
+co-allocated first, the reduce wave is *advance-reserved* to start at the
+map wave's completion (the shuffle barrier), and if either wave cannot be
+placed the whole job is declined — no half-planned jobs holding nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.types import Allocation, Request
+from ..facade import CoAllocationScheduler
+
+__all__ = ["MapReducePlan", "MapReduceScheduler"]
+
+
+@dataclass(frozen=True, slots=True)
+class MapReducePlan:
+    """Committed two-wave plan for one MapReduce job."""
+
+    job_id: int
+    map_allocation: Allocation
+    reduce_allocation: Allocation
+
+    @property
+    def start(self) -> float:
+        return self.map_allocation.start
+
+    @property
+    def shuffle_time(self) -> float:
+        """The map→reduce barrier: maps end, reducers start."""
+        return self.map_allocation.end
+
+    @property
+    def end(self) -> float:
+        return self.reduce_allocation.end
+
+    @property
+    def makespan(self) -> float:
+        return self.end - self.start
+
+
+class MapReduceScheduler:
+    """Plans map and reduce waves on a shared node pool.
+
+    Parameters
+    ----------
+    n_nodes:
+        Cluster size.
+    slots_per_node:
+        Map/reduce task slots per node; a wave of ``k`` tasks needs
+        ``ceil(k / slots_per_node)`` nodes.
+    tau, q_slots:
+        Calendar parameters (defaults: 5-minute slots, 24-hour horizon —
+        MapReduce jobs are shorter-lived than HPC reservations).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        slots_per_node: int = 2,
+        tau: float = 300.0,
+        q_slots: int = 288,
+    ) -> None:
+        if slots_per_node <= 0:
+            raise ValueError(f"need at least one slot per node, got {slots_per_node}")
+        self.slots_per_node = slots_per_node
+        self.scheduler = CoAllocationScheduler(n_servers=n_nodes, tau=tau, q_slots=q_slots)
+        self._ids = itertools.count(1)
+        self._plans: dict[int, MapReducePlan] = {}
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def advance(self, to_time: float) -> None:
+        self.scheduler.advance(to_time)
+
+    def nodes_for(self, tasks: int) -> int:
+        """Nodes needed to host ``tasks`` parallel task instances."""
+        if tasks <= 0:
+            raise ValueError(f"task count must be positive, got {tasks}")
+        return -(-tasks // self.slots_per_node)  # ceil division
+
+    def submit(
+        self,
+        n_map_tasks: int,
+        map_duration: float,
+        n_reduce_tasks: int,
+        reduce_duration: float,
+        deadline: float | None = None,
+    ) -> MapReducePlan | None:
+        """Plan a job; returns ``None`` when the gang cannot be placed.
+
+        Atomicity: if the reduce wave cannot be reserved at the shuffle
+        barrier, the already-committed map wave is rolled back.
+        """
+        job_id = next(self._ids)
+        map_nodes = self.nodes_for(n_map_tasks)
+        reduce_nodes = self.nodes_for(n_reduce_tasks)
+        map_rid = job_id * 2
+        reduce_rid = job_id * 2 + 1
+        map_deadline = None
+        if deadline is not None:
+            map_deadline = deadline - reduce_duration
+            if map_deadline < self.now + map_duration:
+                return None  # cannot possibly finish in time
+        map_alloc = self.scheduler.schedule(
+            Request(
+                qr=self.now,
+                sr=self.now,
+                lr=map_duration,
+                nr=map_nodes,
+                rid=map_rid,
+                deadline=map_deadline,
+            )
+        )
+        if map_alloc is None:
+            return None
+        reduce_alloc = self.scheduler.schedule(
+            Request(
+                qr=self.now,
+                sr=map_alloc.end,  # the shuffle barrier
+                lr=reduce_duration,
+                nr=reduce_nodes,
+                rid=reduce_rid,
+                deadline=deadline,
+            )
+        )
+        if reduce_alloc is None:
+            self.scheduler.cancel(map_rid)  # atomic: all or nothing
+            return None
+        plan = MapReducePlan(
+            job_id=job_id, map_allocation=map_alloc, reduce_allocation=reduce_alloc
+        )
+        self._plans[job_id] = plan
+        return plan
+
+    def cancel(self, job_id: int) -> None:
+        """Withdraw a planned job, releasing both waves."""
+        plan = self._plans.pop(job_id, None)
+        if plan is None:
+            raise KeyError(f"no planned job with id={job_id}")
+        for rid in (plan.map_allocation.rid, plan.reduce_allocation.rid):
+            self.scheduler.cancel(rid)
+
+    def cluster_utilization(self, ta: float, tb: float) -> float:
+        return self.scheduler.utilization(ta, tb)

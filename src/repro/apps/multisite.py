@@ -1,0 +1,228 @@
+"""Atomic cross-site co-allocation (the DUROC problem, Section 1).
+
+The paper situates itself against multi-site grid co-allocation (DUROC,
+Czajkowski et al.): a job needs servers on *several administrative
+sites at once*, and acquiring them sequentially "can be computationally
+expensive and incurs delays... and may lead to deadlocks".  This module
+codes the atomic protocol on top of the per-site schedulers:
+
+1. **Probe** — a temporal range search at every candidate site for the
+   same window (read-only, no locks: sites stay available to others);
+2. **Plan** — pick a distribution of the requested servers over sites
+   (fewest-sites-first, or an explicit per-site request);
+3. **Commit** — commit the chosen idle periods site by site; a commit
+   can fail if a local request raced in after the probe — in which case
+   every already-committed site is **rolled back** and the broker
+   retries the whole window on the Δt ladder.
+
+The protocol is deadlock-free by construction: the broker never holds a
+partial allocation while waiting for another site (it either completes
+within the attempt or releases everything), which is exactly the hazard
+sequential cross-site acquisition creates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.types import Allocation, IdlePeriod
+from ..facade import CoAllocationScheduler
+
+__all__ = ["Site", "CrossSiteAllocation", "MultiSiteBroker", "CommitRace"]
+
+
+class CommitRace(RuntimeError):
+    """A site's resources were taken between probe and commit."""
+
+
+@dataclass(frozen=True, slots=True)
+class Site:
+    """One administrative domain: a name and its local scheduler."""
+
+    name: str
+    scheduler: CoAllocationScheduler
+
+    @property
+    def n_servers(self) -> int:
+        return self.scheduler.n_servers
+
+
+@dataclass(frozen=True, slots=True)
+class CrossSiteAllocation:
+    """An atomic allocation spanning several sites."""
+
+    rid: int
+    start: float
+    end: float
+    parts: dict[str, Allocation]  # site name -> local allocation
+
+    @property
+    def total_servers(self) -> int:
+        return sum(a.nr for a in self.parts.values())
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        return tuple(self.parts)
+
+
+class MultiSiteBroker:
+    """Co-allocates one request across independent sites, atomically.
+
+    Parameters
+    ----------
+    sites:
+        The participating sites; each keeps serving its local users
+        through its own scheduler while the broker works.
+    delta_t, r_max:
+        The broker's own retry ladder for the *whole* cross-site attempt
+        (each site additionally has its own, unused here: the broker
+        needs exact windows, so it probes rather than delegates).
+    """
+
+    def __init__(self, sites: list[Site], delta_t: float = 900.0, r_max: int = 48) -> None:
+        if not sites:
+            raise ValueError("broker needs at least one site")
+        names = [s.name for s in sites]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate site names: {names}")
+        if delta_t <= 0 or r_max < 1:
+            raise ValueError("need delta_t > 0 and r_max >= 1")
+        self.sites = {s.name: s for s in sites}
+        self.delta_t = float(delta_t)
+        self.r_max = r_max
+        self._rids = itertools.count(1)
+        self._active: dict[int, CrossSiteAllocation] = {}
+
+    @property
+    def now(self) -> float:
+        return max(s.scheduler.now for s in self.sites.values())
+
+    def advance(self, to_time: float) -> None:
+        """Advance every site's clock (they share global time)."""
+        for site in self.sites.values():
+            if to_time > site.scheduler.now:
+                site.scheduler.advance(to_time)
+
+    @property
+    def total_servers(self) -> int:
+        return sum(s.n_servers for s in self.sites.values())
+
+    # ------------------------------------------------------------------
+
+    def probe(self, start: float, end: float) -> dict[str, list[IdlePeriod]]:
+        """Phase 1: free resources per site over the window (no locks)."""
+        return {
+            name: site.scheduler.range_search(start, end)
+            for name, site in self.sites.items()
+        }
+
+    @staticmethod
+    def plan(
+        availability: dict[str, list[IdlePeriod]],
+        n_total: int,
+        min_per_site: int = 1,
+    ) -> dict[str, int] | None:
+        """Phase 2: distribute ``n_total`` servers, fewest sites first.
+
+        Sites are used in decreasing availability so the allocation
+        touches as few administrative domains as possible (each extra
+        site adds coordination cost); a site is only included if it can
+        contribute at least ``min_per_site``.  Returns ``None`` when the
+        total free capacity is insufficient.
+        """
+        if n_total <= 0:
+            raise ValueError(f"need a positive server count, got {n_total}")
+        if min_per_site < 1:
+            raise ValueError(f"min_per_site must be at least 1, got {min_per_site}")
+        ranked = sorted(availability.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+        remaining = n_total
+        shares: dict[str, int] = {}
+        for name, free in ranked:
+            if remaining == 0:
+                break
+            capacity = len(free)
+            if capacity < min_per_site:
+                continue  # this site cannot meaningfully participate
+            take = min(capacity, remaining)
+            if take < min_per_site:
+                # the tail is below the per-site minimum: borrow the
+                # deficit from the largest committed share so both sites
+                # stay at or above the minimum
+                deficit = min_per_site - take
+                donor = max(shares, key=shares.__getitem__, default=None)
+                if donor is None or shares[donor] - deficit < min_per_site:
+                    continue
+                shares[donor] -= deficit
+                remaining += deficit
+                take = min_per_site
+            shares[name] = take
+            remaining -= take
+        return shares if remaining == 0 else None
+
+    def _commit(
+        self,
+        shares: dict[str, int],
+        availability: dict[str, list[IdlePeriod]],
+        start: float,
+        end: float,
+        rid: int,
+    ) -> CrossSiteAllocation:
+        """Phase 3: all-or-nothing commit with rollback on a race."""
+        committed: dict[str, Allocation] = {}
+        try:
+            for name, count in shares.items():
+                chosen = availability[name][:count]
+                committed[name] = self.sites[name].scheduler.commit(
+                    chosen, start, end, rid=rid
+                )
+        except ValueError as exc:
+            # a local job raced us on this site: undo everything
+            for name, allocation in committed.items():
+                self.sites[name].scheduler.cancel(allocation.rid)
+            raise CommitRace(str(exc)) from exc
+        return CrossSiteAllocation(rid=rid, start=start, end=end, parts=committed)
+
+    def allocate(
+        self,
+        n_servers: int,
+        duration: float,
+        earliest_start: float | None = None,
+        min_per_site: int = 1,
+    ) -> CrossSiteAllocation | None:
+        """Atomically allocate ``n_servers`` across sites for ``duration``.
+
+        Probes, plans and commits; on insufficient capacity or a commit
+        race the whole attempt moves ``Δt`` later, up to ``r_max``
+        attempts.  Returns ``None`` when every attempt fails.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        base = max(earliest_start if earliest_start is not None else self.now, self.now)
+        rid = next(self._rids)
+        for k in range(self.r_max):
+            start = base + k * self.delta_t
+            end = start + duration
+            if not all(
+                s.scheduler.calendar.in_horizon(start) for s in self.sites.values()
+            ):
+                return None
+            availability = self.probe(start, end)
+            shares = self.plan(availability, n_servers, min_per_site=min_per_site)
+            if shares is None:
+                continue
+            try:
+                allocation = self._commit(shares, availability, start, end, rid)
+            except CommitRace:
+                continue  # someone raced in; retry the ladder
+            self._active[rid] = allocation
+            return allocation
+        return None
+
+    def release(self, rid: int) -> None:
+        """Tear down a cross-site allocation on every site."""
+        allocation = self._active.pop(rid, None)
+        if allocation is None:
+            raise KeyError(f"no active cross-site allocation with rid={rid}")
+        for name, part in allocation.parts.items():
+            self.sites[name].scheduler.cancel(part.rid)

@@ -1,0 +1,159 @@
+"""Virtual Computing Laboratory front-end (Section 3.1).
+
+The VCL serves two request classes over one machine pool:
+
+* **desktop reservations** — advance reservations ("exclusive use of
+  multiple resources over a specific time window based on class
+  schedules"), granted or answered with alternative times;
+* **HPC requests** — on-demand best-effort batches of machines.
+
+This module is the resource-manager workflow the paper describes: run
+the co-allocation algorithm, return authentication material on success,
+or "suggest alternative times at which the resources are available" on
+refusal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+from ..core.types import Allocation, Request
+from ..facade import CoAllocationScheduler
+
+__all__ = ["VCLManager", "VCLReservation", "ReservationDenied"]
+
+
+@dataclass(frozen=True, slots=True)
+class VCLReservation:
+    """A granted reservation plus the access material sent to the user."""
+
+    rid: int
+    machines: tuple[int, ...]
+    start: float
+    end: float
+    access_token: str
+
+    @property
+    def count(self) -> int:
+        return len(self.machines)
+
+
+class ReservationDenied(Exception):
+    """Raised when no machines are available; carries alternative times."""
+
+    def __init__(self, message: str, alternatives: list[float]) -> None:
+        super().__init__(message)
+        self.alternatives = alternatives
+
+
+class VCLManager:
+    """Reservation manager for a VCL-style machine pool.
+
+    Parameters
+    ----------
+    n_machines:
+        Pool size.
+    tau:
+        Scheduling granularity (default 15 minutes — class periods align
+        to it).
+    q_slots:
+        Horizon; the default covers one week of advance booking.
+    setup_time:
+        Image-deployment overhead prepended to every reservation: the
+        machines are held from ``start - setup_time`` so they are ready
+        at ``start``.
+    """
+
+    def __init__(
+        self,
+        n_machines: int,
+        tau: float = 900.0,
+        q_slots: int = 7 * 96,
+        setup_time: float = 0.0,
+    ) -> None:
+        if setup_time < 0:
+            raise ValueError(f"setup time cannot be negative, got {setup_time}")
+        self.setup_time = setup_time
+        self.scheduler = CoAllocationScheduler(n_servers=n_machines, tau=tau, q_slots=q_slots)
+        self._rids = itertools.count(1)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def advance(self, to_time: float) -> None:
+        self.scheduler.advance(to_time)
+
+    # ------------------------------------------------------------------
+
+    def _token(self, allocation: Allocation) -> str:
+        payload = f"{allocation.rid}:{allocation.start}:{allocation.servers}"
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def reserve_desktops(
+        self, count: int, start: float, duration: float
+    ) -> VCLReservation:
+        """Advance-reserve ``count`` desktops for a class at ``start``.
+
+        The reservation is *rigid*: either the machines are free at
+        exactly ``start`` (class hours don't move) or the request is
+        denied with alternative times.
+        """
+        effective_start = start - self.setup_time
+        if effective_start < self.now:
+            raise ValueError(
+                f"reservation at {start} (setup from {effective_start}) is in the past"
+            )
+        rid = next(self._rids)
+        request = Request(
+            qr=self.now,
+            sr=effective_start,
+            lr=duration + self.setup_time,
+            nr=count,
+            rid=rid,
+        )
+        feasible = self.scheduler.calendar.find_feasible(
+            effective_start, effective_start + request.lr, count
+        )
+        if feasible is None:
+            alternatives = self.scheduler.suggest_alternatives(request)
+            raise ReservationDenied(
+                f"{count} machines not available at {start}",
+                [t + self.setup_time for t in alternatives],
+            )
+        allocation = self.scheduler.commit(
+            feasible, effective_start, effective_start + request.lr, rid=rid
+        )
+        return VCLReservation(
+            rid=rid,
+            machines=allocation.servers,
+            start=start,
+            end=start + duration,
+            access_token=self._token(allocation),
+        )
+
+    def request_hpc(self, count: int, duration: float) -> VCLReservation:
+        """On-demand HPC batch: start as soon as possible (Δt ladder)."""
+        rid = next(self._rids)
+        request = Request(qr=self.now, sr=self.now, lr=duration, nr=count, rid=rid)
+        allocation = self.scheduler.schedule(request)
+        if allocation is None:
+            alternatives = self.scheduler.suggest_alternatives(request)
+            raise ReservationDenied(f"{count} machines not available", alternatives)
+        return VCLReservation(
+            rid=rid,
+            machines=allocation.servers,
+            start=allocation.start,
+            end=allocation.end,
+            access_token=self._token(allocation),
+        )
+
+    def cancel(self, reservation: VCLReservation) -> None:
+        """Cancel a reservation, returning its machines to the pool."""
+        self.scheduler.cancel(reservation.rid)
+
+    def pool_utilization(self, ta: float, tb: float) -> float:
+        """Committed fraction of the pool over a window."""
+        return self.scheduler.utilization(ta, tb)

@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+Installed as ``repro`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.  Subcommands:
+
+``repro experiment <artifact>``
+    Regenerate one paper artifact (``table1``, ``table2``, ``fig3`` …
+    ``fig7``) or ``all``, at a chosen scale.
+
+``repro simulate``
+    Replay one workload through one scheduler and print the summary —
+    the quickest way to poke at a what-if (load, ρ, reclamation…).
+
+``repro generate``
+    Synthesize a workload and write it as an SWF file, so other tools
+    (or a colleague's scheduler) can consume it.
+
+``repro swf-info``
+    Summarize an SWF file: jobs, processors, duration/size statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_ARTIFACTS = ("table1", "fig3", "fig4", "fig5", "table2", "fig6", "fig7", "all")
+_SCHEDULERS = ("online", "easy", "conservative", "fcfs")
+_WORKLOADS = ("CTC", "KTH", "HPC2N")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPDC'09 resource co-allocation reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("artifact", choices=_ARTIFACTS)
+    exp.add_argument("--scale", choices=("smoke", "default", "full"), default="default")
+
+    sim = sub.add_parser("simulate", help="replay a workload through a scheduler")
+    sim.add_argument("--workload", choices=_WORKLOADS, default="KTH")
+    sim.add_argument("--scheduler", choices=_SCHEDULERS, default="online")
+    sim.add_argument("--jobs", type=int, default=2000)
+    sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument("--load", type=float, default=None, help="offered-load override")
+    sim.add_argument("--rho", type=float, default=0.0, help="advance-reservation fraction")
+    sim.add_argument(
+        "--inaccurate-estimates",
+        action="store_true",
+        help="give jobs actual runtimes below their estimates",
+    )
+    sim.add_argument(
+        "--reclaim",
+        action="store_true",
+        help="online scheduler releases unused reservation tails",
+    )
+
+    gen = sub.add_parser("generate", help="synthesize a workload as SWF")
+    gen.add_argument("--workload", choices=_WORKLOADS, default="KTH")
+    gen.add_argument("--jobs", type=int, default=2000)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--load", type=float, default=None)
+    gen.add_argument("--out", required=True, help="output SWF path")
+
+    info = sub.add_parser("swf-info", help="summarize an SWF file")
+    info.add_argument("path")
+
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import SCALES, run_all
+    from .experiments import fig3, fig4, fig5, fig6, fig7, table1, table2
+
+    config = SCALES[args.scale]
+    modules = {
+        "table1": table1,
+        "fig3": fig3,
+        "fig4": fig4,
+        "fig5": fig5,
+        "table2": table2,
+        "fig6": fig6,
+        "fig7": fig7,
+    }
+    if args.artifact == "all":
+        print(run_all(config))
+    else:
+        print(modules[args.artifact].run(config))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .metrics.stats import summarize
+    from .schedulers import (
+        ConservativeBackfillScheduler,
+        EasyBackfillScheduler,
+        FCFSScheduler,
+        OnlineScheduler,
+    )
+    from .sim.driver import run_simulation
+    from .workloads.archive import WORKLOADS, generate_workload
+    from .workloads.models import EstimateAccuracy
+    from .workloads.reservations import with_advance_reservations
+
+    accuracy = EstimateAccuracy() if args.inaccurate_estimates else None
+    requests = generate_workload(
+        args.workload,
+        n_jobs=args.jobs,
+        seed=args.seed,
+        offered_load=args.load,
+        accuracy=accuracy,
+    )
+    if args.rho > 0.0:
+        requests = with_advance_reservations(requests, args.rho, seed=args.seed)
+    n_servers = WORKLOADS[args.workload].n_servers
+    if args.scheduler == "online":
+        scheduler = OnlineScheduler(
+            n_servers=n_servers, tau=900.0, q_slots=288, reclaim_early=args.reclaim
+        )
+    else:
+        factory = {
+            "easy": EasyBackfillScheduler,
+            "conservative": ConservativeBackfillScheduler,
+            "fcfs": FCFSScheduler,
+        }[args.scheduler]
+        scheduler = factory(n_servers)
+    result = run_simulation(scheduler, requests)
+    s = summarize(result.records)
+    print(f"workload:     {args.workload} ({args.jobs} jobs, seed {args.seed}, rho {args.rho:g})")
+    print(f"scheduler:    {result.scheduler}{' +reclaim' if args.reclaim else ''}")
+    print(f"accepted:     {s.accepted}/{s.jobs} ({s.acceptance_rate:.1%})")
+    print(f"waiting time: mean {s.mean_wait:.2f} h, median {s.median_wait:.2f} h, "
+          f"max {s.max_wait:.1f} h")
+    print(f"penalty P^l:  mean {s.mean_penalty:.2f}")
+    print(f"attempts:     mean {s.mean_attempts:.2f}")
+    print(f"utilization:  {result.utilization:.1%}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .workloads.archive import WORKLOADS, generate_workload
+    from .workloads.swf import SWFJob, write_swf
+
+    requests = generate_workload(
+        args.workload, n_jobs=args.jobs, seed=args.seed, offered_load=args.load
+    )
+    jobs = [
+        SWFJob(
+            job_number=r.rid + 1,
+            submit_time=r.qr,
+            wait_time=-1.0,
+            run_time=r.runtime,
+            allocated_processors=r.nr,
+            requested_processors=r.nr,
+            requested_time=r.lr,
+        )
+        for r in requests
+    ]
+    metadata = {
+        "Computer": f"repro synthetic {args.workload}",
+        "MaxProcs": str(WORKLOADS[args.workload].n_servers),
+        "MaxJobs": str(len(jobs)),
+        "Seed": str(args.seed),
+    }
+    write_swf(jobs, args.out, metadata=metadata)
+    print(f"wrote {len(jobs)} jobs to {args.out}")
+    return 0
+
+
+def _cmd_swf_info(args: argparse.Namespace) -> int:
+    from .workloads.swf import read_swf, swf_to_requests
+
+    jobs, meta = read_swf(args.path)
+    requests = swf_to_requests(jobs)
+    if meta:
+        for key, value in meta.items():
+            print(f"; {key}: {value}")
+    print(f"jobs:        {len(jobs)} ({len(requests)} usable)")
+    if requests:
+        durations = np.array([r.lr for r in requests]) / 3600.0
+        sizes = np.array([r.nr for r in requests])
+        span = (requests[-1].qr - requests[0].qr) / 86400.0
+        print(f"span:        {span:.1f} days")
+        print(f"duration:    mean {durations.mean():.2f} h, median "
+              f"{np.median(durations):.2f} h, max {durations.max():.1f} h")
+        print(f"size:        mean {sizes.mean():.1f}, median {np.median(sizes):.0f}, "
+              f"max {sizes.max()}")
+        print(f"< 2 h jobs:  {(durations < 2.0).mean():.1%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = {
+        "experiment": _cmd_experiment,
+        "simulate": _cmd_simulate,
+        "generate": _cmd_generate,
+        "swf-info": _cmd_swf_info,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,410 @@
+"""Temporal resource availability over a rolling horizon (Section 4.1).
+
+The :class:`AvailabilityCalendar` owns, for a system of ``N`` servers:
+
+* the authoritative per-server lists of idle periods (sorted by start);
+* ``Q`` slot-aligned :class:`~repro.core.slot_tree.TwoDimTree` indexes,
+  one per slot of length ``tau`` within the horizon ``H = Q * tau``,
+  holding the *bounded* idle periods overlapping each slot;
+* the **tail index**: one sorted array over the unbounded trailing idle
+  periods (``et = ∞``, exactly one per server with no future commitment);
+* the *pending set*: bounded periods ending beyond the current horizon,
+  which must be added to new slot trees as the horizon rolls forward.
+
+Why the tail index?  The paper stores every idle period in the tree of
+every slot it overlaps; a trailing period overlaps *all* ``Q`` slots, so
+carving a job out of one (the common case — every allocation at the end
+of a server's schedule does it) would cost ``O(n_r · Q · log^2 N)`` tree
+updates, the dominant term of the paper's own update bound.  A trailing
+period, however, is feasible for *any* window that starts after it does:
+its ending time can never fail the Phase-2 test.  Factoring those periods
+into a single start-time-sorted array preserves the exact feasibility
+semantics (Phase 1's candidate count gains a ``bisect``; Phase 2's
+feasible set gains a suffix of the array) while making the common-case
+update ``O(log N)`` instead of ``O(Q log^2 N)``.  Selection order is also
+preserved sensibly: bounded feasible periods (earliest-ending first, the
+paper's secondary-tree in-order preference) are taken before unbounded
+ones, which is exactly the best-fit tendency of the paper's traversal.
+
+As simulated time advances past a slot boundary the expired slot's tree
+is discarded and a fresh tree is created at the far end of the horizon —
+the paper's discard/initialize cycle — seeded with the pending periods
+that overlap the new slot.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+
+from .opcount import NULL_COUNTER, OpCounter
+from .slot_tree import TwoDimTree
+from .types import INF, IdlePeriod, Reservation
+
+__all__ = ["AvailabilityCalendar"]
+
+#: sentinel uid bound making ``(t, _UID_HIGH)`` compare after any real key
+_UID_HIGH = math.inf
+
+
+class AvailabilityCalendar:
+    """Tracks when each of ``n_servers`` is free, indexed for co-allocation.
+
+    Parameters
+    ----------
+    n_servers:
+        Number of servers ``N`` in the system.
+    tau:
+        Slot length ``τ`` (the paper sets it to the minimum temporal
+        reservation size).
+    q_slots:
+        Number of slots ``Q`` in the horizon; ``H = Q * tau``.
+    start_time:
+        Simulation time at which the calendar begins; every server is
+        idle from ``start_time`` onward.
+    counter:
+        Optional operation counter shared with the slot trees.
+    indexing:
+        ``"tail"`` (default) keeps unbounded trailing periods in the
+        sorted tail index; ``"dense"`` registers them in every remaining
+        slot tree — the paper's literal design, kept for cross-validation
+        and for the ablation benchmark that measures what the tail index
+        saves.  Both modes return identical scheduling outcomes.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        tau: float,
+        q_slots: int,
+        start_time: float = 0.0,
+        counter: OpCounter = NULL_COUNTER,
+        indexing: str = "tail",
+    ) -> None:
+        if indexing not in ("tail", "dense"):
+            raise ValueError(f"indexing must be 'tail' or 'dense', got {indexing!r}")
+        self.dense = indexing == "dense"
+        if n_servers <= 0:
+            raise ValueError(f"need at least one server, got {n_servers}")
+        if tau <= 0:
+            raise ValueError(f"slot length must be positive, got {tau}")
+        if q_slots <= 0:
+            raise ValueError(f"need at least one slot, got {q_slots}")
+        self.n_servers = n_servers
+        self.tau = float(tau)
+        self.q_slots = q_slots
+        self.counter = counter
+        self.now = float(start_time)
+
+        self._base_slot = int(math.floor(start_time / tau))
+        self._trees: dict[int, TwoDimTree] = {
+            q: TwoDimTree(counter) for q in range(self._base_slot, self._base_slot + q_slots)
+        }
+        self._server_periods: list[list[IdlePeriod]] = []
+        # tail index: unbounded periods, parallel arrays sorted by (st, uid)
+        self._inf_keys: list[tuple[float, int]] = []
+        self._inf_periods: list[IdlePeriod] = []
+        # bounded periods ending beyond the horizon, keyed by uid
+        self._pending: dict[int, IdlePeriod] = {}
+
+        initial = []
+        for server in range(n_servers):
+            period = IdlePeriod(server=server, st=self.now, et=INF)
+            self._server_periods.append([period])
+            self._inf_keys.append((period.st, period.uid))
+            self._inf_periods.append(period)
+            initial.append(period)
+        if self.dense:
+            for tree in self._trees.values():
+                tree.bulk_load(initial)
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def horizon_start(self) -> float:
+        """Start of the first active slot."""
+        return self._base_slot * self.tau
+
+    @property
+    def horizon_end(self) -> float:
+        """End of the last active slot; nothing later can be searched."""
+        return (self._base_slot + self.q_slots) * self.tau
+
+    def slot_of(self, t: float) -> int:
+        """Absolute index of the slot containing time ``t``."""
+        return int(math.floor(t / self.tau))
+
+    def in_horizon(self, t: float) -> bool:
+        """True when ``t`` falls inside an active slot."""
+        return self._base_slot <= self.slot_of(t) < self._base_slot + self.q_slots
+
+    def tree_for(self, t: float) -> TwoDimTree:
+        """The slot tree indexing time ``t``; raises ``KeyError`` outside the horizon."""
+        q = self.slot_of(t)
+        try:
+            return self._trees[q]
+        except KeyError:
+            raise KeyError(
+                f"time {t} (slot {q}) is outside the active horizon "
+                f"[{self.horizon_start}, {self.horizon_end})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # time advance / rollover
+    # ------------------------------------------------------------------
+
+    def advance(self, to_time: float) -> None:
+        """Move the clock forward, rolling the horizon over expired slots.
+
+        For every slot that fully expires, its tree is discarded and a
+        new tree is initialized at the end of the horizon, seeded with
+        the pending bounded periods that now overlap it.
+        """
+        if to_time < self.now:
+            raise ValueError(f"cannot move time backwards ({to_time} < {self.now})")
+        self.now = to_time
+        current = self.slot_of(to_time)
+        rolled = False
+        while self._base_slot < current:
+            del self._trees[self._base_slot]
+            self._base_slot += 1
+            new_slot = self._base_slot + self.q_slots - 1
+            new_end = (new_slot + 1) * self.tau
+            tree = TwoDimTree(self.counter)
+            seeds = [p for p in self._pending.values() if p.st < new_end]
+            if self.dense:
+                seeds.extend(p for p in self._inf_periods if p.st < new_end)
+            tree.bulk_load(seeds)
+            self._trees[new_slot] = tree
+            # periods now fully inside the horizon leave the pending set
+            for uid in [uid for uid, p in self._pending.items() if p.et <= new_end]:
+                del self._pending[uid]
+            rolled = True
+        if rolled:
+            self._trim_history()
+
+    def _trim_history(self) -> None:
+        """Drop per-server periods that ended before the horizon start."""
+        cutoff = self.horizon_start
+        for periods in self._server_periods:
+            while periods and periods[0].et <= cutoff:
+                periods.pop(0)
+
+    # ------------------------------------------------------------------
+    # period registration
+    # ------------------------------------------------------------------
+
+    def _overlapping_slots(self, period: IdlePeriod) -> range:
+        """Active slot indexes a tree-indexed period must appear in."""
+        first = max(self.slot_of(period.st), self._base_slot)
+        if period.et == INF:
+            # only reachable in dense mode: an unbounded period overlaps
+            # every remaining slot of the horizon
+            last = self._base_slot + self.q_slots - 1
+        else:
+            # et is an open endpoint: a period ending exactly on a slot
+            # boundary does not overlap the next slot
+            last = min(
+                self.slot_of(period.et) if period.et % self.tau else self.slot_of(period.et) - 1,
+                self._base_slot + self.q_slots - 1,
+            )
+        if first > last:
+            return range(0)
+        return range(first, last + 1)
+
+    def _index_period(self, period: IdlePeriod) -> None:
+        if period.et == INF:
+            idx = bisect_right(self._inf_keys, (period.st, period.uid))
+            self._inf_keys.insert(idx, (period.st, period.uid))
+            self._inf_periods.insert(idx, period)
+            self.counter.add("insert")
+            if not self.dense:
+                return
+            # dense (paper-literal) mode: the trailing period also lives
+            # in the tree of every remaining slot
+        for q in self._overlapping_slots(period):
+            self._trees[q].insert(period)
+        if period.et != INF and period.et > self.horizon_end:
+            self._pending[period.uid] = period
+
+    def _unindex_period(self, period: IdlePeriod) -> None:
+        if period.et == INF:
+            idx = bisect_right(self._inf_keys, (period.st, period.uid)) - 1
+            assert idx >= 0 and self._inf_keys[idx] == (period.st, period.uid)
+            self._inf_keys.pop(idx)
+            self._inf_periods.pop(idx)
+            self.counter.add("remove")
+            if not self.dense:
+                return
+        for q in self._overlapping_slots(period):
+            self._trees[q].remove(period)
+        self._pending.pop(period.uid, None)
+
+    def _add_period(self, period: IdlePeriod) -> None:
+        periods = self._server_periods[period.server]
+        idx = bisect_right([p.st for p in periods], period.st)
+        periods.insert(idx, period)
+        self._index_period(period)
+
+    def _drop_period(self, period: IdlePeriod) -> None:
+        self._server_periods[period.server].remove(period)
+        self._unindex_period(period)
+
+    # ------------------------------------------------------------------
+    # allocation and release
+    # ------------------------------------------------------------------
+
+    def allocate(
+        self, periods: list[IdlePeriod], start: float, end: float, rid: int = 0
+    ) -> list[Reservation]:
+        """Carve ``[start, end)`` out of each given feasible idle period.
+
+        Each period is removed from every index it lives in and replaced
+        by at most two remnants — ``(st, start)`` and ``(end, et)`` —
+        exactly the update rule of Section 4.2.
+        """
+        reservations: list[Reservation] = []
+        for period in periods:
+            if not period.is_feasible(start, end):
+                raise ValueError(
+                    f"period {period} cannot host [{start}, {end}) on server {period.server}"
+                )
+            self._drop_period(period)
+            if period.st < start:
+                self._add_period(IdlePeriod(server=period.server, st=period.st, et=start))
+            if end < period.et:
+                self._add_period(IdlePeriod(server=period.server, st=end, et=period.et))
+            reservations.append(Reservation(rid=rid, server=period.server, start=start, end=end))
+        return reservations
+
+    def release(self, server: int, start: float, end: float) -> None:
+        """Return ``[start, end)`` on ``server`` to the idle pool.
+
+        Used by cancellation and early-completion reclamation.  The
+        released interval is merged with adjacent idle periods so that
+        idle periods stay maximal.
+        """
+        if not start < end:
+            raise ValueError(f"release window [{start}, {end}) is empty")
+        periods = self._server_periods[server]
+        lo, hi = start, end
+        for neighbour in [p for p in periods if p.et == start or p.st == end]:
+            if neighbour.et == start:
+                lo = neighbour.st
+                self._drop_period(neighbour)
+            elif neighbour.st == end:
+                hi = neighbour.et
+                self._drop_period(neighbour)
+        for p in periods:
+            if p.overlaps(lo, hi):
+                raise ValueError(
+                    f"release of [{start}, {end}) on server {server} overlaps idle period {p}"
+                )
+        self._add_period(IdlePeriod(server=server, st=lo, et=hi))
+
+    # ------------------------------------------------------------------
+    # queries (Phase 1 + Phase 2, tree and tail combined)
+    # ------------------------------------------------------------------
+
+    def _tail_candidates(self, sr: float) -> int:
+        """Unbounded periods with ``st <= sr`` (all feasible for any window).
+
+        In dense mode trailing periods live inside the trees, so the tail
+        index contributes nothing to searches (it remains the rollover
+        registry).
+        """
+        if self.dense:
+            return 0
+        count = bisect_right(self._inf_keys, (sr, _UID_HIGH))
+        self.counter.add("secondary_probe", max(1, len(self._inf_keys).bit_length()))
+        return count
+
+    def find_feasible(self, sr: float, er: float, nr: int) -> list[IdlePeriod] | None:
+        """Feasible idle periods for ``[sr, er)`` × ``nr`` servers, or ``None``.
+
+        Pure query — nothing is committed.  Bounded periods are preferred
+        (earliest-ending first), then trailing periods (latest-starting
+        first), yielding best-fit-style packing.
+        """
+        if not self.in_horizon(sr):
+            return None
+        tree = self.tree_for(sr)
+        count, marks = tree.phase1(sr)
+        tail_count = self._tail_candidates(sr)
+        if count + tail_count < nr:
+            return None  # Phase 1 verdict: not enough candidates
+        chosen = tree.phase2(marks, er, nr, partial=True) or []
+        if len(chosen) >= nr:
+            return chosen[:nr]
+        need = nr - len(chosen)
+        if tail_count < need:
+            return None  # Phase 2 verdict: not enough feasible periods
+        tail = self._inf_periods[tail_count - need : tail_count]
+        tail.reverse()  # latest-starting trailing periods first
+        self.counter.add("retrieve", need)
+        return chosen + tail
+
+    def range_search(self, ta: float, tb: float) -> list[IdlePeriod]:
+        """Every idle period covering the whole window ``[ta, tb)``.
+
+        The paper's range-search feature: users inspect availability and
+        commit later via :meth:`allocate`.
+        """
+        if not self.in_horizon(ta):
+            return []
+        found = self.tree_for(ta).range_search(ta, tb)
+        if not self.dense:
+            tail_count = self._tail_candidates(ta)
+            found.extend(self._inf_periods[:tail_count])
+        return found
+
+    def idle_periods(self, server: int) -> list[IdlePeriod]:
+        """A copy of the authoritative idle-period list for one server."""
+        return list(self._server_periods[server])
+
+    # ------------------------------------------------------------------
+    # verification (test support)
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Cross-check per-server lists, slot trees, tail index and pending set."""
+        for server, periods in enumerate(self._server_periods):
+            for a, b in zip(periods, periods[1:]):
+                assert a.et <= b.st, f"server {server}: overlapping idle periods {a} / {b}"
+            for p in periods:
+                assert p.server == server
+        indexed: dict[int, set[int]] = {}
+        for q, tree in self._trees.items():
+            tree.validate()
+            lo, hi = q * self.tau, (q + 1) * self.tau
+            for p in tree.periods():
+                if not self.dense:
+                    assert p.et != INF, f"unbounded period {p} leaked into slot tree {q}"
+                assert p.overlaps(lo, hi), f"period {p} indexed in non-overlapping slot {q}"
+                indexed.setdefault(p.uid, set()).add(q)
+        assert self._inf_keys == sorted(self._inf_keys), "tail index out of order"
+        assert [(p.st, p.uid) for p in self._inf_periods] == self._inf_keys
+        tail_uids = {p.uid for p in self._inf_periods}
+        for periods in self._server_periods:
+            for p in periods:
+                if p.et == INF:
+                    assert p.uid in tail_uids, f"trailing period {p} missing from tail index"
+                    if self.dense:
+                        expected = set(self._overlapping_slots(p))
+                        assert indexed.get(p.uid, set()) == expected, (
+                            f"dense trailing period {p} not in every remaining slot"
+                        )
+                    continue
+                expected = set(self._overlapping_slots(p))
+                assert indexed.get(p.uid, set()) == expected, (
+                    f"period {p} indexed in {indexed.get(p.uid)} but overlaps {expected}"
+                )
+                if p.et > self.horizon_end:
+                    assert p.uid in self._pending, f"period {p} missing from pending set"
+        all_uids = {p.uid for periods in self._server_periods for p in periods}
+        assert tail_uids <= all_uids, "tail index holds stale periods"
+        for uid, p in self._pending.items():
+            assert p.et > self.horizon_end, f"pending period {p} is inside the horizon"
+            assert uid in all_uids, f"pending set holds stale period {p}"

@@ -1,0 +1,122 @@
+"""The online co-allocation algorithm of Section 4.2.
+
+:class:`OnlineCoAllocator` wraps an
+:class:`~repro.core.calendar.AvailabilityCalendar` and implements the
+paper's scheduling loop:
+
+1. attempt to find ``n_r`` feasible idle periods starting at ``s_r``
+   (Phase 1 + Phase 2 range search in the slot tree of ``slot(s_r)``);
+2. on failure, retry at ``s_r + Δt``, ``s_r + 2Δt``, … up to ``R_max``
+   total attempts;
+3. on success, commit the reservations and report the allocation together
+   with the attempt count and the incurred delay.
+
+Deadline support (the Section 5.2 extension) falls out naturally: a
+request with a deadline simply stops retrying once the candidate start
+would miss ``deadline - l_r``.
+
+The allocator also exposes the paper's *temporal range search*: retrieve
+every resource available in a window without committing, letting the
+caller post-process (e.g. the lambda-grid application selects a path and
+wavelength among the returned resources) and commit later.
+"""
+
+from __future__ import annotations
+
+from .calendar import AvailabilityCalendar
+from .opcount import NULL_COUNTER, OpCounter
+from .types import Allocation, IdlePeriod, RangeQuery, Request
+
+__all__ = ["OnlineCoAllocator"]
+
+
+class OnlineCoAllocator:
+    """Online scheduler with advance reservations and bounded retries.
+
+    Parameters
+    ----------
+    calendar:
+        The availability calendar to allocate from.
+    delta_t:
+        Retry increment ``Δt`` (the paper uses 15 minutes).
+    r_max:
+        Maximum number of scheduling attempts per request (the paper sets
+        ``R_max = Q/2``); ``R_max · Δt`` bounds the delay a request can
+        accumulate.
+    counter:
+        Operation counter; pass the calendar's counter to aggregate data
+        structure and scheduler operations in one place.
+    """
+
+    def __init__(
+        self,
+        calendar: AvailabilityCalendar,
+        delta_t: float,
+        r_max: int,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> None:
+        if delta_t <= 0:
+            raise ValueError(f"retry increment must be positive, got {delta_t}")
+        if r_max < 1:
+            raise ValueError(f"need at least one scheduling attempt, got {r_max}")
+        self.calendar = calendar
+        self.delta_t = float(delta_t)
+        self.r_max = r_max
+        self.counter = counter
+
+    def schedule(self, request: Request) -> Allocation | None:
+        """Schedule a request; returns ``None`` when every attempt fails.
+
+        The first attempt is made at ``max(s_r, now)`` — a request whose
+        earliest start lies in the past (e.g. replayed from a trace) is
+        scheduled from the current time.
+        """
+        base = max(request.sr, self.calendar.now)
+        latest = request.latest_start
+        for k in range(self.r_max):
+            start = base + k * self.delta_t
+            if start > latest:
+                return None  # any later start would miss the deadline
+            if not self.calendar.in_horizon(start):
+                return None  # beyond the schedulable horizon
+            self.counter.add("attempt")
+            end = start + request.lr
+            feasible = self.calendar.find_feasible(start, end, request.nr)
+            if feasible is not None:
+                reservations = self.calendar.allocate(feasible, start, end, rid=request.rid)
+                return Allocation(
+                    rid=request.rid,
+                    start=start,
+                    end=end,
+                    reservations=tuple(reservations),
+                    attempts=k + 1,
+                    delay=start - request.sr,
+                )
+        return None
+
+    def range_search(self, query: RangeQuery) -> list[IdlePeriod]:
+        """All idle periods covering ``[ta, tb)``; commits nothing.
+
+        The caller may post-process the result and commit a subset via
+        :meth:`commit`.
+        """
+        self.counter.add("attempt")
+        return self.calendar.range_search(query.ta, query.tb)
+
+    def commit(
+        self, periods: list[IdlePeriod], start: float, end: float, rid: int = 0
+    ) -> Allocation:
+        """Commit specific idle periods found by an earlier range search.
+
+        Raises ``ValueError`` if any period can no longer host the window
+        (someone else committed it in between).
+        """
+        reservations = self.calendar.allocate(periods, start, end, rid=rid)
+        return Allocation(
+            rid=rid,
+            start=start,
+            end=end,
+            reservations=tuple(reservations),
+            attempts=1,
+            delay=0.0,
+        )

@@ -1,0 +1,112 @@
+"""Naive linear-scan co-allocator.
+
+This is the "sequential atomic transaction" strawman the paper's
+introduction argues against: to find ``n_r`` servers it simply walks every
+server's reservation list and tests whether the window fits.  It is
+
+* the *oracle* for property tests — its feasibility verdicts and chosen
+  start times must coincide with the tree-based allocator on any request
+  stream (the data structures are an index, not a policy change); and
+* the complexity baseline for the ablation benchmarks (tree vs linear
+  crossover as ``N`` grows).
+
+It is written independently of the calendar/slot-tree machinery on
+purpose: a shared bug cannot hide in shared code.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+from .opcount import NULL_COUNTER, OpCounter
+from .types import Allocation, Request, Reservation
+
+__all__ = ["LinearScanAllocator"]
+
+
+class LinearScanAllocator:
+    """Brute-force scheduler with the same retry semantics as the online one.
+
+    Parameters mirror :class:`~repro.core.coalloc.OnlineCoAllocator`;
+    ``horizon_end`` stands in for the calendar horizon (attempts beyond it
+    fail), and must be advanced alongside simulated time via
+    :meth:`advance`.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        delta_t: float,
+        r_max: int,
+        horizon: float,
+        start_time: float = 0.0,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> None:
+        if n_servers <= 0:
+            raise ValueError(f"need at least one server, got {n_servers}")
+        self.n_servers = n_servers
+        self.delta_t = float(delta_t)
+        self.r_max = r_max
+        self.horizon = float(horizon)
+        self.now = float(start_time)
+        #: attempts at or past this time fail; advanced with the clock, and
+        #: may be overwritten to mirror another scheduler's (slot-aligned)
+        #: horizon exactly.
+        self.horizon_end = self.now + self.horizon
+        self.counter = counter
+        # per-server sorted lists of committed (start, end) intervals
+        self._busy: list[list[tuple[float, float]]] = [[] for _ in range(n_servers)]
+
+    def advance(self, to_time: float) -> None:
+        """Move the clock; drops intervals that ended in the past."""
+        if to_time < self.now:
+            raise ValueError(f"cannot move time backwards ({to_time} < {self.now})")
+        self.now = to_time
+        self.horizon_end = to_time + self.horizon
+        for busy in self._busy:
+            while busy and busy[0][1] <= to_time:
+                busy.pop(0)
+
+    def _fits(self, server: int, start: float, end: float) -> bool:
+        """True when ``[start, end)`` overlaps no committed interval."""
+        busy = self._busy[server]
+        idx = bisect_left(busy, (end, -1.0))  # first interval starting at/after end
+        self.counter.add("node_visit", max(1, len(busy).bit_length()))
+        return idx == 0 or busy[idx - 1][1] <= start
+
+    def free_servers(self, start: float, end: float) -> list[int]:
+        """Every server free throughout ``[start, end)`` (linear scan)."""
+        return [s for s in range(self.n_servers) if self._fits(s, start, end)]
+
+    def schedule(self, request: Request) -> Allocation | None:
+        """Same contract as :meth:`OnlineCoAllocator.schedule`."""
+        base = max(request.sr, self.now)
+        latest = request.latest_start
+        for k in range(self.r_max):
+            start = base + k * self.delta_t
+            if start > latest or start >= self.horizon_end:
+                return None
+            self.counter.add("attempt")
+            end = start + request.lr
+            free = []
+            for server in range(self.n_servers):
+                if self._fits(server, start, end):
+                    free.append(server)
+                    if len(free) == request.nr:
+                        break
+            if len(free) == request.nr:
+                reservations = []
+                for server in free:
+                    insort(self._busy[server], (start, end))
+                    reservations.append(
+                        Reservation(rid=request.rid, server=server, start=start, end=end)
+                    )
+                return Allocation(
+                    rid=request.rid,
+                    start=start,
+                    end=end,
+                    reservations=tuple(reservations),
+                    attempts=k + 1,
+                    delay=start - request.sr,
+                )
+        return None

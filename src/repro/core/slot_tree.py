@@ -1,0 +1,425 @@
+"""The 2-dimensional availability tree of Section 4.1.
+
+One :class:`TwoDimTree` exists per time slot; it stores every idle period
+that overlaps the slot.  The *primary* dimension is a leaf-oriented,
+weight-balanced binary search tree keyed by idle-period **starting time**
+(ascending; the paper stores descending — a mirror image with identical
+semantics).  Every node additionally carries the *secondary* dimension: an
+index over the same set of idle periods ordered by **ending time**.
+
+The paper describes the secondary structures as binary search trees.  Here
+each one is an *implicit* balanced BST backed by a sorted array: the
+Phase-2 median-split search is literally a binary search (``bisect``),
+"subtree size" is index arithmetic, and single-element updates are C-speed
+``memmove`` — strictly faster than pointer-chasing for every set that fits
+in one slot tree (at most the number of servers, ``N``).  The primary tree
+uses partial rebuilding (the canonical dynamic range-tree construction) so
+the paper's bounds hold: Phase 1 visits ``O(log N)`` nodes and marks
+``O(log N)`` subtrees, Phase 2 costs ``O((log N)^2)``, and updates are
+amortized ``O(log^2 N)`` tree work plus the array shifts.
+
+Invariants (exercised by ``validate()`` and the property tests):
+
+* leaves appear in ascending ``(st, uid)`` order;
+* every internal node's key equals or exceeds every key in its left
+  subtree and is strictly below every key in its right subtree;
+* every node's secondary index holds exactly the idle periods of the
+  leaves below it, sorted by ``(et, uid)``;
+* every internal node is α-weight-balanced (see ``ALPHA``).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterator
+
+from .opcount import NULL_COUNTER, OpCounter
+from .types import IdlePeriod
+
+__all__ = ["TwoDimTree", "ALPHA"]
+
+#: Weight-balance factor: a node with ``size(child) > ALPHA * size(node)``
+#: triggers a partial rebuild of the highest unbalanced subtree.  0.8
+#: trades slightly deeper trees (depth <= log_{1.25} n ~= 3.1 log2 n) for
+#: far fewer rebuilds under the monotone insertion patterns the calendar
+#: produces (remnants carry ever-increasing uids).
+ALPHA = 0.8
+
+#: Sentinel uid used to turn a scalar start-time bound into a search key
+#: that compares *after* every real ``(st, uid)`` key with the same st.
+_UID_HIGH = math.inf
+
+
+class _Node:
+    """A primary-tree node; leaves carry an idle period, internal nodes a split key.
+
+    ``sec_keys``/``sec_periods`` are the secondary dimension: parallel
+    arrays of ``(et, uid)`` keys and their idle periods, ascending.
+    """
+
+    __slots__ = ("key", "size", "left", "right", "parent", "period", "sec_keys", "sec_periods")
+
+    def __init__(self) -> None:
+        self.key: tuple[float, float] = (0.0, 0.0)
+        self.size = 1
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.parent: _Node | None = None
+        self.period: IdlePeriod | None = None
+        self.sec_keys: list[tuple[float, int]] = []
+        self.sec_periods: list[IdlePeriod] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.period is not None
+
+    @staticmethod
+    def leaf(period: IdlePeriod) -> "_Node":
+        node = _Node()
+        node.key = (period.st, period.uid)
+        node.period = period
+        node.sec_keys = [(period.et, period.uid)]
+        node.sec_periods = [period]
+        return node
+
+
+def _collect(node: _Node) -> tuple[list[_Node], list[_Node]]:
+    """Leaves below ``node`` in ascending key order, plus the internal
+    nodes of the subtree (recycled by rebuilds to avoid allocation)."""
+    leaves: list[_Node] = []
+    internals: list[_Node] = []
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if cur.period is not None:
+            leaves.append(cur)
+        else:
+            internals.append(cur)
+            # push right first so left is processed first
+            stack.append(cur.right)  # type: ignore[arg-type]
+            stack.append(cur.left)  # type: ignore[arg-type]
+    return leaves, internals
+
+
+class TwoDimTree:
+    """The per-slot 2-dimensional tree over idle periods.
+
+    Parameters
+    ----------
+    counter:
+        An :class:`~repro.core.opcount.OpCounter` receiving elementary
+        operation counts; defaults to a do-nothing counter.
+    """
+
+    __slots__ = ("_root", "_counter")
+
+    def __init__(self, counter: OpCounter = NULL_COUNTER) -> None:
+        self._root: _Node | None = None
+        self._counter = counter
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._root.size if self._root is not None else 0
+
+    def __contains__(self, period: IdlePeriod) -> bool:
+        leaf = self._find_leaf(period)
+        return leaf is not None
+
+    def periods(self) -> Iterator[IdlePeriod]:
+        """All stored idle periods in ascending start-time order."""
+        if self._root is None:
+            return iter(())
+        return (leaf.period for leaf in _collect(self._root)[0])  # type: ignore[misc]
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def insert(self, period: IdlePeriod) -> None:
+        """Insert an idle period (O(log^2 N) amortized)."""
+        self._counter.add("insert")
+        new_leaf = _Node.leaf(period)
+        if self._root is None:
+            self._root = new_leaf
+            return
+        # descend to the leaf position
+        node = self._root
+        path: list[_Node] = []
+        while not node.is_leaf:
+            self._counter.add("node_visit")
+            path.append(node)
+            node = node.left if new_leaf.key <= node.key else node.right  # type: ignore[assignment]
+        # split the leaf into an internal node with two leaf children
+        old_leaf = node
+        internal = _Node()
+        if new_leaf.key < old_leaf.key:
+            internal.left, internal.right = new_leaf, old_leaf
+            internal.key = new_leaf.key
+        else:
+            internal.left, internal.right = old_leaf, new_leaf
+            internal.key = old_leaf.key
+        internal.size = 2
+        pair = sorted(
+            [(old_leaf.sec_keys[0], old_leaf.period), (new_leaf.sec_keys[0], new_leaf.period)]
+        )
+        internal.sec_keys = [k for k, _ in pair]
+        internal.sec_periods = [p for _, p in pair]  # type: ignore[misc]
+        new_leaf.parent = internal
+        old_parent = old_leaf.parent
+        old_leaf.parent = internal
+        internal.parent = old_parent
+        if old_parent is None:
+            self._root = internal
+        elif old_parent.left is old_leaf:
+            old_parent.left = internal
+        else:
+            old_parent.right = internal
+        # propagate size and secondary updates to ancestors
+        sec_key = (period.et, period.uid)
+        for anc in path:
+            anc.size += 1
+            self._sec_insert(anc, sec_key, period)
+        self._rebalance(path)
+
+    def bulk_load(self, periods: list[IdlePeriod]) -> None:
+        """Replace the tree contents with ``periods`` in O(k log k).
+
+        Used when a slot tree is (re-)initialized — at calendar start-up
+        and at each horizon rollover — where item-by-item insertion would
+        waste an O(log N) factor.
+        """
+        if not periods:
+            self._root = None
+            return
+        leaves = [_Node.leaf(p) for p in sorted(periods, key=lambda p: (p.st, p.uid))]
+        self._counter.add("rebuild", len(leaves))
+        self._root = self._build(leaves, 0, len(leaves), [])
+        self._root.parent = None
+
+    def remove(self, period: IdlePeriod) -> None:
+        """Remove an idle period; raises ``KeyError`` if absent."""
+        self._counter.add("remove")
+        leaf = self._find_leaf(period)
+        if leaf is None:
+            raise KeyError(f"idle period uid={period.uid} not in tree")
+        parent = leaf.parent
+        if parent is None:
+            self._root = None
+            return
+        sibling = parent.right if parent.left is leaf else parent.left
+        assert sibling is not None
+        grand = parent.parent
+        sibling.parent = grand
+        if grand is None:
+            self._root = sibling
+        elif grand.left is parent:
+            grand.left = sibling
+        else:
+            grand.right = sibling
+        # propagate size and secondary removals to remaining ancestors
+        sec_key = (period.et, period.uid)
+        path: list[_Node] = []
+        anc = grand
+        while anc is not None:
+            anc.size -= 1
+            self._sec_remove(anc, sec_key)
+            path.append(anc)
+            anc = anc.parent
+        path.reverse()  # root first, as _rebalance expects
+        self._rebalance(path)
+
+    # ------------------------------------------------------------------
+    # searches (the two phases of Section 4.2)
+    # ------------------------------------------------------------------
+
+    def phase1(self, sr: float) -> tuple[int, list[_Node]]:
+        """Locate every *candidate* idle period (``st <= sr``).
+
+        Returns the candidate count and the marked subtree roots in
+        marking order (ascending start ranges).  Searching them in
+        *reverse* order — as Phase 2 does — considers the latest-starting
+        candidates first, exactly as in the paper.
+        """
+        bound = (sr, _UID_HIGH)
+        count = 0
+        marks: list[_Node] = []
+        node = self._root
+        while node is not None:
+            self._counter.add("node_visit")
+            if node.is_leaf:
+                if node.key <= bound:
+                    marks.append(node)
+                    count += node.size
+                    self._counter.add("mark")
+                break
+            if node.key <= bound:
+                # every leaf in the left subtree starts at or before sr
+                marks.append(node.left)  # type: ignore[arg-type]
+                count += node.left.size  # type: ignore[union-attr]
+                self._counter.add("mark")
+                node = node.right
+            else:
+                node = node.left
+        return count, marks
+
+    def phase2(
+        self, marks: list[_Node], er: float, need: int | float, partial: bool = False
+    ) -> list[IdlePeriod] | None:
+        """Among the marked candidates, find ``need`` periods with ``et >= er``.
+
+        Marked subtrees are inspected in reverse marking order; within a
+        subtree the earliest-ending feasible periods are preferred (the
+        paper's in-order traversal of the secondary tree).  Returns the
+        chosen periods, or ``None`` when fewer than ``need`` are feasible —
+        unless ``partial`` is set, in which case whatever was found is
+        returned (the calendar tops the result up from its tail index).
+        ``need`` may be ``math.inf`` to retrieve every feasible period
+        (range searches).
+        """
+        bound = (er, -1)
+        chosen: list[IdlePeriod] = []
+        for node in reversed(marks):
+            keys = node.sec_keys
+            idx = bisect_left(keys, bound)
+            self._counter.add("secondary_probe", max(1, (len(keys)).bit_length()))
+            avail = len(keys) - idx
+            if avail <= 0:
+                continue
+            take = avail if need == math.inf else min(avail, int(need) - len(chosen))
+            chosen.extend(node.sec_periods[idx : idx + take])
+            self._counter.add("retrieve", take)
+            if need != math.inf and len(chosen) >= need:
+                return chosen
+        if need == math.inf or partial:
+            return chosen
+        return None
+
+    def find_feasible(self, sr: float, er: float, nr: int) -> list[IdlePeriod] | None:
+        """Run both phases for a request occupying ``[sr, er)`` on ``nr`` servers."""
+        count, marks = self.phase1(sr)
+        if count < nr:
+            return None
+        return self.phase2(marks, er, nr)
+
+    def count_candidates(self, sr: float) -> int:
+        """Number of stored periods with ``st <= sr`` (Phase 1 only)."""
+        return self.phase1(sr)[0]
+
+    def range_search(self, ta: float, tb: float) -> list[IdlePeriod]:
+        """Every stored idle period covering the whole window ``[ta, tb)``."""
+        _, marks = self.phase1(ta)
+        found = self.phase2(marks, tb, math.inf)
+        return found if found is not None else []
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, period: IdlePeriod) -> _Node | None:
+        key = (period.st, period.uid)
+        node = self._root
+        while node is not None and not node.is_leaf:
+            self._counter.add("node_visit")
+            node = node.left if key <= node.key else node.right
+        if node is not None and node.period is not None and node.period.uid == period.uid:
+            return node
+        return None
+
+    def _sec_insert(self, node: _Node, sec_key: tuple[float, int], period: IdlePeriod) -> None:
+        idx = bisect_left(node.sec_keys, sec_key)
+        node.sec_keys.insert(idx, sec_key)
+        node.sec_periods.insert(idx, period)
+        self._counter.add("secondary_probe", max(1, len(node.sec_keys).bit_length()))
+
+    def _sec_remove(self, node: _Node, sec_key: tuple[float, int]) -> None:
+        idx = bisect_left(node.sec_keys, sec_key)
+        assert idx < len(node.sec_keys) and node.sec_keys[idx] == sec_key
+        node.sec_keys.pop(idx)
+        node.sec_periods.pop(idx)
+        self._counter.add("secondary_probe", max(1, (len(node.sec_keys) + 1).bit_length()))
+
+    def _rebalance(self, path_root_first: list[_Node]) -> None:
+        """Rebuild the highest α-unbalanced node on the update path, if any."""
+        for node in path_root_first:
+            if node.is_leaf:
+                continue
+            limit = ALPHA * node.size
+            if node.left.size > limit or node.right.size > limit:  # type: ignore[union-attr]
+                self._rebuild(node)
+                return
+
+    def _rebuild(self, node: _Node) -> None:
+        # capture the attachment point first: `node` itself enters the
+        # recycling pool and may be rewired while the subtree is rebuilt
+        parent = node.parent
+        was_left = parent is not None and parent.left is node
+        leaves, pool = _collect(node)
+        self._counter.add("rebuild", len(leaves))
+        fresh = self._build(leaves, 0, len(leaves), pool)
+        fresh.parent = parent
+        if parent is None:
+            self._root = fresh
+        elif was_left:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+
+    def _build(self, leaves: list[_Node], lo: int, hi: int, pool: list[_Node]) -> _Node:
+        """Build a perfectly balanced subtree over ``leaves[lo:hi]`` (already
+        ordered), recycling internal nodes from ``pool`` when available."""
+        if hi - lo == 1:
+            leaf = leaves[lo]
+            leaf.left = leaf.right = None
+            return leaf
+        mid = (lo + hi + 1) // 2  # left gets the extra leaf; key = max of left
+        node = pool.pop() if pool else _Node()
+        node.period = None
+        left = self._build(leaves, lo, mid, pool)
+        right = self._build(leaves, mid, hi, pool)
+        node.left, node.right = left, right
+        left.parent = right.parent = node
+        node.key = leaves[mid - 1].key
+        node.size = hi - lo
+        # merge the children's secondary arrays; the concatenation is two
+        # sorted runs, which timsort merges in linear time (keys are
+        # unique, so the tie-breaking period field is never compared)
+        pairs = sorted(zip(left.sec_keys + right.sec_keys, left.sec_periods + right.sec_periods))
+        node.sec_keys = [k for k, _ in pairs]
+        node.sec_periods = [p for _, p in pairs]
+        return node
+
+    # ------------------------------------------------------------------
+    # verification (test support)
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every structural invariant; raises ``AssertionError`` on violation."""
+        if self._root is None:
+            return
+        assert self._root.parent is None
+
+        def check(node: _Node) -> tuple[int, tuple, tuple, list]:
+            """Returns (size, min_key, max_key, sorted sec keys) of subtree."""
+            if node.is_leaf:
+                assert node.size == 1
+                assert node.key == (node.period.st, node.period.uid)  # type: ignore[union-attr]
+                assert node.sec_keys == [(node.period.et, node.period.uid)]  # type: ignore[union-attr]
+                return 1, node.key, node.key, list(node.sec_keys)
+            assert node.left is not None and node.right is not None
+            assert node.left.parent is node and node.right.parent is node
+            ls, lmin, lmax, lsec = check(node.left)
+            rs, rmin, rmax, rsec = check(node.right)
+            assert node.size == ls + rs, "size mismatch"
+            assert lmax <= node.key < rmin, "split-key ordering violated"
+            limit = ALPHA * node.size
+            assert ls <= limit and rs <= limit, "weight balance violated"
+            merged = sorted(lsec + rsec)
+            assert node.sec_keys == merged, "secondary index out of sync"
+            assert [(p.et, p.uid) for p in node.sec_periods] == node.sec_keys
+            return node.size, lmin, rmax, merged
+
+        check(self._root)

@@ -1,0 +1,50 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes a structured data function (used by tests and
+benchmarks) and ``run(config) -> str`` rendering the paper artifact as a
+text table.  ``run_all`` regenerates everything; ``python -m
+repro.experiments`` prints the full set.
+"""
+
+from . import deadlines, fig3, fig4, fig5, fig6, fig7, loadsweep, table1, table2
+from .config import DEFAULT_CONFIG, SCALES, ExperimentConfig
+from .runner import clear_cache, get_result, make_scheduler
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SCALES",
+    "ExperimentConfig",
+    "clear_cache",
+    "deadlines",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "get_result",
+    "loadsweep",
+    "make_scheduler",
+    "run_all",
+    "table1",
+    "table2",
+]
+
+_MODULES = [
+    ("Table 1", table1),
+    ("Figure 3", fig3),
+    ("Figure 4", fig4),
+    ("Figure 5", fig5),
+    ("Table 2", table2),
+    ("Figure 6", fig6),
+    ("Figure 7", fig7),
+    ("Extension: deadlines", deadlines),
+    ("Extension: load sweep", loadsweep),
+]
+
+
+def run_all(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
+    """Regenerate every table and figure; returns the combined report."""
+    parts = []
+    for name, module in _MODULES:
+        parts.append(f"{'=' * 72}\n{name}\n{'=' * 72}\n{module.run(config)}")
+    return "\n\n".join(parts)

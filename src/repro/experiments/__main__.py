@@ -1,0 +1,18 @@
+"""CLI: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.experiments [smoke|default|full]
+"""
+
+import sys
+
+from . import SCALES, run_all
+
+if __name__ == "__main__":
+    scale = sys.argv[1] if len(sys.argv) > 1 else "default"
+    try:
+        config = SCALES[scale]
+    except KeyError:
+        sys.exit(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    print(run_all(config))

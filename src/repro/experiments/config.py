@@ -1,0 +1,47 @@
+"""Experiment configuration shared by every table/figure module.
+
+The paper's runs replay the full traces (up to 202k jobs).  A pure-Python
+replay of that size is possible but slow, so experiments run at a
+configurable *scale*:
+
+* ``smoke``   — 600 jobs; seconds per run, used by the test suite;
+* ``default`` — 4,000 jobs; the benchmark harness setting, minutes total;
+* ``full``    — the original Table 1 job counts (expect ~1 hour wall
+  clock across all experiments).
+
+Everything else follows Section 5: slot length ``τ = 15 min`` (the
+minimum temporal request size), retry increment ``Δt = 15 min``, horizon
+of three days (``Q = 288`` slots), and ``R_max = Q/2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentConfig", "SCALES", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Knobs of the evaluation setup (paper defaults baked in)."""
+
+    n_jobs: int | None = 4000  # None = full trace size per workload
+    seed: int = 42
+    tau: float = 900.0  # 15 minutes
+    delta_t: float = 900.0  # paper: Δt = 15 minutes
+    q_slots: int = 288  # 3-day horizon
+    batch_scheduler: str = "easy"  # the production comparator
+
+    @property
+    def r_max(self) -> int:
+        """The paper sets R_max = Q / 2."""
+        return self.q_slots // 2
+
+
+SCALES: dict[str, ExperimentConfig] = {
+    "smoke": ExperimentConfig(n_jobs=600),
+    "default": ExperimentConfig(n_jobs=4000),
+    "full": ExperimentConfig(n_jobs=None),
+}
+
+DEFAULT_CONFIG = SCALES["default"]

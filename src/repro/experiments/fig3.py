@@ -1,0 +1,72 @@
+"""Figure 3 — temporal penalty ``P^l_r`` vs temporal size, KTH workload.
+
+Paper's observations to reproduce:
+
+* (a) across all jobs, *small* jobs suffer an order of magnitude (or
+  more) higher temporal penalty under the batch scheduler than under the
+  online co-allocator;
+* (b) in the 2–10 hour mid-range, the online algorithm penalizes larger
+  jobs somewhat more than the batch scheduler does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.report import format_series
+from ..metrics.stats import temporal_penalty_by_duration
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .runner import get_result
+
+__all__ = ["run", "series", "small_job_penalty_ratio"]
+
+WORKLOAD = "KTH"
+
+
+def series(
+    config: ExperimentConfig = DEFAULT_CONFIG, max_hours: float = 20.0
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Per-duration-bin mean penalty for the online and batch schedulers."""
+    online = get_result(WORKLOAD, "online", config)
+    batch = get_result(WORKLOAD, "batch", config)
+    lefts, online_pen = temporal_penalty_by_duration(
+        online.records, bin_hours=1.0, max_hours=max_hours
+    )
+    _, batch_pen = temporal_penalty_by_duration(
+        batch.records, bin_hours=1.0, max_hours=max_hours
+    )
+    return lefts, {"KTH-online": online_pen, "KTH-batch": batch_pen}
+
+
+def small_job_penalty_ratio(config: ExperimentConfig = DEFAULT_CONFIG) -> float:
+    """batch/online penalty ratio for jobs under 2 hours (paper: >= ~10x)."""
+    lefts, curves = series(config)
+    mask = lefts < 2.0
+    online = np.nanmean(curves["KTH-online"][mask])
+    batch = np.nanmean(curves["KTH-batch"][mask])
+    if online == 0:
+        return float("inf") if batch > 0 else 1.0
+    return float(batch / online)
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
+    lefts, curves = series(config)
+    full = format_series(
+        lefts,
+        {k: v for k, v in curves.items()},
+        "l_r (h)",
+        title="Figure 3(a): temporal penalty P^l vs temporal size, KTH (all jobs)",
+    )
+    mid_mask = (lefts >= 2.0) & (lefts < 10.0)
+    mid = format_series(
+        lefts[mid_mask],
+        {k: v[mid_mask] for k, v in curves.items()},
+        "l_r (h)",
+        title="Figure 3(b): temporal penalty P^l, medium jobs (2-10 h)",
+    )
+    ratio = small_job_penalty_ratio(config)
+    return f"{full}\n\n{mid}\n\nbatch/online penalty ratio for jobs < 2 h: {ratio:.1f}x"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

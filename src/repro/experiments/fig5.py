@@ -1,0 +1,58 @@
+"""Figure 5 — average waiting time vs job spatial size, CTC and KTH.
+
+Paper's observations to reproduce: waiting time grows with spatial size
+under both schedulers, and the online algorithm stays below the batch
+scheduler across the size range (its horizon-wide look-ahead packs wide
+jobs into the schedule instead of queueing them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.report import format_series
+from ..metrics.stats import avg_waiting_by_spatial
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .runner import get_result
+
+__all__ = ["run", "series"]
+
+
+def series(
+    workload: str, config: ExperimentConfig = DEFAULT_CONFIG, bin_width: int = 25
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Average wait (seconds, as the paper's y-axis) per spatial-size bin."""
+    curves: dict[str, np.ndarray] = {}
+    lefts_all: list[np.ndarray] = []
+    for sched in ("online", "batch"):
+        result = get_result(workload, sched, config)
+        lefts, means = avg_waiting_by_spatial(result.records, bin_width=bin_width)
+        curves[f"{workload}-{sched}"] = means
+        lefts_all.append(lefts)
+    # pad to a common axis
+    width = max(len(x) for x in lefts_all)
+    lefts = np.arange(width) * bin_width
+    for key, values in curves.items():
+        if len(values) < width:
+            curves[key] = np.concatenate([values, np.full(width - len(values), np.nan)])
+    return lefts, curves
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
+    parts = []
+    for label, workload in (("(a)", "CTC"), ("(b)", "KTH")):
+        lefts, curves = series(workload, config)
+        parts.append(
+            format_series(
+                lefts,
+                curves,
+                "n_r",
+                title=f"Figure 5{label}: average waiting time (s) vs spatial size, {workload}",
+                precision=0,
+            )
+        )
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

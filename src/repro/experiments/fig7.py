@@ -1,0 +1,80 @@
+"""Figure 7 — (a) average waiting time and (b) operations per request vs ρ.
+
+Observations to reproduce:
+
+* (a) the average waiting time grows with the advance-reservation
+  fraction ρ for all three workloads (a larger fraction of jobs
+  voluntarily waits for its future start time);
+* (b) the number of computational operations per scheduled request stays
+  roughly flat as ρ grows — advance reservations tend to find room at
+  their requested slot, so fewer retry slots are searched even though
+  the trees hold more fragments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.report import format_series
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .runner import get_result
+
+__all__ = ["run", "waiting_series", "ops_series", "RHOS"]
+
+RHOS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+WORKLOADS = ("CTC", "KTH", "HPC2N")
+
+
+def waiting_series(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> tuple[tuple[float, ...], dict[str, np.ndarray]]:
+    """Average waiting time (seconds, from submission) per workload vs ρ."""
+    curves: dict[str, np.ndarray] = {}
+    for workload in WORKLOADS:
+        means = []
+        for rho in RHOS:
+            result = get_result(workload, "online", config, rho=rho)
+            waits = [r.start - r.qr for r in result.accepted]
+            means.append(float(np.mean(waits)) if waits else 0.0)
+        curves[workload] = np.array(means)
+    return RHOS, curves
+
+
+def ops_series(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> tuple[tuple[float, ...], dict[str, np.ndarray]]:
+    """Mean elementary operations per request per workload vs ρ."""
+    curves: dict[str, np.ndarray] = {}
+    for workload in WORKLOADS:
+        means = []
+        for rho in RHOS:
+            result = get_result(workload, "online", config, rho=rho)
+            ops = [r.ops for r in result.records]
+            means.append(float(np.mean(ops)) if ops else 0.0)
+        curves[workload] = np.array(means)
+    return RHOS, curves
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
+    rhos, wait_curves = waiting_series(config)
+    labels = [f"{rho:g}" for rho in rhos]
+    part_a = format_series(
+        labels,
+        wait_curves,
+        "rho",
+        title="Figure 7(a): average waiting time (s) vs advance-reservation fraction",
+        precision=0,
+    )
+    _, op_curves = ops_series(config)
+    part_b = format_series(
+        labels,
+        op_curves,
+        "rho",
+        title="Figure 7(b): operations per request vs advance-reservation fraction",
+        precision=0,
+    )
+    return f"{part_a}\n\n{part_b}"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

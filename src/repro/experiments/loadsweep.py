@@ -1,0 +1,92 @@
+"""Load sweep — online vs batch across offered loads (beyond the paper).
+
+The paper's conclusion claims the online algorithm "may achieve higher
+utilization while providing smaller delays".  A single operating point
+cannot show that trade-off; this sweep varies the offered load and
+reports, for the online co-allocator and the EASY comparator:
+
+* mean waiting time,
+* achieved utilization,
+* acceptance rate (the online scheduler sheds load past its
+  ``R_max·Δt`` delay bound; batch queues unboundedly),
+* mean bounded slowdown and Jain fairness over waits.
+
+Together they show where each scheduler's regime lies: below saturation
+the two match; past it, batch buys its perfect acceptance with unbounded
+tails while online holds its delay bound by rejecting a small fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.extended import jain_fairness, mean_bounded_slowdown
+from ..metrics.report import format_table
+from ..metrics.stats import HOUR
+from ..sim.driver import run_simulation
+from ..workloads.archive import generate_workload
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .runner import make_scheduler
+
+__all__ = ["LoadPoint", "sweep", "run", "LOADS"]
+
+LOADS = (0.6, 0.75, 0.9, 1.05)
+WORKLOAD = "KTH"
+
+
+@dataclass(frozen=True, slots=True)
+class LoadPoint:
+    """Both schedulers' headline numbers at one offered load."""
+
+    load: float
+    scheduler: str
+    mean_wait_h: float
+    utilization: float
+    acceptance: float
+    slowdown: float
+    fairness: float
+
+
+def sweep(
+    config: ExperimentConfig = DEFAULT_CONFIG, loads: tuple[float, ...] = LOADS
+) -> list[LoadPoint]:
+    """Run the sweep; one LoadPoint per (load, scheduler)."""
+    points: list[LoadPoint] = []
+    for load in loads:
+        requests = generate_workload(
+            WORKLOAD, n_jobs=config.n_jobs, seed=config.seed, offered_load=load
+        )
+        for kind in ("online", config.batch_scheduler):
+            result = run_simulation(make_scheduler(kind, WORKLOAD, config), list(requests))
+            waits = [r.waiting_time for r in result.accepted]
+            points.append(
+                LoadPoint(
+                    load=load,
+                    scheduler=result.scheduler,
+                    mean_wait_h=float(np.mean(waits)) / HOUR if waits else 0.0,
+                    utilization=result.utilization,
+                    acceptance=result.acceptance_rate,
+                    slowdown=mean_bounded_slowdown(result.records),
+                    fairness=jain_fairness(result.records),
+                )
+            )
+    return points
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
+    points = sweep(config)
+    rows = [
+        [p.load, p.scheduler, p.mean_wait_h, p.utilization, p.acceptance, p.slowdown, p.fairness]
+        for p in points
+    ]
+    return format_table(
+        ["load", "scheduler", "mean W (h)", "util", "accepted", "slowdown", "fairness"],
+        rows,
+        title=f"Load sweep, {WORKLOAD}: online vs batch across offered loads",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,82 @@
+"""Shared simulation runner with per-process memoization.
+
+Several experiments consume the *same* simulation (e.g. Figures 3, 4, 5
+and Table 2 all analyze the CTC/KTH online and batch runs), so results
+are cached on ``(workload, scheduler, ρ, config)``.  Runs are fully
+deterministic given the config seed, which makes the cache safe.
+"""
+
+from __future__ import annotations
+
+from ..schedulers import (
+    ConservativeBackfillScheduler,
+    EasyBackfillScheduler,
+    FCFSScheduler,
+    OnlineScheduler,
+)
+from ..schedulers.base import SchedulerBase
+from ..sim.driver import SimResult, run_simulation
+from ..workloads.archive import WORKLOADS, generate_workload
+from ..workloads.reservations import with_advance_reservations
+from .config import DEFAULT_CONFIG, ExperimentConfig
+
+__all__ = ["get_result", "make_scheduler", "clear_cache"]
+
+_BATCH_FACTORIES = {
+    "fcfs": FCFSScheduler,
+    "easy": EasyBackfillScheduler,
+    "conservative": ConservativeBackfillScheduler,
+}
+
+_cache: dict[tuple, SimResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized simulation results (tests use this for isolation)."""
+    _cache.clear()
+
+
+def make_scheduler(
+    kind: str, workload: str, config: ExperimentConfig = DEFAULT_CONFIG
+) -> SchedulerBase:
+    """Instantiate a scheduler sized for one of the archive systems."""
+    n_servers = WORKLOADS[workload].n_servers
+    if kind == "online":
+        return OnlineScheduler(
+            n_servers=n_servers,
+            tau=config.tau,
+            q_slots=config.q_slots,
+            delta_t=config.delta_t,
+            r_max=config.r_max,
+        )
+    try:
+        return _BATCH_FACTORIES[kind](n_servers)
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {kind!r}; choose online, fcfs, easy or conservative"
+        ) from None
+
+
+def get_result(
+    workload: str,
+    scheduler: str,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    rho: float = 0.0,
+) -> SimResult:
+    """Simulate ``workload`` under ``scheduler`` with an AR fraction ``rho``.
+
+    ``scheduler`` is ``"online"``, ``"fcfs"``, ``"easy"``,
+    ``"conservative"`` or ``"batch"`` (an alias for the config's batch
+    comparator).  Results are memoized per process.
+    """
+    if scheduler == "batch":
+        scheduler = config.batch_scheduler
+    key = (workload, scheduler, rho, config.n_jobs, config.seed, config.tau, config.q_slots)
+    if key in _cache:
+        return _cache[key]
+    requests = generate_workload(workload, n_jobs=config.n_jobs, seed=config.seed)
+    if rho > 0.0:
+        requests = with_advance_reservations(requests, rho, seed=config.seed)
+    result = run_simulation(make_scheduler(scheduler, workload, config), requests)
+    _cache[key] = result
+    return result

@@ -1,0 +1,52 @@
+"""Table 1 — features of the workloads used in the performance evaluation.
+
+Paper's rows:
+
+========  ==========  =======  ===================
+Workload  processors  jobs     avg estimated (h)
+========  ==========  =======  ===================
+CTC       512         39,734   5.82
+KTH       128         28,481   2.46
+HPC2N     240         202,825  4.72
+========  ==========  =======  ===================
+
+Ours regenerates the same columns from the calibrated synthetic
+generators; the *processors* and *jobs* columns are exact, the average
+duration is matched by calibration (Section 3 of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import format_table
+from ..workloads.archive import workload_table
+from .config import DEFAULT_CONFIG, ExperimentConfig
+
+__all__ = ["run", "rows"]
+
+PAPER_ROWS = {
+    "CTC": (512, 39734, 5.82),
+    "KTH": (128, 28481, 2.46),
+    "HPC2N": (240, 202825, 4.72),
+}
+
+
+def rows(config: ExperimentConfig = DEFAULT_CONFIG) -> list[tuple[str, int, int, float]]:
+    """(workload, processors, jobs, measured avg l_r hours) per system."""
+    return workload_table(n_jobs=config.n_jobs, seed=config.seed)
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
+    """Render Table 1 with paper values side by side."""
+    table = []
+    for name, procs, jobs, avg in rows(config):
+        paper_procs, paper_jobs, paper_avg = PAPER_ROWS[name]
+        table.append([name, procs, jobs, paper_jobs, avg, paper_avg])
+    return format_table(
+        ["Workload", "N procs", "jobs (run)", "jobs (paper)", "avg l_r (h)", "paper avg (h)"],
+        table,
+        title="Table 1: workload features (measured vs paper)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,50 @@
+"""Table 2 — scheduling attempts as a function of spatial size.
+
+Paper's rows (groups of 50 processors, '—' where no jobs fall):
+
+Workload / n_r  (0:50]  (50:100]  (100:150]  (150:200]  (250:300]  (350:400]
+CTC             2.96    5.34      7.22       13.25      —          127.44
+KTH             10.27   60        120        —          —          —
+
+Observations to reproduce: attempts grow with ``n_r`` (wider jobs face a
+more fragmented system), and KTH — the short-job, high-fragmentation
+workload — needs more attempts than CTC at every size.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import format_table
+from ..metrics.stats import attempts_by_spatial_bin
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .runner import get_result
+
+__all__ = ["run", "rows"]
+
+WORKLOADS = ("CTC", "KTH")
+BIN = 50
+
+
+def rows(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> dict[str, dict[tuple[int, int], float]]:
+    """Per-workload mapping of (lo, hi] spatial group -> mean attempts."""
+    return {
+        w: attempts_by_spatial_bin(get_result(w, "online", config).records, bin_width=BIN)
+        for w in WORKLOADS
+    }
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
+    data = rows(config)
+    groups = sorted({g for table in data.values() for g in table})
+    headers = ["Workload / n_r"] + [f"({lo}:{hi}]" for lo, hi in groups]
+    body = []
+    for workload in WORKLOADS:
+        body.append([workload] + [data[workload].get(g) for g in groups])
+    return format_table(
+        headers, body, title="Table 2: scheduling attempts vs spatial size (online)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

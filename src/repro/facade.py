@@ -1,0 +1,177 @@
+"""One-stop public facade over the co-allocation machinery.
+
+:class:`CoAllocationScheduler` bundles an
+:class:`~repro.core.calendar.AvailabilityCalendar` and an
+:class:`~repro.core.coalloc.OnlineCoAllocator` behind the interface a
+resource manager (the VCL front-end of Section 3.1, a PCE of Section 3.2,
+or a MapReduce master) would use:
+
+* :meth:`schedule` — submit a request, get an allocation or ``None``;
+* :meth:`range_search` / :meth:`commit` — inspect then commit;
+* :meth:`suggest_alternatives` — "otherwise, it suggests alternative times
+  at which the resources are available" (Section 3.1);
+* :meth:`cancel` / :meth:`release_early` — give resources back;
+* :meth:`advance` — move the clock (rolls the slot-tree horizon).
+"""
+
+from __future__ import annotations
+
+from .core.calendar import AvailabilityCalendar
+from .core.coalloc import OnlineCoAllocator
+from .core.opcount import OpCounter
+from .core.types import Allocation, IdlePeriod, RangeQuery, Request
+
+__all__ = ["CoAllocationScheduler"]
+
+
+class CoAllocationScheduler:
+    """High-level scheduler for a system of ``n_servers``.
+
+    Parameters
+    ----------
+    n_servers:
+        Number of servers ``N``.
+    tau:
+        Slot length ``τ`` (time units; the simulator uses seconds).
+    q_slots:
+        Slots in the horizon; ``H = q_slots * tau``.
+    delta_t:
+        Retry increment ``Δt``; defaults to ``tau``, the paper's setting
+        (15 minutes with τ = 15 min).
+    r_max:
+        Maximum scheduling attempts; defaults to ``Q // 2`` as in the
+        paper's evaluation.
+    start_time:
+        Initial clock value.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        tau: float,
+        q_slots: int,
+        delta_t: float | None = None,
+        r_max: int | None = None,
+        start_time: float = 0.0,
+    ) -> None:
+        self.counter = OpCounter()
+        self.calendar = AvailabilityCalendar(
+            n_servers=n_servers,
+            tau=tau,
+            q_slots=q_slots,
+            start_time=start_time,
+            counter=self.counter,
+        )
+        self.allocator = OnlineCoAllocator(
+            calendar=self.calendar,
+            delta_t=delta_t if delta_t is not None else tau,
+            r_max=r_max if r_max is not None else max(1, q_slots // 2),
+            counter=self.counter,
+        )
+        self._allocations: dict[int, Allocation] = {}
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.calendar.now
+
+    def advance(self, to_time: float) -> None:
+        """Advance the clock, rolling the availability horizon."""
+        self.calendar.advance(to_time)
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(self, request: Request) -> Allocation | None:
+        """Schedule a request; remembers the allocation for later cancel."""
+        allocation = self.allocator.schedule(request)
+        if allocation is not None:
+            self._allocations[allocation.rid] = allocation
+        return allocation
+
+    def range_search(self, ta: float, tb: float) -> list[IdlePeriod]:
+        """All idle periods covering ``[ta, tb)``; commits nothing."""
+        return self.allocator.range_search(RangeQuery(ta=ta, tb=tb))
+
+    def commit(
+        self, periods: list[IdlePeriod], start: float, end: float, rid: int = 0
+    ) -> Allocation:
+        """Commit periods previously returned by :meth:`range_search`."""
+        allocation = self.allocator.commit(periods, start, end, rid=rid)
+        self._allocations[rid] = allocation
+        return allocation
+
+    def suggest_alternatives(
+        self, request: Request, max_suggestions: int = 3
+    ) -> list[float]:
+        """Start times at which the request *would* fit, without committing.
+
+        Probes ``s_r, s_r + Δt, s_r + 2Δt, …`` like the scheduling loop
+        but read-only; used by front-ends to answer "when could I get
+        this?" after a refusal.
+        """
+        suggestions: list[float] = []
+        base = max(request.sr, self.calendar.now)
+        for k in range(self.allocator.r_max):
+            start = base + k * self.allocator.delta_t
+            if not self.calendar.in_horizon(start):
+                break
+            if self.calendar.find_feasible(start, start + request.lr, request.nr) is not None:
+                suggestions.append(start)
+                if len(suggestions) >= max_suggestions:
+                    break
+        return suggestions
+
+    # -- giving resources back -----------------------------------------
+
+    def cancel(self, rid: int) -> None:
+        """Cancel a previously granted allocation, freeing all its servers."""
+        allocation = self._allocations.pop(rid, None)
+        if allocation is None:
+            raise KeyError(f"no active allocation with rid={rid}")
+        for res in allocation.reservations:
+            lo = max(res.start, self.calendar.now)
+            if lo < res.end:
+                self.calendar.release(res.server, lo, res.end)
+
+    def release_early(self, rid: int, at_time: float) -> None:
+        """Reclaim the tail of a running allocation that finished early.
+
+        Frees ``[at_time, end)`` on every server of the allocation — the
+        early-completion reclamation extension (jobs usually run shorter
+        than their estimate in real traces).
+        """
+        allocation = self._allocations.pop(rid, None)
+        if allocation is None:
+            raise KeyError(f"no active allocation with rid={rid}")
+        if not allocation.start <= at_time < allocation.end:
+            raise ValueError(
+                f"early release at {at_time} outside allocation window "
+                f"[{allocation.start}, {allocation.end})"
+            )
+        for res in allocation.reservations:
+            self.calendar.release(res.server, at_time, res.end)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def n_servers(self) -> int:
+        return self.calendar.n_servers
+
+    def utilization(self, ta: float, tb: float) -> float:
+        """Fraction of server-time committed within ``[ta, tb)``.
+
+        Computed from the calendar's idle periods, so it reflects every
+        commitment including advance reservations.
+        """
+        if not ta < tb:
+            raise ValueError(f"window [{ta}, {tb}) is empty")
+        window = tb - ta
+        idle = 0.0
+        for server in range(self.calendar.n_servers):
+            for p in self.calendar.idle_periods(server):
+                lo, hi = max(p.st, ta), min(p.et, tb)
+                if lo < hi:
+                    idle += hi - lo
+        total = window * self.calendar.n_servers
+        return 1.0 - idle / total

@@ -1,0 +1,41 @@
+"""Performance metrics of Section 5: waiting time, penalties, distributions."""
+
+from .extended import (
+    bounded_slowdown,
+    jain_fairness,
+    mean_bounded_slowdown,
+    spatial_penalty,
+    utilization_timeline,
+)
+from .records import JobRecord
+from .report import format_series, format_table, sparkline
+from .stats import (
+    HOUR,
+    Summary,
+    attempts_by_spatial_bin,
+    avg_waiting_by_spatial,
+    duration_histogram,
+    summarize,
+    temporal_penalty_by_duration,
+    waiting_time_histogram,
+)
+
+__all__ = [
+    "HOUR",
+    "JobRecord",
+    "Summary",
+    "attempts_by_spatial_bin",
+    "avg_waiting_by_spatial",
+    "bounded_slowdown",
+    "duration_histogram",
+    "format_series",
+    "format_table",
+    "jain_fairness",
+    "mean_bounded_slowdown",
+    "sparkline",
+    "spatial_penalty",
+    "summarize",
+    "temporal_penalty_by_duration",
+    "utilization_timeline",
+    "waiting_time_histogram",
+]

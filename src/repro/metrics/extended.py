@@ -1,0 +1,107 @@
+"""Extended metrics beyond the paper's three.
+
+The paper reports waiting time, temporal penalty and spatial penalty.
+This module adds the standard companions from the parallel-scheduling
+literature, used by the ablation benchmarks and available to users:
+
+* **bounded slowdown** — ``max(1, (W + l) / max(l, bound))``; the classic
+  metric that keeps sub-minute jobs from dominating averages;
+* **spatial penalty** ``P^n`` — the paper's name for mean waiting time as
+  a function of spatial size, exposed here as a single summary scalar
+  (wait per requested processor) alongside the binned curve in
+  :mod:`repro.metrics.stats`;
+* **Jain fairness index** over per-job waiting times — 1.0 means all jobs
+  wait equally, 1/n means one job absorbs all waiting;
+* **utilization timeline** — committed processors as a step function,
+  for inspecting packing quality over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .records import JobRecord
+
+__all__ = [
+    "bounded_slowdown",
+    "mean_bounded_slowdown",
+    "spatial_penalty",
+    "jain_fairness",
+    "utilization_timeline",
+]
+
+#: the conventional 10-second interactivity bound of the literature;
+#: records are in seconds
+DEFAULT_BOUND = 10.0
+
+
+def bounded_slowdown(record: JobRecord, bound: float = DEFAULT_BOUND) -> float:
+    """Bounded slowdown of one job; raises on rejected jobs."""
+    wait = record.waiting_time
+    return max(1.0, (wait + record.lr) / max(record.lr, bound))
+
+
+def mean_bounded_slowdown(records: list[JobRecord], bound: float = DEFAULT_BOUND) -> float:
+    """Mean bounded slowdown over accepted jobs (1.0 when none)."""
+    accepted = [r for r in records if not r.rejected]
+    if not accepted:
+        return 1.0
+    return float(np.mean([bounded_slowdown(r, bound) for r in accepted]))
+
+
+def spatial_penalty(records: list[JobRecord]) -> float:
+    """``P^n`` summary: mean waiting time per requested processor (s).
+
+    The binned curve (Figure 5) is
+    :func:`repro.metrics.stats.avg_waiting_by_spatial`; this scalar is
+    its workload-level aggregate — useful for one-line comparisons.
+    """
+    accepted = [r for r in records if not r.rejected]
+    if not accepted:
+        return 0.0
+    return float(np.mean([r.waiting_time / r.nr for r in accepted]))
+
+
+def jain_fairness(records: list[JobRecord]) -> float:
+    """Jain's index over waiting times: ``(Σw)² / (n·Σw²)`` in ``(0, 1]``.
+
+    Zero-wait jobs are included (they are the fairest outcome); an empty
+    or all-zero-wait population scores a perfect 1.0.
+    """
+    waits = np.array([r.waiting_time for r in records if not r.rejected])
+    if waits.size == 0 or not waits.any():
+        return 1.0
+    return float(waits.sum() ** 2 / (waits.size * (waits**2).sum()))
+
+
+def utilization_timeline(
+    records: list[JobRecord], n_servers: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Step function of committed processors over time.
+
+    Returns ``(times, busy)`` where ``busy[i]`` holds from ``times[i]``
+    to ``times[i+1]``.  Values never exceed ``n_servers`` for a correct
+    scheduler — the property tests rely on that.
+    """
+    if n_servers <= 0:
+        raise ValueError(f"need at least one server, got {n_servers}")
+    events: list[tuple[float, int]] = []
+    for r in records:
+        if r.rejected:
+            continue
+        events.append((r.start, r.nr))
+        events.append((r.end, -r.nr))
+    if not events:
+        return np.array([0.0]), np.array([0])
+    events.sort()
+    times = []
+    busy = []
+    level = 0
+    for t, delta in events:
+        level += delta
+        if times and times[-1] == t:
+            busy[-1] = level
+        else:
+            times.append(t)
+            busy.append(level)
+    return np.array(times), np.array(busy)

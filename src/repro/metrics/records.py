@@ -1,0 +1,54 @@
+"""Per-job outcome records — the raw material of every table and figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["JobRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class JobRecord:
+    """Immutable outcome of one job under one scheduler.
+
+    ``start`` is ``None`` for rejected jobs (only the online scheduler
+    rejects — batch queues are unbounded).  Times are seconds.
+    """
+
+    rid: int
+    qr: float
+    sr: float
+    lr: float
+    nr: int
+    start: float | None
+    attempts: int
+    ops: int
+    scheduler: str
+
+    @property
+    def rejected(self) -> bool:
+        return self.start is None
+
+    @property
+    def waiting_time(self) -> float:
+        """``W_r = start - s_r`` (paper Section 5); raises on rejected jobs."""
+        if self.start is None:
+            raise ValueError(f"job {self.rid} was rejected; it has no waiting time")
+        return self.start - self.sr
+
+    @property
+    def temporal_penalty(self) -> float:
+        """``P^l_r = W_r / l_r`` — waiting time normalized to job duration."""
+        return self.waiting_time / self.lr
+
+    @property
+    def end(self) -> float:
+        """Completion time; raises on rejected jobs."""
+        if self.start is None:
+            raise ValueError(f"job {self.rid} was rejected; it never completes")
+        return self.start + self.lr
+
+    @property
+    def turnaround(self) -> float:
+        """Time from earliest possible start to completion: ``W_r + l_r``."""
+        return self.waiting_time + self.lr

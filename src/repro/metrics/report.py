@@ -1,0 +1,126 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper's tables and figure series are regenerated as aligned text
+tables (no plotting dependency); every experiment module renders through
+these helpers so the benchmark output stays uniform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "fmt", "sparkline"]
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Render a numeric series as a unicode mini-bar-chart.
+
+    NaNs render as spaces; a constant series renders at mid height.
+    With ``width`` given, the series is downsampled by averaging equal
+    chunks.  Used by the experiment renders to give figures a visual
+    shape even in plain-text output.
+    """
+    vals = [float(v) for v in values]
+    if width is not None and width > 0 and len(vals) > width:
+        chunk = len(vals) / width
+        vals = [
+            _nanmean(vals[int(i * chunk) : max(int((i + 1) * chunk), int(i * chunk) + 1)])
+            for i in range(width)
+        ]
+    finite = [v for v in vals if not math.isnan(v)]
+    if not finite:
+        return " " * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in vals:
+        if math.isnan(v):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK_BLOCKS[3])
+        else:
+            idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))
+            chars.append(_SPARK_BLOCKS[idx])
+    return "".join(chars)
+
+
+def _nanmean(chunk: Sequence[float]) -> float:
+    finite = [v for v in chunk if not math.isnan(v)]
+    return sum(finite) / len(finite) if finite else math.nan
+
+
+def fmt(value: object, precision: int = 2) -> str:
+    """Human-friendly cell formatting (NaN -> '—', floats rounded)."""
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "—"
+        if math.isinf(value):
+            return "inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[fmt(c, precision) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[object],
+    named_series: dict[str, Sequence[object]],
+    x_label: str,
+    title: str | None = None,
+    precision: int = 3,
+    sparks: bool = True,
+) -> str:
+    """Render one or more y-series against a shared x axis.
+
+    This is the text rendering of a paper *figure*: one row per x value,
+    one column per curve, plus (by default) a sparkline legend giving
+    each curve's shape at a glance.
+    """
+    headers = [x_label, *named_series.keys()]
+    rows = []
+    for i, xv in enumerate(x):
+        row: list[object] = [xv]
+        for series in named_series.values():
+            row.append(series[i] if i < len(series) else None)
+        rows.append(row)
+    table = format_table(headers, rows, title=title, precision=precision)
+    if not sparks or not len(x):
+        return table
+    width = max(len(name) for name in named_series)
+    legend = "\n".join(
+        f"{name.ljust(width)}  {sparkline([_as_float(v) for v in series])}"
+        for name, series in named_series.items()
+    )
+    return f"{table}\n{legend}"
+
+
+def _as_float(value: object) -> float:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return math.nan

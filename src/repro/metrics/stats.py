@@ -1,0 +1,166 @@
+"""Statistics over job records — the metrics of Section 5.
+
+Everything operates on lists of :class:`~repro.metrics.records.JobRecord`
+and returns plain numpy arrays / dataclasses, ready for the experiment
+harness to print (or for a notebook to plot).  Rejected jobs are excluded
+from waiting-time statistics (they have none) but reported via
+``SimResult.acceptance_rate``.
+
+The units convention: records store seconds; every function here reports
+**hours** for times (as the paper's axes do) unless noted otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .records import JobRecord
+
+__all__ = [
+    "HOUR",
+    "Summary",
+    "attempts_by_spatial_bin",
+    "avg_waiting_by_spatial",
+    "duration_histogram",
+    "summarize",
+    "temporal_penalty_by_duration",
+    "waiting_time_histogram",
+]
+
+#: seconds per hour — the records are in seconds, the paper's plots in hours
+HOUR = 3600.0
+
+
+def _accepted(records: list[JobRecord]) -> list[JobRecord]:
+    return [r for r in records if not r.rejected]
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Headline numbers for one scheduler run (times in hours)."""
+
+    jobs: int
+    accepted: int
+    mean_wait: float
+    median_wait: float
+    max_wait: float
+    mean_penalty: float
+    mean_attempts: float
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.jobs if self.jobs else 1.0
+
+
+def summarize(records: list[JobRecord]) -> Summary:
+    """Headline statistics over a run."""
+    acc = _accepted(records)
+    if not acc:
+        return Summary(len(records), 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    waits = np.array([r.waiting_time for r in acc]) / HOUR
+    pen = np.array([r.temporal_penalty for r in acc])
+    att = np.array([r.attempts for r in acc], dtype=float)
+    return Summary(
+        jobs=len(records),
+        accepted=len(acc),
+        mean_wait=float(waits.mean()),
+        median_wait=float(np.median(waits)),
+        max_wait=float(waits.max()),
+        mean_penalty=float(pen.mean()),
+        mean_attempts=float(att.mean()),
+    )
+
+
+def waiting_time_histogram(
+    records: list[JobRecord], bin_hours: float = 1.0, max_hours: float = 14.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Waiting-time distribution (Figures 4(a) and 6).
+
+    Returns ``(bin_lefts, frequency)`` where ``frequency`` sums to 1 over
+    *all* accepted jobs; waits beyond ``max_hours`` fall in the last bin,
+    so tails remain visible as mass at the right edge.
+    """
+    acc = _accepted(records)
+    if not acc:
+        return np.array([]), np.array([])
+    waits = np.array([r.waiting_time for r in acc]) / HOUR
+    edges = np.arange(0.0, max_hours + bin_hours, bin_hours)
+    clipped = np.minimum(waits, max_hours - bin_hours / 2)
+    counts, _ = np.histogram(clipped, bins=edges)
+    return edges[:-1], counts / len(acc)
+
+
+def duration_histogram(
+    records: list[JobRecord], bin_hours: float = 2.0, max_hours: float = 44.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Temporal-size distribution of the workload itself (Figure 4(b))."""
+    if not records:
+        return np.array([]), np.array([])
+    durs = np.array([r.lr for r in records]) / HOUR
+    edges = np.arange(0.0, max_hours + bin_hours, bin_hours)
+    clipped = np.minimum(durs, max_hours - bin_hours / 2)
+    counts, _ = np.histogram(clipped, bins=edges)
+    return edges[:-1], counts / len(records)
+
+
+def temporal_penalty_by_duration(
+    records: list[JobRecord], bin_hours: float = 1.0, max_hours: float = 20.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average temporal penalty ``P^l`` per duration bin (Figure 3).
+
+    Returns ``(bin_lefts, mean_penalty)``; bins without jobs carry NaN.
+    """
+    acc = _accepted(records)
+    edges = np.arange(0.0, max_hours + bin_hours, bin_hours)
+    lefts = edges[:-1]
+    if not acc:
+        return lefts, np.full(len(lefts), np.nan)
+    durs = np.array([r.lr for r in acc]) / HOUR
+    pen = np.array([r.temporal_penalty for r in acc])
+    idx = np.clip(np.digitize(durs, edges) - 1, 0, len(lefts) - 1)
+    sums = np.bincount(idx, weights=pen, minlength=len(lefts))
+    counts = np.bincount(idx, minlength=len(lefts))
+    with np.errstate(invalid="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return lefts, means
+
+
+def avg_waiting_by_spatial(
+    records: list[JobRecord], bin_width: int = 25
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average waiting time (seconds, as in Figure 5) per spatial-size bin.
+
+    Returns ``(bin_lefts, mean_wait_seconds)``; bins without jobs carry NaN.
+    """
+    acc = _accepted(records)
+    if not acc:
+        return np.array([]), np.array([])
+    sizes = np.array([r.nr for r in acc])
+    waits = np.array([r.waiting_time for r in acc])
+    n_bins = int(sizes.max() // bin_width) + 1
+    idx = sizes // bin_width
+    sums = np.bincount(idx, weights=waits, minlength=n_bins)
+    counts = np.bincount(idx, minlength=n_bins)
+    with np.errstate(invalid="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return np.arange(n_bins) * bin_width, means
+
+
+def attempts_by_spatial_bin(
+    records: list[JobRecord], bin_width: int = 50, n_servers: int | None = None
+) -> dict[tuple[int, int], float]:
+    """Average scheduling attempts per spatial-size group (Table 2).
+
+    Groups follow the paper: ``(0, 50], (50, 100], …``.  Only groups with
+    at least one job appear; keys are ``(lo, hi]`` bounds.
+    """
+    acc = _accepted(records)
+    out: dict[tuple[int, int], tuple[float, int]] = {}
+    for r in acc:
+        lo = ((r.nr - 1) // bin_width) * bin_width
+        key = (lo, lo + bin_width)
+        s, c = out.get(key, (0.0, 0))
+        out[key] = (s + r.attempts, c + 1)
+    return {key: s / c for key, (s, c) in sorted(out.items())}

@@ -1,0 +1,30 @@
+"""Schedulers: the online co-allocator and the batch baselines of Section 5.
+
+* :class:`~repro.schedulers.online.OnlineScheduler` — the paper's algorithm;
+* :class:`~repro.schedulers.fcfs.FCFSScheduler` — strict first-come-first-serve;
+* :class:`~repro.schedulers.easy.EasyBackfillScheduler` — EASY/aggressive
+  backfilling, the production-batch comparator;
+* :class:`~repro.schedulers.conservative.ConservativeBackfillScheduler` —
+  per-job-reservation backfilling;
+* :class:`~repro.schedulers.profile.AvailabilityProfile` — the step-function
+  bookkeeping backfillers rely on.
+"""
+
+from .base import BatchSchedulerBase, Job, JobState, SchedulerBase
+from .conservative import ConservativeBackfillScheduler
+from .easy import EasyBackfillScheduler
+from .fcfs import FCFSScheduler
+from .online import OnlineScheduler
+from .profile import AvailabilityProfile
+
+__all__ = [
+    "AvailabilityProfile",
+    "BatchSchedulerBase",
+    "ConservativeBackfillScheduler",
+    "EasyBackfillScheduler",
+    "FCFSScheduler",
+    "Job",
+    "JobState",
+    "OnlineScheduler",
+    "SchedulerBase",
+]

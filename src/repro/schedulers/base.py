@@ -1,0 +1,128 @@
+"""Scheduler interface shared by the online co-allocator and the batch baselines.
+
+A *scheduler* consumes :class:`~repro.core.types.Request` objects wrapped
+in mutable :class:`Job` records, decides when each job runs, and fills in
+the outcome fields.  The simulation driver
+(:mod:`repro.sim.driver`) owns the event engine and submits jobs at their
+arrival times; schedulers schedule their own internal events (job
+completions, deferred queue entries for advance reservations).
+
+Two families implement the interface:
+
+* :class:`~repro.schedulers.online.OnlineScheduler` — the paper's
+  contribution; decides at submission time, committing future resources in
+  the availability calendar.
+* :class:`BatchSchedulerBase` subclasses (FCFS, EASY, conservative) —
+  resource-driven queue schedulers that start jobs only when processors
+  free up, the comparators of Section 5.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from ..sim.cluster import Cluster
+from ..sim.job import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Engine
+
+__all__ = ["Job", "JobState", "SchedulerBase", "BatchSchedulerBase"]
+
+
+class SchedulerBase(abc.ABC):
+    """Common interface the simulation driver drives."""
+
+    #: human-readable name used in reports ("online", "easy", ...)
+    name = "abstract"
+
+    def __init__(self, n_servers: int) -> None:
+        if n_servers <= 0:
+            raise ValueError(f"need at least one server, got {n_servers}")
+        self.n_servers = n_servers
+        self.engine: "Engine | None" = None
+
+    def bind(self, engine: "Engine") -> None:
+        """Attach the event engine before the simulation starts."""
+        self.engine = engine
+
+    @property
+    def now(self) -> float:
+        assert self.engine is not None, "scheduler used before bind()"
+        return self.engine.now
+
+    @abc.abstractmethod
+    def submit(self, job: Job) -> None:
+        """Handle a job arriving at the current simulation time."""
+
+    def finalize(self) -> None:
+        """Hook called once after the event heap drains."""
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        """Average busy fraction over the simulation span."""
+        raise NotImplementedError
+
+
+class BatchSchedulerBase(SchedulerBase):
+    """Queue + cluster machinery shared by every batch baseline.
+
+    Subclasses implement :meth:`_dispatch`, which inspects ``self.queue``
+    (arrival order) and starts whatever its policy allows *right now*.
+    Jobs whose earliest start ``s_r`` lies in the future (advance
+    reservations replayed through a batch scheduler) enter the queue when
+    they become eligible, matching how a queue-based system that cannot
+    plan ahead would treat them.
+    """
+
+    def __init__(self, n_servers: int) -> None:
+        super().__init__(n_servers)
+        self.cluster: Cluster | None = None
+        self.queue: list[Job] = []
+        self.running: list[Job] = []
+
+    def bind(self, engine: "Engine") -> None:
+        super().bind(engine)
+        self.cluster = Cluster(self.n_servers, start_time=engine.now)
+
+    def submit(self, job: Job) -> None:
+        if job.request.nr > self.n_servers:
+            job.state = JobState.REJECTED
+            return
+        if job.request.sr > self.now:
+            self.engine.at(job.request.sr, lambda: self._enqueue(job))  # type: ignore[union-attr]
+        else:
+            self._enqueue(job)
+
+    def _enqueue(self, job: Job) -> None:
+        job.state = JobState.QUEUED
+        self.queue.append(job)
+        self._dispatch()
+
+    def _start(self, job: Job) -> None:
+        """Start a queued job immediately (helper for _dispatch)."""
+        assert self.cluster is not None and self.engine is not None
+        now = self.now
+        self.cluster.acquire(job.request.nr, now)
+        self.queue.remove(job)
+        self.running.append(job)
+        job.state = JobState.RUNNING
+        job.start_time = now
+        job.end_time = now + job.request.runtime  # actual completion
+        job.estimated_end = now + job.request.lr  # what backfilling plans on
+        self.engine.at(job.end_time, lambda: self._complete(job))
+
+    def _complete(self, job: Job) -> None:
+        assert self.cluster is not None
+        self.cluster.release(job.request.nr, self.now)
+        self.running.remove(job)
+        job.state = JobState.DONE
+        self._dispatch()
+
+    @abc.abstractmethod
+    def _dispatch(self) -> None:
+        """Start every queued job the policy allows at the current time."""
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        assert self.cluster is not None
+        return self.cluster.utilization(now, since)

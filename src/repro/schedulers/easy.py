@@ -1,0 +1,74 @@
+"""EASY (aggressive) backfilling.
+
+The policy the paper's comparator systems (Maui/LSF-style batch
+schedulers) ran: jobs are served FCFS, but when the queue head does not
+fit, later jobs may *backfill* — start out of order — provided they do not
+delay the head.  A backfill candidate is admissible when it either
+
+* finishes before the head's *shadow time* (the earliest instant the head
+  could possibly start, given the currently running jobs), or
+* uses no more than the *extra* processors that will still be free at the
+  shadow time after the head starts.
+
+Only the queue head receives this protection; everyone else can be
+overtaken indefinitely — the source of the long waiting-time tails the
+paper measures against the online algorithm.
+"""
+
+from __future__ import annotations
+
+from .base import BatchSchedulerBase, Job
+
+__all__ = ["EasyBackfillScheduler"]
+
+
+class EasyBackfillScheduler(BatchSchedulerBase):
+    """FCFS with aggressive backfilling (Lifka's EASY policy)."""
+
+    name = "easy"
+
+    def _dispatch(self) -> None:
+        assert self.cluster is not None
+        # start jobs in order while they fit
+        while self.queue and self.queue[0].request.nr <= self.cluster.free:
+            self._start(self.queue[0])
+        if not self.queue:
+            return
+        head = self.queue[0]
+        shadow, extra = self._shadow(head)
+        # try to backfill jobs behind the head, in arrival order
+        for job in list(self.queue[1:]):
+            n = job.request.nr
+            if n > self.cluster.free:
+                continue
+            ends_before_shadow = self.now + job.request.lr <= shadow
+            if ends_before_shadow or n <= extra:
+                self._start(job)
+                if not ends_before_shadow:
+                    # runs past the shadow: consumes the head's surplus
+                    extra -= n
+                # (a job ending before the shadow returns its processors
+                # before the head starts — the surplus is unaffected)
+
+    def _shadow(self, head: Job) -> tuple[float, int]:
+        """Earliest time the head can start, and the processors left over then.
+
+        Walk the running jobs in completion order, accumulating released
+        processors until the head fits.  Returns ``(shadow_time, extra)``
+        where ``extra`` is the number of processors that will still be
+        free at the shadow time once the head starts.
+        """
+        assert self.cluster is not None
+        free = self.cluster.free
+        need = head.request.nr
+        if need <= free:
+            return self.now, free - need
+        # plan on *estimated* completions — the scheduler only knows the
+        # users' declared runtimes; early completions surprise it later
+        for job in sorted(self.running, key=lambda j: j.estimated_end):  # type: ignore[arg-type,return-value]
+            free += job.request.nr
+            if free >= need:
+                return job.estimated_end, free - need  # type: ignore[return-value]
+        raise RuntimeError(
+            f"head job {head.rid} needs {need} > {self.n_servers} processors"
+        )  # pragma: no cover - submit() rejects oversized jobs

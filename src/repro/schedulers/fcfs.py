@@ -1,0 +1,25 @@
+"""Strict first-come-first-serve batch scheduling.
+
+The simplest resource-driven policy: jobs start in arrival order, and a
+blocked queue head blocks everyone behind it.  The paper cites this as the
+source of "high fragmentation of resources, low utilization and limited
+scheduling flexibility" — it exists here as the pessimistic end of the
+baseline spectrum.
+"""
+
+from __future__ import annotations
+
+from .base import BatchSchedulerBase
+
+__all__ = ["FCFSScheduler"]
+
+
+class FCFSScheduler(BatchSchedulerBase):
+    """Start queued jobs strictly in order; stop at the first that won't fit."""
+
+    name = "fcfs"
+
+    def _dispatch(self) -> None:
+        assert self.cluster is not None
+        while self.queue and self.queue[0].request.nr <= self.cluster.free:
+            self._start(self.queue[0])

@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate.
+
+* :class:`~repro.sim.engine.Engine` — event-heap simulator;
+* :class:`~repro.sim.cluster.Cluster` — fungible-processor pool for the
+  batch baselines;
+* :func:`~repro.sim.driver.run_simulation` — replay a workload through a
+  scheduler and collect per-job records.
+"""
+
+from .cluster import Cluster
+from .driver import SimResult, run_simulation
+from .job import Job, JobState
+from .engine import Engine, EventHandle
+from .timeline import Segment, gantt, server_timeline
+
+__all__ = [
+    "Cluster",
+    "Engine",
+    "EventHandle",
+    "Job",
+    "JobState",
+    "Segment",
+    "SimResult",
+    "gantt",
+    "run_simulation",
+    "server_timeline",
+]

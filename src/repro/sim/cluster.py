@@ -1,0 +1,70 @@
+"""Cluster state for the batch-scheduler simulations.
+
+Batch schedulers (FCFS and its backfilling variants) treat the machine's
+processors as fungible: a job needs ``n`` of them, identity irrelevant.
+:class:`Cluster` therefore tracks a free-processor *count* plus the
+busy-time integral needed for utilization reporting.  The online
+co-allocator does not use this class — it assigns concrete servers through
+the availability calendar.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """``n_servers`` fungible processors with utilization accounting."""
+
+    def __init__(self, n_servers: int, start_time: float = 0.0) -> None:
+        if n_servers <= 0:
+            raise ValueError(f"need at least one server, got {n_servers}")
+        self.n_servers = n_servers
+        self.free = n_servers
+        self._busy_area = 0.0
+        self._last_change = float(start_time)
+
+    @property
+    def busy(self) -> int:
+        return self.n_servers - self.free
+
+    def _account(self, now: float) -> None:
+        if now < self._last_change:
+            raise ValueError(f"time went backwards ({now} < {self._last_change})")
+        self._busy_area += self.busy * (now - self._last_change)
+        self._last_change = now
+
+    def acquire(self, n: int, now: float) -> None:
+        """Take ``n`` processors; raises if fewer are free."""
+        if n <= 0:
+            raise ValueError(f"must acquire a positive count, got {n}")
+        if n > self.free:
+            raise RuntimeError(f"requested {n} processors but only {self.free} free")
+        self._account(now)
+        self.free -= n
+
+    def release(self, n: int, now: float) -> None:
+        """Return ``n`` processors to the pool."""
+        if n <= 0:
+            raise ValueError(f"must release a positive count, got {n}")
+        if self.free + n > self.n_servers:
+            raise RuntimeError(
+                f"releasing {n} would exceed capacity ({self.free} free of {self.n_servers})"
+            )
+        self._account(now)
+        self.free += n
+
+    def busy_area(self, now: float) -> float:
+        """Integral of busy processors over time, up to ``now``."""
+        return self._busy_area + self.busy * (now - self._last_change)
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        """Average fraction of processors busy over ``[since, now]``.
+
+        ``since`` must predate any acquire/release for the figure to be
+        exact; the common case is the full simulation span.
+        """
+        span = now - since
+        if span <= 0:
+            return 0.0
+        return self.busy_area(now) / (span * self.n_servers)

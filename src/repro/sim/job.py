@@ -1,0 +1,62 @@
+"""Mutable per-job simulation records.
+
+A :class:`Job` wraps an immutable :class:`~repro.core.types.Request` and
+accumulates the outcome fields a scheduler fills in.  It lives in the sim
+package (not with the schedulers) because it is the contract between the
+driver and *any* scheduler implementation.
+"""
+
+from __future__ import annotations
+
+from ..core.types import Request
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState:
+    """Lifecycle states of a simulated job."""
+
+    PENDING = "pending"  # submitted, not yet eligible/queued
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    REJECTED = "rejected"
+
+
+class Job:
+    """Mutable simulation record wrapping an immutable request."""
+
+    __slots__ = (
+        "request",
+        "state",
+        "start_time",
+        "end_time",
+        "estimated_end",
+        "attempts",
+        "servers",
+        "ops",
+    )
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self.state = JobState.PENDING
+        self.start_time: float | None = None
+        self.end_time: float | None = None  # actual completion
+        self.estimated_end: float | None = None  # start + estimate (l_r)
+        self.attempts = 0
+        self.servers: tuple[int, ...] = ()
+        self.ops = 0  # elementary scheduler operations spent on this job
+
+    @property
+    def rid(self) -> int:
+        return self.request.rid
+
+    @property
+    def waiting_time(self) -> float | None:
+        """``W_r = start - s_r`` — the paper's QoS metric; None until started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.request.sr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job(rid={self.rid}, state={self.state}, start={self.start_time})"

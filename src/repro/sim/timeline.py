@@ -1,0 +1,101 @@
+"""Schedule inspection: per-server timelines and text Gantt charts.
+
+Operators debugging a packing decision want to *see* the schedule.  This
+module converts a calendar (or a set of reservations) into:
+
+* a structured per-server timeline (list of busy/idle segments) suitable
+  for JSON export or programmatic checks;
+* a text Gantt chart, one row per server, time bucketed into columns.
+
+Both views are derived purely from public calendar state, so they are
+also used by tests as an independent cross-check of the internal
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.calendar import AvailabilityCalendar
+
+__all__ = ["Segment", "server_timeline", "gantt"]
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One homogeneous stretch of a server's schedule."""
+
+    server: int
+    start: float
+    end: float  # math.inf for the trailing idle stretch
+    busy: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def server_timeline(
+    calendar: AvailabilityCalendar, server: int, until: float | None = None
+) -> list[Segment]:
+    """The server's schedule from the horizon start as busy/idle segments.
+
+    Busy segments are inferred as the gaps between idle periods — the
+    calendar's idle list is authoritative, so this works for any mix of
+    running jobs and advance reservations.  ``until`` clips the timeline
+    (default: the calendar horizon end).
+    """
+    clip = until if until is not None else calendar.horizon_end
+    cursor = calendar.horizon_start
+    segments: list[Segment] = []
+    for idle in calendar.idle_periods(server):
+        lo, hi = max(idle.st, cursor), idle.et
+        if lo > cursor:
+            segments.append(Segment(server=server, start=cursor, end=lo, busy=True))
+        if hi > lo:
+            segments.append(Segment(server=server, start=lo, end=min(hi, clip), busy=False))
+        cursor = hi
+        if cursor >= clip:
+            break
+    if cursor < clip:
+        segments.append(Segment(server=server, start=cursor, end=clip, busy=True))
+    # drop empty artifacts from clipping
+    return [s for s in segments if s.duration > 0]
+
+
+def gantt(
+    calendar: AvailabilityCalendar,
+    start: float | None = None,
+    end: float | None = None,
+    width: int = 72,
+    busy_char: str = "#",
+    idle_char: str = "·",
+) -> str:
+    """A text Gantt chart of every server over ``[start, end)``.
+
+    Each column covers ``(end - start) / width`` time units; a column is
+    drawn busy when the server is busy for at least half of it.
+    """
+    lo = start if start is not None else calendar.horizon_start
+    hi = end if end is not None else min(calendar.horizon_end, lo + 96 * calendar.tau)
+    if not lo < hi:
+        raise ValueError(f"gantt window [{lo}, {hi}) is empty")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    step = (hi - lo) / width
+    label_width = len(str(calendar.n_servers - 1))
+    lines = [f"t = [{lo:g}, {hi:g})  ({step:g} per column)"]
+    for server in range(calendar.n_servers):
+        segments = [s for s in server_timeline(calendar, server, until=hi) if s.busy]
+        row = []
+        for col in range(width):
+            c_lo = lo + col * step
+            c_hi = c_lo + step
+            busy_time = sum(
+                min(s.end, c_hi) - max(s.start, c_lo)
+                for s in segments
+                if s.start < c_hi and s.end > c_lo
+            )
+            row.append(busy_char if busy_time * 2 >= step else idle_char)
+        lines.append(f"{server:>{label_width}} {''.join(row)}")
+    return "\n".join(lines)

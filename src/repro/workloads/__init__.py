@@ -1,0 +1,25 @@
+"""Workloads: SWF parsing, statistical models, and the calibrated
+synthetic stand-ins for the paper's CTC / KTH / HPC2N traces."""
+
+from .archive import TAU, WORKLOADS, WorkloadSpec, generate_workload, workload_table
+from .models import DAY, ArrivalProcess, EstimateAccuracy, LognormalMixture, PowerOfTwoSizes
+from .reservations import MAX_LEAD, with_advance_reservations
+from .swf import SWFJob, read_swf, swf_to_requests, write_swf
+
+__all__ = [
+    "DAY",
+    "MAX_LEAD",
+    "TAU",
+    "WORKLOADS",
+    "ArrivalProcess",
+    "EstimateAccuracy",
+    "LognormalMixture",
+    "PowerOfTwoSizes",
+    "SWFJob",
+    "WorkloadSpec",
+    "generate_workload",
+    "read_swf",
+    "swf_to_requests",
+    "with_advance_reservations",
+    "workload_table",
+]

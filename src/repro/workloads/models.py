@@ -1,0 +1,206 @@
+"""Statistical building blocks for synthetic workload generation.
+
+The Parallel Workload Archive traces the paper uses are not shippable, so
+the generators in :mod:`repro.workloads.archive` are assembled from the
+distribution families the workload-modeling literature (Feitelson et al.)
+fits to those logs:
+
+* **durations** — mixtures of lognormals (a short-job mode plus a
+  long-running mode), clamped to ``[min, max]``;
+* **spatial sizes** — power-of-two dominated, with a serial-job atom and
+  a thin non-power tail;
+* **arrivals** — Poisson, optionally modulated by the daily activity
+  cycle (thinning).
+
+Every sampler takes a ``numpy.random.Generator`` so workload generation
+is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "EstimateAccuracy",
+    "LognormalMixture",
+    "PowerOfTwoSizes",
+    "ArrivalProcess",
+    "DAY",
+]
+
+#: seconds per day, for the arrival cycle
+DAY = 86400.0
+
+
+@dataclass(frozen=True, slots=True)
+class LognormalMixture:
+    """Mixture of lognormal components for job durations.
+
+    Each component is ``(weight, mean, sigma)`` where ``mean`` is the
+    component's *arithmetic* mean (the underlying normal's ``mu`` is
+    derived as ``ln(mean) - sigma^2 / 2``).  Samples are clamped to
+    ``[min_value, max_value]``.
+    """
+
+    components: tuple[tuple[float, float, float], ...]
+    min_value: float = 900.0
+    max_value: float = 44.0 * 3600.0
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("mixture needs at least one component")
+        total = sum(w for w, _, _ in self.components)
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"component weights must sum to 1, got {total}")
+        for w, mean, sigma in self.components:
+            if w < 0 or mean <= 0 or sigma <= 0:
+                raise ValueError(f"bad component (w={w}, mean={mean}, sigma={sigma})")
+        if not 0 < self.min_value < self.max_value:
+            raise ValueError(
+                f"need 0 < min ({self.min_value}) < max ({self.max_value})"
+            )
+
+    def mean(self) -> float:
+        """Arithmetic mean of the (unclamped) mixture."""
+        return sum(w * mean for w, mean, _ in self.components)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` durations."""
+        weights = np.array([w for w, _, _ in self.components])
+        which = rng.choice(len(self.components), size=size, p=weights / weights.sum())
+        out = np.empty(size)
+        for idx, (_, mean, sigma) in enumerate(self.components):
+            mask = which == idx
+            n = int(mask.sum())
+            if n:
+                mu = math.log(mean) - sigma * sigma / 2.0
+                out[mask] = rng.lognormal(mu, sigma, size=n)
+        return np.clip(out, self.min_value, self.max_value)
+
+
+@dataclass(frozen=True, slots=True)
+class PowerOfTwoSizes:
+    """Spatial-size sampler biased to powers of two (SP2-log style).
+
+    * with probability ``p_serial`` the job is serial (size 1);
+    * with probability ``p_power`` the size is ``2^k``, ``k`` geometric-ish
+      over ``1 .. log2(max_size)`` (decay ``geo_decay`` per step);
+    * otherwise the size is uniform in ``[2, max_size]`` (the non-power
+      residue real logs exhibit).
+    """
+
+    max_size: int
+    p_serial: float = 0.25
+    p_power: float = 0.6
+    geo_decay: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.max_size < 2:
+            raise ValueError(f"max_size must be at least 2, got {self.max_size}")
+        if not 0 <= self.p_serial <= 1 or not 0 <= self.p_power <= 1:
+            raise ValueError("probabilities must lie in [0, 1]")
+        if self.p_serial + self.p_power > 1.0 + 1e-9:
+            raise ValueError("p_serial + p_power must not exceed 1")
+        if not 0 < self.geo_decay < 1:
+            raise ValueError(f"geo_decay must lie in (0, 1), got {self.geo_decay}")
+
+    def mean(self, samples: int = 20000, seed: int = 7) -> float:
+        """Empirical mean (used by generators to calibrate arrival rates)."""
+        rng = np.random.default_rng(seed)
+        return float(self.sample(rng, samples).mean())
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        max_exp = int(math.log2(self.max_size))
+        u = rng.random(size)
+        out = np.empty(size, dtype=np.int64)
+        serial = u < self.p_serial
+        power = (~serial) & (u < self.p_serial + self.p_power)
+        other = ~(serial | power)
+        out[serial] = 1
+        if power.any():
+            weights = self.geo_decay ** np.arange(max_exp)
+            exps = rng.choice(np.arange(1, max_exp + 1), size=int(power.sum()), p=weights / weights.sum())
+            out[power] = 2**exps
+        if other.any():
+            out[other] = rng.integers(2, self.max_size + 1, size=int(other.sum()))
+        return np.minimum(out, self.max_size)
+
+
+@dataclass(frozen=True, slots=True)
+class EstimateAccuracy:
+    """Model of user runtime-estimate quality.
+
+    Production logs show actual runtimes are a roughly uniform fraction
+    of the user estimate, with a spike at the estimate itself (jobs that
+    run to their limit and are killed, plus habitual exact estimators) —
+    Feitelson's classic observation.  Draws the factor
+    ``actual / estimate``:
+
+    * with probability ``p_exact`` the job runs its full estimate;
+    * otherwise the factor is uniform on ``[min_fraction, 1]``.
+    """
+
+    p_exact: float = 0.15
+    min_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_exact <= 1.0:
+            raise ValueError(f"p_exact must lie in [0, 1], got {self.p_exact}")
+        if not 0.0 < self.min_fraction <= 1.0:
+            raise ValueError(f"min_fraction must lie in (0, 1], got {self.min_fraction}")
+
+    def mean_fraction(self) -> float:
+        """Expected actual/estimate ratio."""
+        return self.p_exact + (1.0 - self.p_exact) * (1.0 + self.min_fraction) / 2.0
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` actual/estimate factors in ``(0, 1]``."""
+        factors = rng.uniform(self.min_fraction, 1.0, size=size)
+        exact = rng.random(size) < self.p_exact
+        factors[exact] = 1.0
+        return factors
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalProcess:
+    """Poisson arrivals, optionally modulated by a daily cycle.
+
+    ``rate`` is the long-run average arrival rate (jobs/second).  With
+    ``cycle_amplitude > 0`` the instantaneous rate follows
+    ``rate * (1 + a * sin(2π t / DAY))`` via thinning, reproducing the
+    day/night pattern of production logs; ``a`` must stay below 1.
+    """
+
+    rate: float
+    cycle_amplitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate}")
+        if not 0 <= self.cycle_amplitude < 1:
+            raise ValueError(
+                f"cycle amplitude must lie in [0, 1), got {self.cycle_amplitude}"
+            )
+
+    def sample(self, rng: np.random.Generator, n: int, start: float = 0.0) -> np.ndarray:
+        """Generate ``n`` arrival times (non-decreasing, starting after ``start``)."""
+        if self.cycle_amplitude == 0.0:
+            gaps = rng.exponential(1.0 / self.rate, size=n)
+            return start + np.cumsum(gaps)
+        # thinning against the peak rate
+        peak = self.rate * (1.0 + self.cycle_amplitude)
+        times = np.empty(n)
+        t = start
+        for i in range(n):
+            while True:
+                t += rng.exponential(1.0 / peak)
+                accept = (1.0 + self.cycle_amplitude * math.sin(2.0 * math.pi * t / DAY)) / (
+                    1.0 + self.cycle_amplitude
+                )
+                if rng.random() <= accept:
+                    break
+            times[i] = t
+        return times

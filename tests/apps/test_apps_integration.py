@@ -1,0 +1,134 @@
+"""Cross-app integration tests at moderate scale.
+
+Each application is driven through a realistic session and the shared
+calendar invariants are re-validated afterwards — the apps exercise code
+paths (range-search + commit, release/merge, advance reservations,
+rollback) in combinations the unit tests don't.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.apps.lambda_grid import LambdaGridScheduler
+from repro.apps.mapreduce import MapReduceScheduler
+from repro.apps.vcl import ReservationDenied, VCLManager
+from repro.apps.workflow import Stage, WorkflowScheduler
+
+HOUR = 3600.0
+
+
+class TestVCLSession:
+    def test_semester_day(self):
+        """A day of interleaved classes, HPC jobs and cancellations."""
+        rng = random.Random(4)
+        vcl = VCLManager(n_machines=24, setup_time=900.0)
+        reservations = []
+        denied = 0
+        for hour in range(8, 18):  # booking sweep for a teaching day
+            count = rng.randint(4, 12)
+            try:
+                res = vcl.reserve_desktops(count, start=hour * HOUR, duration=HOUR)
+                reservations.append(res)
+            except ReservationDenied as err:
+                denied += 1
+                assert isinstance(err.alternatives, list)
+        # a couple of HPC batches contend with the classes
+        for _ in range(3):
+            res = vcl.request_hpc(rng.randint(2, 6), duration=rng.uniform(2, 5) * HOUR)
+            reservations.append(res)
+        # cancel every other reservation
+        for res in reservations[::2]:
+            vcl.cancel(res)
+        vcl.scheduler.calendar.validate()
+        assert 0.0 <= vcl.pool_utilization(8 * HOUR, 18 * HOUR) <= 1.0
+
+    def test_machines_never_double_booked(self):
+        vcl = VCLManager(n_machines=6)
+        taken: list = []
+        for i in range(8):
+            try:
+                res = vcl.reserve_desktops(2, start=2 * HOUR, duration=HOUR)
+            except ReservationDenied:
+                continue
+            for m in res.machines:
+                assert m not in taken, f"machine {m} double booked"
+                taken.append(m)
+
+
+class TestLambdaGridSession:
+    def test_mesh_under_churn(self):
+        rng = random.Random(7)
+        graph = nx.random_regular_graph(3, 10, seed=3)
+        pce = LambdaGridScheduler(graph, n_wavelengths=3, k_paths=2)
+        nodes = list(graph.nodes())
+        active = []
+        admitted = blocked = 0
+        t = 0.0
+        for i in range(40):
+            t += rng.uniform(0, 900.0)
+            pce.advance(t)
+            if active and rng.random() < 0.3:
+                lp = active.pop(rng.randrange(len(active)))
+                if lp.end > pce.calendar.now:
+                    pce.release_lightpath(lp.rid)
+                continue
+            src, dst = rng.sample(nodes, 2)
+            lp = pce.request_lightpath(
+                src, dst, duration=rng.uniform(900.0, 7200.0),
+                window_start=t, window_end=t + 4 * HOUR,
+            )
+            if lp is None:
+                blocked += 1
+            else:
+                admitted += 1
+                active.append(lp)
+                # wavelength continuity on the granted path
+                assert len(set(lp.path)) == len(lp.path)
+        pce.calendar.validate()
+        assert admitted > 0
+
+    def test_no_wavelength_double_booked(self):
+        graph = nx.path_graph(4)
+        pce = LambdaGridScheduler(graph, n_wavelengths=2)
+        grants = []
+        for _ in range(10):
+            lp = pce.request_lightpath(0, 3, duration=HOUR, window_start=0.0,
+                                       window_end=3 * HOUR)
+            if lp:
+                grants.append(lp)
+        seen = {}
+        for lp in grants:
+            for link in lp.links:
+                key = (link, lp.wavelength)
+                for other_start, other_end in seen.get(key, []):
+                    assert lp.end <= other_start or lp.start >= other_end
+                seen.setdefault(key, []).append((lp.start, lp.end))
+
+
+class TestMixedGangWorkload:
+    def test_mapreduce_and_workflows_share_nothing_but_fit(self):
+        """Independent schedulers on independent pools behave; within one
+        pool, gang plans and DAG plans coexist."""
+        mr = MapReduceScheduler(n_nodes=16, slots_per_node=2, tau=900.0, q_slots=96)
+        plans = [
+            mr.submit(rng_tasks, 1800.0, max(1, rng_tasks // 4), 900.0)
+            for rng_tasks in (8, 16, 24, 32)
+        ]
+        assert all(p is not None for p in plans)
+        mr.scheduler.calendar.validate()
+
+        wf = WorkflowScheduler(n_servers=16, tau=900.0, q_slots=96)
+        chain = [
+            Stage("a", nr=8, lr=HOUR),
+            Stage("b", nr=16, lr=HOUR, depends_on=("a",)),
+            Stage("c", nr=4, lr=2 * HOUR, depends_on=("b",)),
+        ]
+        first = wf.submit(chain)
+        second = wf.submit(chain)
+        assert first is not None and second is not None
+        wf.scheduler.calendar.validate()
+        # stage b needs the whole machine: the two runs cannot overlap there
+        b1, b2 = first.stages["b"], second.stages["b"]
+        assert b1.end <= b2.start or b2.end <= b1.start

@@ -1,0 +1,102 @@
+"""Tests for MapReduce gang allocation."""
+
+import pytest
+
+from repro.apps.mapreduce import MapReduceScheduler
+
+
+def make(n=8, slots=2, **kw):
+    return MapReduceScheduler(n_nodes=n, slots_per_node=slots, **kw)
+
+
+class TestPlanning:
+    def test_basic_two_wave_plan(self):
+        mr = make()
+        plan = mr.submit(n_map_tasks=8, map_duration=600.0, n_reduce_tasks=4, reduce_duration=300.0)
+        assert plan is not None
+        assert plan.map_allocation.nr == 4  # 8 tasks / 2 slots
+        assert plan.reduce_allocation.nr == 2
+        assert plan.shuffle_time == plan.map_allocation.end
+        assert plan.reduce_allocation.start >= plan.shuffle_time
+        assert plan.makespan >= 900.0
+
+    def test_nodes_for_ceil_division(self):
+        mr = make(slots=2)
+        assert mr.nodes_for(1) == 1
+        assert mr.nodes_for(2) == 1
+        assert mr.nodes_for(3) == 2
+
+    def test_reduce_wave_reserved_in_advance(self):
+        mr = make(n=4)
+        plan = mr.submit(4, 600.0, 4, 600.0)
+        # reducers start exactly at the shuffle barrier when nodes are free
+        assert plan.reduce_allocation.start == plan.shuffle_time
+
+    def test_oversized_job_declined(self):
+        mr = make(n=2, slots=1)
+        assert mr.submit(5, 600.0, 1, 300.0) is None
+
+    def test_atomic_rollback_when_reduce_fails(self):
+        mr = make(n=2, slots=1, tau=300.0, q_slots=12)  # 1-hour horizon
+        # the map wave runs past the horizon, so the reduce wave's start
+        # (the shuffle barrier) is unschedulable -> whole job declined
+        plan = mr.submit(2, 3900.0, 2, 300.0)
+        assert plan is None
+        # rollback freed the nodes: a small job fits immediately
+        ok = mr.submit(2, 300.0, 2, 300.0)
+        assert ok is not None and ok.start == 0.0
+
+    def test_two_jobs_share_cluster(self):
+        mr = make(n=8, slots=1)
+        a = mr.submit(4, 600.0, 2, 300.0)
+        b = mr.submit(4, 600.0, 2, 300.0)
+        assert a is not None and b is not None
+        assert set(a.map_allocation.servers).isdisjoint(b.map_allocation.servers)
+
+
+class TestDeadlines:
+    def test_deadline_met(self):
+        mr = make()
+        plan = mr.submit(4, 600.0, 2, 300.0, deadline=1800.0)
+        assert plan is not None and plan.end <= 1800.0
+
+    def test_impossible_deadline_declined(self):
+        mr = make()
+        assert mr.submit(4, 600.0, 2, 300.0, deadline=600.0) is None
+
+    def test_deadline_declines_when_cluster_busy(self):
+        mr = make(n=2, slots=1)
+        mr.submit(2, 3600.0, 2, 600.0)
+        late = mr.submit(2, 600.0, 2, 600.0, deadline=1800.0)
+        assert late is None
+
+
+class TestCancellation:
+    def test_cancel_frees_both_waves(self):
+        mr = make(n=2, slots=1)
+        plan = mr.submit(2, 600.0, 2, 600.0)
+        mr.cancel(plan.job_id)
+        again = mr.submit(2, 600.0, 2, 600.0)
+        assert again is not None and again.start == 0.0
+
+    def test_cancel_unknown_raises(self):
+        mr = make()
+        with pytest.raises(KeyError):
+            mr.cancel(42)
+
+
+class TestValidation:
+    def test_bad_task_count(self):
+        mr = make()
+        with pytest.raises(ValueError, match="positive"):
+            mr.nodes_for(0)
+
+    def test_bad_slots(self):
+        with pytest.raises(ValueError, match="slot"):
+            make(slots=0)
+
+    def test_utilization_reflects_plans(self):
+        mr = make(n=2, slots=1)
+        plan = mr.submit(2, 600.0, 2, 600.0)
+        util = mr.cluster_utilization(plan.start, plan.end)
+        assert util > 0.9

@@ -1,0 +1,101 @@
+"""Tests for the VCL reservation manager."""
+
+import pytest
+
+from repro.apps.vcl import ReservationDenied, VCLManager
+
+
+def make(n=8, setup=0.0):
+    return VCLManager(n_machines=n, tau=900.0, q_slots=96, setup_time=setup)
+
+
+HOUR = 3600.0
+
+
+class TestDesktopReservations:
+    def test_class_reservation_granted(self):
+        vcl = make()
+        res = vcl.reserve_desktops(4, start=2 * HOUR, duration=HOUR)
+        assert res.count == 4
+        assert res.start == 2 * HOUR and res.end == 3 * HOUR
+        assert len(res.access_token) == 16
+
+    def test_rigid_start_denied_with_alternatives(self):
+        vcl = make(n=4)
+        vcl.reserve_desktops(4, start=2 * HOUR, duration=HOUR)
+        with pytest.raises(ReservationDenied) as err:
+            vcl.reserve_desktops(2, start=2 * HOUR, duration=HOUR)
+        assert err.value.alternatives, "denial must carry alternative times"
+        # the suggested times actually work
+        res = vcl.reserve_desktops(2, start=err.value.alternatives[0], duration=HOUR)
+        assert res.count == 2
+
+    def test_overlapping_classes_on_disjoint_machines(self):
+        vcl = make(n=8)
+        a = vcl.reserve_desktops(4, start=2 * HOUR, duration=HOUR)
+        b = vcl.reserve_desktops(4, start=2 * HOUR, duration=HOUR)
+        assert set(a.machines).isdisjoint(b.machines)
+
+    def test_setup_time_blocks_preceding_window(self):
+        vcl = make(n=1, setup=900.0)
+        vcl.reserve_desktops(1, start=2 * HOUR, duration=HOUR)
+        # the machine is held from 1:45 for image deployment
+        with pytest.raises(ReservationDenied):
+            vcl.reserve_desktops(1, start=2 * HOUR - 1800.0, duration=1800.0)
+
+    def test_past_reservation_rejected(self):
+        vcl = make()
+        vcl.advance(HOUR)
+        with pytest.raises(ValueError, match="past"):
+            vcl.reserve_desktops(1, start=1800.0, duration=HOUR)
+
+    def test_tokens_are_unique(self):
+        vcl = make()
+        a = vcl.reserve_desktops(1, start=HOUR, duration=HOUR)
+        b = vcl.reserve_desktops(1, start=HOUR, duration=HOUR)
+        assert a.access_token != b.access_token
+
+
+class TestHPCRequests:
+    def test_on_demand_runs_immediately(self):
+        vcl = make()
+        res = vcl.request_hpc(8, duration=4 * HOUR)
+        assert res.start == 0.0 and res.count == 8
+
+    def test_on_demand_waits_behind_class(self):
+        vcl = make(n=2)
+        vcl.reserve_desktops(2, start=900.0, duration=HOUR)
+        res = vcl.request_hpc(2, duration=2 * HOUR)
+        # can't fit 2h before the class, must follow it
+        assert res.start >= 900.0 + HOUR
+
+    def test_mixed_workload_shares_pool(self):
+        vcl = make(n=4)
+        cls = vcl.reserve_desktops(2, start=HOUR, duration=HOUR)
+        hpc = vcl.request_hpc(2, duration=3 * HOUR)
+        assert hpc.start == 0.0
+        assert set(hpc.machines).isdisjoint(cls.machines)
+
+
+class TestCancellation:
+    def test_cancel_frees_machines(self):
+        vcl = make(n=1)
+        res = vcl.reserve_desktops(1, start=HOUR, duration=HOUR)
+        vcl.cancel(res)
+        again = vcl.reserve_desktops(1, start=HOUR, duration=HOUR)
+        assert again.count == 1
+
+    def test_double_cancel_raises(self):
+        vcl = make()
+        res = vcl.reserve_desktops(1, start=HOUR, duration=HOUR)
+        vcl.cancel(res)
+        with pytest.raises(KeyError):
+            vcl.cancel(res)
+
+
+class TestUtilization:
+    def test_pool_utilization(self):
+        vcl = make(n=2)
+        vcl.reserve_desktops(2, start=0.0, duration=2 * HOUR)
+        assert vcl.pool_utilization(0.0, 2 * HOUR) == pytest.approx(1.0)
+        assert vcl.pool_utilization(0.0, 4 * HOUR) == pytest.approx(0.5)

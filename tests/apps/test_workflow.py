@@ -1,0 +1,138 @@
+"""Tests for DAG workflow scheduling."""
+
+import pytest
+
+from repro.apps.workflow import (
+    CycleError,
+    Stage,
+    WorkflowScheduler,
+    topological_order,
+)
+
+HOUR = 3600.0
+
+
+def diamond():
+    """ingest -> {simA, simB} -> merge."""
+    return [
+        Stage("ingest", nr=2, lr=HOUR),
+        Stage("simA", nr=4, lr=2 * HOUR, depends_on=("ingest",)),
+        Stage("simB", nr=4, lr=3 * HOUR, depends_on=("ingest",)),
+        Stage("merge", nr=2, lr=HOUR, depends_on=("simA", "simB")),
+    ]
+
+
+def make(n=8, **kw):
+    return WorkflowScheduler(n_servers=n, tau=900.0, q_slots=96, **kw)
+
+
+class TestTopologicalOrder:
+    def test_orders_dependencies_first(self):
+        order = [s.name for s in topological_order(diamond())]
+        assert order.index("ingest") < order.index("simA")
+        assert order.index("simA") < order.index("merge")
+        assert order.index("simB") < order.index("merge")
+
+    def test_deterministic(self):
+        a = [s.name for s in topological_order(diamond())]
+        b = [s.name for s in topological_order(list(reversed(diamond())))]
+        assert a == b
+
+    def test_cycle_rejected(self):
+        stages = [
+            Stage("a", nr=1, lr=1.0, depends_on=("b",)),
+            Stage("b", nr=1, lr=1.0, depends_on=("a",)),
+        ]
+        with pytest.raises(CycleError, match="cycle"):
+            topological_order(stages)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(CycleError, match="itself"):
+            Stage("a", nr=1, lr=1.0, depends_on=("a",))
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            topological_order([Stage("a", nr=1, lr=1.0, depends_on=("ghost",))])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            topological_order([Stage("a", nr=1, lr=1.0), Stage("a", nr=1, lr=2.0)])
+
+
+class TestPlanning:
+    def test_stages_respect_dependencies(self):
+        plan = make().submit(diamond())
+        assert plan is not None
+        assert plan.stages["simA"].start >= plan.stages["ingest"].end
+        assert plan.stages["simB"].start >= plan.stages["ingest"].end
+        assert plan.stages["merge"].start >= plan.stages["simA"].end
+        assert plan.stages["merge"].start >= plan.stages["simB"].end
+
+    def test_parallel_branches_overlap(self):
+        plan = make().submit(diamond())
+        a, b = plan.stages["simA"], plan.stages["simB"]
+        assert a.start < b.end and b.start < a.end  # they run concurrently
+
+    def test_makespan_and_critical_path(self):
+        plan = make().submit(diamond())
+        # critical path goes through the longer branch simB
+        assert plan.critical_path() == ["ingest", "simB", "merge"]
+        assert plan.makespan == pytest.approx(5 * HOUR)
+
+    def test_earliest_start_honoured(self):
+        plan = make().submit(diamond(), earliest_start=4 * HOUR)
+        assert plan.start >= 4 * HOUR
+
+    def test_deadline_met_or_rejected(self):
+        sched = make()
+        tight = sched.submit(diamond(), deadline=4 * HOUR)
+        assert tight is None  # critical path alone needs 5 h
+        ok = sched.submit(diamond(), deadline=8 * HOUR)
+        assert ok is not None and ok.end <= 8 * HOUR
+
+    def test_unplaceable_stage_rolls_back_everything(self):
+        sched = make(n=4)
+        # simA/simB need 4 servers each concurrently... they serialize;
+        # a 5-server stage is simply impossible
+        stages = diamond()[:1] + [Stage("huge", nr=5, lr=HOUR, depends_on=("ingest",))]
+        assert sched.submit(stages) is None
+        # rollback: the full machine is free again right now
+        follow_up = sched.submit([Stage("probe", nr=4, lr=HOUR)])
+        assert follow_up is not None and follow_up.start == 0.0
+
+    def test_two_workflows_share_the_pool(self):
+        sched = make(n=8)
+        a = sched.submit(diamond())
+        b = sched.submit(diamond())
+        assert a is not None and b is not None
+        # the machine can't run both sim pairs at once: b is pushed back
+        assert b.end >= a.end
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            make().submit([])
+
+
+class TestCancellation:
+    def test_cancel_releases_all_stages(self):
+        sched = make(n=8)
+        plan = sched.submit(diamond())
+        util_before = sched.utilization(0.0, plan.end)
+        sched.cancel(plan.workflow_id)
+        assert sched.utilization(0.0, plan.end) < util_before
+        again = sched.submit(diamond())
+        assert again is not None and again.start == plan.start
+
+    def test_cancel_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make().cancel(404)
+
+
+class TestStageValidation:
+    def test_bad_stage_parameters(self):
+        with pytest.raises(ValueError, match="name"):
+            Stage("", nr=1, lr=1.0)
+        with pytest.raises(ValueError, match="server"):
+            Stage("s", nr=0, lr=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            Stage("s", nr=1, lr=0.0)

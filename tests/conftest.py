@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.types import IdlePeriod
+
+
+def make_periods(
+    n: int,
+    seed: int = 0,
+    servers: int = 8,
+    st_range: tuple[float, float] = (0.0, 100.0),
+    et_range: tuple[float, float] = (101.0, 200.0),
+) -> list[IdlePeriod]:
+    """Random non-degenerate idle periods (ends always after starts)."""
+    rng = random.Random(seed)
+    return [
+        IdlePeriod(
+            server=rng.randrange(servers),
+            st=rng.uniform(*st_range),
+            et=rng.uniform(*et_range),
+        )
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

@@ -1,0 +1,247 @@
+"""Unit tests for the availability calendar."""
+
+import pytest
+
+from repro.core.calendar import AvailabilityCalendar
+from repro.core.types import INF, IdlePeriod
+
+
+def make_calendar(n=4, tau=10.0, q=12, start=0.0) -> AvailabilityCalendar:
+    return AvailabilityCalendar(n_servers=n, tau=tau, q_slots=q, start_time=start)
+
+
+class TestConstruction:
+    def test_initially_all_idle(self):
+        cal = make_calendar()
+        for s in range(4):
+            periods = cal.idle_periods(s)
+            assert len(periods) == 1
+            assert periods[0].st == 0.0 and periods[0].et == INF
+        cal.validate()
+
+    def test_geometry(self):
+        cal = make_calendar(tau=10.0, q=12)
+        assert cal.horizon_start == 0.0
+        assert cal.horizon_end == 120.0
+        assert cal.slot_of(0.0) == 0
+        assert cal.slot_of(9.999) == 0
+        assert cal.slot_of(10.0) == 1
+        assert cal.in_horizon(119.0)
+        assert not cal.in_horizon(120.0)
+
+    def test_nonzero_start_time(self):
+        cal = make_calendar(start=35.0)
+        assert cal.horizon_start == 30.0  # slot-aligned
+        assert cal.in_horizon(35.0)
+        cal.validate()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="server"):
+            AvailabilityCalendar(0, 10.0, 12)
+        with pytest.raises(ValueError, match="slot length"):
+            AvailabilityCalendar(4, 0.0, 12)
+        with pytest.raises(ValueError, match="slot"):
+            AvailabilityCalendar(4, 10.0, 0)
+
+
+class TestFindFeasible:
+    def test_fresh_system_fully_feasible(self):
+        cal = make_calendar()
+        found = cal.find_feasible(0.0, 1000.0, 4)
+        assert found is not None and len(found) == 4
+        assert len({p.server for p in found}) == 4
+
+    def test_too_many_servers_fails(self):
+        cal = make_calendar(n=4)
+        assert cal.find_feasible(0.0, 10.0, 5) is None
+
+    def test_outside_horizon_fails(self):
+        cal = make_calendar(tau=10.0, q=12)
+        assert cal.find_feasible(120.0, 130.0, 1) is None
+
+    def test_query_does_not_commit(self):
+        cal = make_calendar()
+        cal.find_feasible(0.0, 50.0, 4)
+        found = cal.find_feasible(0.0, 50.0, 4)
+        assert found is not None and len(found) == 4
+
+
+class TestAllocate:
+    def test_allocation_splits_period(self):
+        cal = make_calendar()
+        periods = cal.find_feasible(20.0, 40.0, 1)
+        res = cal.allocate(periods, 20.0, 40.0, rid=7)
+        assert len(res) == 1 and res[0].rid == 7
+        server = res[0].server
+        remaining = cal.idle_periods(server)
+        assert [(p.st, p.et) for p in remaining] == [(0.0, 20.0), (40.0, INF)]
+        cal.validate()
+
+    def test_allocation_at_period_start_leaves_one_remnant(self):
+        cal = make_calendar()
+        periods = cal.find_feasible(0.0, 30.0, 2)
+        cal.allocate(periods, 0.0, 30.0)
+        for res_period in periods:
+            remaining = cal.idle_periods(res_period.server)
+            assert [(p.st, p.et) for p in remaining] == [(30.0, INF)]
+        cal.validate()
+
+    def test_allocated_window_no_longer_feasible(self):
+        cal = make_calendar(n=1)
+        periods = cal.find_feasible(10.0, 50.0, 1)
+        cal.allocate(periods, 10.0, 50.0)
+        assert cal.find_feasible(30.0, 40.0, 1) is None
+        # but the leading gap still is
+        assert cal.find_feasible(0.0, 10.0, 1) is not None
+        cal.validate()
+
+    def test_allocate_infeasible_period_raises(self):
+        cal = make_calendar()
+        p = cal.idle_periods(0)[0]
+        cal.allocate([p], 10.0, 20.0)
+        stale = cal.idle_periods(0)[0]  # (0, 10)
+        with pytest.raises(ValueError, match="cannot host"):
+            cal.allocate([stale], 5.0, 15.0)
+
+    def test_gap_fill_between_reservations(self):
+        cal = make_calendar(n=1)
+        cal.allocate(cal.find_feasible(0.0, 20.0, 1), 0.0, 20.0)
+        cal.allocate(cal.find_feasible(50.0, 80.0, 1), 50.0, 80.0)
+        gap = cal.find_feasible(20.0, 50.0, 1)
+        assert gap is not None
+        assert gap[0].st == 20.0 and gap[0].et == 50.0
+        cal.allocate(gap, 20.0, 50.0)
+        assert cal.idle_periods(0)[-1].st == 80.0
+        cal.validate()
+
+    def test_prefers_bounded_over_trailing_periods(self):
+        # best-fit: a gap that exactly fits should be chosen before
+        # cutting into a server's unbounded trailing idle time
+        cal = make_calendar(n=2)
+        # server gets a reservation [40, 60) creating a bounded gap [0, 40)
+        first = cal.find_feasible(40.0, 60.0, 1)
+        cal.allocate(first, 40.0, 60.0)
+        busy_server = first[0].server
+        found = cal.find_feasible(0.0, 30.0, 1)
+        assert found is not None
+        assert found[0].server == busy_server  # the bounded gap wins
+        cal.validate()
+
+    def test_reservation_beyond_horizon_end(self):
+        cal = make_calendar(tau=10.0, q=12)  # horizon [0, 120)
+        periods = cal.find_feasible(110.0, 500.0, 2)
+        assert periods is not None
+        cal.allocate(periods, 110.0, 500.0)
+        cal.validate()
+        # the trailing remnants start at 500, far beyond the horizon
+        servers = {p.server for p in periods}
+        for s in servers:
+            assert cal.idle_periods(s)[-1].st == 500.0
+
+
+class TestAdvanceAndRollover:
+    def test_advance_moves_clock(self):
+        cal = make_calendar()
+        cal.advance(25.0)
+        assert cal.now == 25.0
+        assert cal.horizon_start == 20.0
+        assert cal.horizon_end == 140.0
+        cal.validate()
+
+    def test_advance_backwards_raises(self):
+        cal = make_calendar()
+        cal.advance(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            cal.advance(4.0)
+
+    def test_rollover_extends_search_window(self):
+        cal = make_calendar(tau=10.0, q=12)
+        assert cal.find_feasible(125.0, 130.0, 1) is None
+        cal.advance(15.0)  # horizon now [10, 130)
+        assert cal.find_feasible(125.0, 130.0, 1) is not None
+
+    def test_pending_periods_enter_new_slots(self):
+        cal = make_calendar(n=2, tau=10.0, q=12)
+        # reservation [10, 115) leaves bounded remnant [0, 10) and trailing (115, inf)
+        periods = cal.find_feasible(10.0, 115.0, 1)
+        cal.allocate(periods, 10.0, 115.0)
+        server = periods[0].server
+        # second reservation (125, 150) on same server bounds the gap (115, 125)
+        gap = [p for p in cal.idle_periods(server) if p.st == 115.0]
+        cal.allocate(gap, 125.0, 150.0)
+        # the bounded remnant (115, 125) extends beyond horizon_end=120
+        cal.validate()
+        cal.advance(21.0)  # horizon [20, 140): slot for (115,125) fully visible
+        cal.validate()
+        found = cal.find_feasible(116.0, 124.0, 1)
+        assert found is not None and found[0].server == server
+
+    def test_long_jump_advance(self):
+        cal = make_calendar(tau=10.0, q=12)
+        cal.allocate(cal.find_feasible(5.0, 25.0, 2), 5.0, 25.0)
+        cal.advance(500.0)  # jump far past everything
+        cal.validate()
+        found = cal.find_feasible(505.0, 550.0, 4)
+        assert found is not None and len(found) == 4
+
+    def test_history_trimmed(self):
+        cal = make_calendar(n=2, tau=10.0, q=12)
+        cal.allocate(cal.find_feasible(0.0, 10.0, 2), 0.0, 10.0)
+        cal.advance(200.0)
+        for s in range(2):
+            periods = cal.idle_periods(s)
+            assert len(periods) == 1  # the finished gap history is gone
+            assert periods[0].et == INF
+
+
+class TestRelease:
+    def test_release_merges_with_both_neighbours(self):
+        cal = make_calendar(n=1)
+        periods = cal.find_feasible(20.0, 40.0, 1)
+        cal.allocate(periods, 20.0, 40.0)
+        cal.release(0, 20.0, 40.0)
+        merged = cal.idle_periods(0)
+        assert [(p.st, p.et) for p in merged] == [(0.0, INF)]
+        cal.validate()
+
+    def test_partial_release_merges_tail_only(self):
+        cal = make_calendar(n=1)
+        cal.allocate(cal.find_feasible(20.0, 40.0, 1), 20.0, 40.0)
+        cal.release(0, 30.0, 40.0)  # early completion at t=30
+        assert [(p.st, p.et) for p in cal.idle_periods(0)] == [(0.0, 20.0), (30.0, INF)]
+        cal.validate()
+
+    def test_release_overlapping_idle_raises(self):
+        cal = make_calendar(n=1)
+        with pytest.raises(ValueError, match="overlaps"):
+            cal.release(0, 10.0, 20.0)
+
+    def test_release_empty_window_raises(self):
+        cal = make_calendar(n=1)
+        with pytest.raises(ValueError, match="empty"):
+            cal.release(0, 10.0, 10.0)
+
+
+class TestRangeSearch:
+    def test_fresh_system_range_search(self):
+        cal = make_calendar(n=4)
+        found = cal.range_search(30.0, 60.0)
+        assert len(found) == 4
+
+    def test_range_search_excludes_busy(self):
+        cal = make_calendar(n=4)
+        periods = cal.find_feasible(30.0, 60.0, 2)
+        cal.allocate(periods, 30.0, 60.0)
+        found = cal.range_search(35.0, 55.0)
+        assert len(found) == 2
+        assert {p.server for p in found}.isdisjoint({p.server for p in periods})
+
+    def test_range_search_outside_horizon(self):
+        cal = make_calendar(tau=10.0, q=12)
+        assert cal.range_search(500.0, 600.0) == []
+
+    def test_range_search_includes_bounded_gaps(self):
+        cal = make_calendar(n=1)
+        cal.allocate(cal.find_feasible(50.0, 80.0, 1), 50.0, 80.0)
+        found = cal.range_search(10.0, 40.0)
+        assert len(found) == 1 and found[0].et == 50.0

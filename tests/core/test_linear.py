@@ -1,0 +1,78 @@
+"""Unit tests for the linear-scan baseline allocator."""
+
+import pytest
+
+from repro.core.linear import LinearScanAllocator
+from repro.core.types import Request
+
+
+def make(n=4, delta_t=10.0, r_max=6, horizon=120.0):
+    return LinearScanAllocator(n, delta_t=delta_t, r_max=r_max, horizon=horizon)
+
+
+class TestSchedule:
+    def test_immediate_success(self):
+        lin = make()
+        a = lin.schedule(Request(qr=0.0, sr=0.0, lr=30.0, nr=3, rid=1))
+        assert a is not None and a.start == 0.0 and a.attempts == 1
+        assert len(set(a.servers)) == 3
+
+    def test_retry_semantics_match_online(self):
+        lin = make(n=1)
+        lin.schedule(Request(qr=0.0, sr=0.0, lr=25.0, nr=1, rid=1))
+        a = lin.schedule(Request(qr=0.0, sr=0.0, lr=10.0, nr=1, rid=2))
+        assert a is not None and a.start == 30.0 and a.attempts == 4
+
+    def test_r_max_exhaustion(self):
+        lin = make(n=1, r_max=2)
+        lin.schedule(Request(qr=0.0, sr=0.0, lr=45.0, nr=1, rid=1))
+        assert lin.schedule(Request(qr=0.0, sr=0.0, lr=10.0, nr=1, rid=2)) is None
+
+    def test_horizon_limits_attempts(self):
+        lin = make(horizon=50.0, r_max=100)
+        a = lin.schedule(Request(qr=0.0, sr=60.0, lr=10.0, nr=1, rid=1))
+        assert a is None
+
+    def test_deadline_respected(self):
+        lin = make(n=1)
+        lin.schedule(Request(qr=0.0, sr=0.0, lr=35.0, nr=1, rid=1))
+        a = lin.schedule(Request(qr=0.0, sr=0.0, lr=10.0, nr=1, rid=2, deadline=30.0))
+        assert a is None
+
+    def test_no_double_booking(self):
+        lin = make(n=2)
+        a = lin.schedule(Request(qr=0.0, sr=0.0, lr=50.0, nr=2, rid=1))
+        b = lin.schedule(Request(qr=0.0, sr=20.0, lr=10.0, nr=1, rid=2))
+        assert a is not None and b is not None
+        assert b.start >= 50.0
+
+
+class TestAdvance:
+    def test_advance_drops_finished(self):
+        lin = make(n=1)
+        lin.schedule(Request(qr=0.0, sr=0.0, lr=30.0, nr=1, rid=1))
+        lin.advance(40.0)
+        assert lin.free_servers(40.0, 50.0) == [0]
+
+    def test_advance_backwards_raises(self):
+        lin = make()
+        lin.advance(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            lin.advance(4.0)
+
+    def test_horizon_end_tracks_clock(self):
+        lin = make(horizon=100.0)
+        lin.advance(50.0)
+        assert lin.horizon_end == 150.0
+
+
+class TestFreeServers:
+    def test_initially_all_free(self):
+        lin = make(n=4)
+        assert lin.free_servers(0.0, 100.0) == [0, 1, 2, 3]
+
+    def test_partial_occupation(self):
+        lin = make(n=4)
+        lin.schedule(Request(qr=0.0, sr=10.0, lr=20.0, nr=2, rid=1))
+        free = lin.free_servers(15.0, 25.0)
+        assert len(free) == 2

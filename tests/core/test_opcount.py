@@ -1,0 +1,50 @@
+"""Unit tests for operation counting."""
+
+from repro.core.opcount import NULL_COUNTER, OpCounter
+
+
+class TestOpCounter:
+    def test_starts_empty(self):
+        c = OpCounter()
+        assert c.total() == 0
+        assert c.get("node_visit") == 0
+
+    def test_add_accumulates(self):
+        c = OpCounter()
+        c.add("node_visit")
+        c.add("node_visit", 4)
+        assert c.get("node_visit") == 5
+        assert c.total() == 5
+
+    def test_total_spans_categories(self):
+        c = OpCounter()
+        c.add("a", 2)
+        c.add("b", 3)
+        assert c.total() == 5
+
+    def test_reset(self):
+        c = OpCounter()
+        c.add("a", 2)
+        c.reset()
+        assert c.total() == 0
+
+    def test_snapshot_is_independent(self):
+        c = OpCounter()
+        c.add("a", 2)
+        snap = c.snapshot()
+        c.add("a", 1)
+        assert snap == {"a": 2}
+        assert c.get("a") == 3
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_null_counter_discards(self):
+        NULL_COUNTER.add("anything", 1000)
+        assert NULL_COUNTER.total() == 0

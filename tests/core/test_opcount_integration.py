@@ -1,0 +1,90 @@
+"""Operation accounting across the data-structure stack.
+
+Figure 7(b) depends on these counts being meaningful: searches must cost
+O(log) visits, updates must record their work, and the counter totals
+must be reproducible run to run.
+"""
+
+import math
+
+from repro.core.calendar import AvailabilityCalendar
+from repro.core.coalloc import OnlineCoAllocator
+from repro.core.opcount import OpCounter
+from repro.core.slot_tree import TwoDimTree
+from repro.core.types import IdlePeriod, Request
+
+
+class TestTreeCounting:
+    def test_search_visits_are_logarithmic(self):
+        counter = OpCounter()
+        tree = TwoDimTree(counter)
+        tree.bulk_load(
+            [IdlePeriod(server=i, st=float(i), et=1000.0 + i) for i in range(256)]
+        )
+        counter.reset()
+        tree.phase1(128.0)
+        # a single root-to-leaf walk: well under 2·log2(256) visits
+        assert counter.get("node_visit") <= 2 * math.log2(256)
+
+    def test_phase1_marks_counted(self):
+        counter = OpCounter()
+        tree = TwoDimTree(counter)
+        tree.bulk_load([IdlePeriod(server=i, st=float(i), et=1e6) for i in range(64)])
+        counter.reset()
+        _, marks = tree.phase1(63.0)
+        assert counter.get("mark") == len(marks)
+
+    def test_updates_counted(self):
+        counter = OpCounter()
+        tree = TwoDimTree(counter)
+        p = IdlePeriod(server=0, st=1.0, et=2.0)
+        tree.insert(p)
+        tree.remove(p)
+        assert counter.get("insert") == 1
+        assert counter.get("remove") == 1
+
+
+class TestSchedulerCounting:
+    def _run(self, seed_requests):
+        counter = OpCounter()
+        cal = AvailabilityCalendar(16, 10.0, 24, counter=counter)
+        alloc = OnlineCoAllocator(cal, delta_t=10.0, r_max=8, counter=counter)
+        for req in seed_requests:
+            cal.advance(req.qr)
+            alloc.schedule(req)
+        return counter
+
+    def test_counts_are_deterministic(self):
+        requests = [
+            Request(qr=float(i), sr=float(i), lr=25.0, nr=(i % 4) + 1, rid=i)
+            for i in range(30)
+        ]
+        a = self._run(requests)
+        b = self._run(requests)
+        assert a.snapshot() == b.snapshot()
+
+    def test_attempts_counted_per_retry(self):
+        counter = OpCounter()
+        cal = AvailabilityCalendar(1, 10.0, 24, counter=counter)
+        alloc = OnlineCoAllocator(cal, delta_t=10.0, r_max=8, counter=counter)
+        alloc.schedule(Request(qr=0.0, sr=0.0, lr=25.0, nr=1, rid=1))
+        base = counter.get("attempt")
+        alloc.schedule(Request(qr=0.0, sr=0.0, lr=10.0, nr=1, rid=2))
+        assert counter.get("attempt") - base == 4  # retried to t=30
+
+    def test_failed_attempts_cheaper_than_successes(self):
+        """Failures never pay the O(n_r·Q·log²N) update, so a rejected
+        request costs fewer retrieve/insert operations than an accepted
+        one of the same shape."""
+        counter = OpCounter()
+        cal = AvailabilityCalendar(4, 10.0, 12, counter=counter)
+        alloc = OnlineCoAllocator(cal, delta_t=10.0, r_max=2, counter=counter)
+        before = counter.snapshot()
+        alloc.schedule(Request(qr=0.0, sr=0.0, lr=30.0, nr=4, rid=1))
+        success_inserts = counter.get("insert") - before.get("insert", 0)
+        mid = counter.snapshot()
+        # machine is fully busy until t=30; r_max=2 cannot reach it
+        assert alloc.schedule(Request(qr=0.0, sr=0.0, lr=30.0, nr=4, rid=2)) is None
+        failure_inserts = counter.get("insert") - mid.get("insert", 0)
+        assert failure_inserts == 0
+        assert success_inserts > 0

@@ -1,0 +1,116 @@
+"""Integration tests for the experiment harness (tiny scale).
+
+These validate plumbing — every module renders, data shapes line up,
+the cache works — not the paper's quantitative shapes, which the
+benchmark suite gates at realistic scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    ExperimentConfig,
+    clear_cache,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    get_result,
+    make_scheduler,
+    run_all,
+    table1,
+    table2,
+)
+
+TINY = ExperimentConfig(n_jobs=120, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRunner:
+    def test_results_are_cached(self):
+        a = get_result("KTH", "online", TINY)
+        b = get_result("KTH", "online", TINY)
+        assert a is b
+
+    def test_batch_alias(self):
+        a = get_result("KTH", "batch", TINY)
+        b = get_result("KTH", "easy", TINY)
+        assert a is b
+
+    def test_rho_distinguishes_cache_entries(self):
+        a = get_result("KTH", "online", TINY, rho=0.0)
+        b = get_result("KTH", "online", TINY, rho=0.5)
+        assert a is not b
+
+    def test_make_scheduler_kinds(self):
+        for kind in ("online", "fcfs", "easy", "conservative"):
+            sched = make_scheduler(kind, "KTH", TINY)
+            assert sched.n_servers == 128
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("lottery", "KTH", TINY)
+
+    def test_r_max_follows_paper(self):
+        assert TINY.r_max == TINY.q_slots // 2
+
+    def test_scales_exist(self):
+        assert set(SCALES) == {"smoke", "default", "full"}
+        assert SCALES["full"].n_jobs is None
+
+
+class TestArtifacts:
+    def test_table1_renders_with_all_workloads(self):
+        out = table1.run(TINY)
+        for token in ("CTC", "KTH", "HPC2N", "512", "128", "240"):
+            assert token in out
+
+    def test_fig3_series_shapes(self):
+        lefts, curves = fig3.series(TINY)
+        assert set(curves) == {"KTH-online", "KTH-batch"}
+        assert all(len(v) == len(lefts) for v in curves.values())
+
+    def test_fig4_frequencies_normalized(self):
+        _, wait_curves = fig4.waiting_distributions(TINY)
+        for name, freq in wait_curves.items():
+            assert freq.sum() == pytest.approx(1.0), name
+        _, dur_curves = fig4.duration_distributions(TINY)
+        for name, freq in dur_curves.items():
+            assert freq.sum() == pytest.approx(1.0), name
+
+    def test_fig5_axes_aligned(self):
+        lefts, curves = fig5.series("KTH", TINY)
+        assert all(len(v) == len(lefts) for v in curves.values())
+
+    def test_table2_groups_are_paper_style(self):
+        data = table2.rows(TINY)
+        for table in data.values():
+            for lo, hi in table:
+                assert hi - lo == 50
+                assert lo % 50 == 0
+
+    def test_fig6_includes_batch_reference(self):
+        _, curves = fig6.series("KTH", TINY)
+        assert "KTH-batch" in curves
+        assert len(curves) == len(fig6.RHOS) + 1
+
+    def test_fig7_series_cover_all_workloads(self):
+        rhos, waits = fig7.waiting_series(TINY)
+        assert set(waits) == {"CTC", "KTH", "HPC2N"}
+        assert all(len(v) == len(rhos) for v in waits.values())
+        _, ops = fig7.ops_series(TINY)
+        assert all((v > 0).all() for v in ops.values())
+
+    def test_run_all_renders_everything(self):
+        out = run_all(TINY)
+        for token in ("Table 1", "Figure 3", "Figure 4", "Figure 5",
+                      "Table 2", "Figure 6", "Figure 7"):
+            assert token in out

@@ -1,0 +1,56 @@
+"""Plumbing tests for the extension experiments (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, clear_cache, deadlines, loadsweep
+
+TINY = ExperimentConfig(n_jobs=100, seed=9)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestDeadlines:
+    def test_labels_and_shape(self):
+        labels, rates = deadlines.acceptance_by_slack(TINY)
+        assert labels[-1] == "none"
+        assert len(labels) == len(rates) == len(deadlines.SLACKS)
+        assert ((0.0 <= rates) & (rates <= 1.0)).all()
+
+    def test_no_deadline_dominates(self):
+        _, rates = deadlines.acceptance_by_slack(TINY)
+        assert rates[-1] == rates.max()
+
+    def test_deadlines_bind_under_contention(self):
+        # at a saturating load some finite slack must reject jobs the
+        # unconstrained ladder would have admitted
+        cfg = ExperimentConfig(n_jobs=200, seed=3)
+        _, rates = deadlines.acceptance_by_slack(cfg, slacks=(1.0, None))
+        assert rates[0] <= rates[1]
+
+    def test_renders(self):
+        out = deadlines.run(TINY)
+        assert "acceptance" in out and "slack" in out
+
+
+class TestLoadSweep:
+    def test_points_cover_grid(self):
+        points = loadsweep.sweep(TINY, loads=(0.5, 1.0))
+        assert len(points) == 4  # 2 loads x 2 schedulers
+        assert {p.scheduler for p in points} == {"online", "easy"}
+
+    def test_metrics_in_range(self):
+        for p in loadsweep.sweep(TINY, loads=(0.8,)):
+            assert 0.0 <= p.acceptance <= 1.0
+            assert 0.0 <= p.utilization <= 1.0
+            assert p.slowdown >= 1.0
+            assert 0.0 < p.fairness <= 1.0
+
+    def test_renders(self):
+        out = loadsweep.run(TINY)
+        assert "Load sweep" in out and "online" in out

@@ -1,0 +1,114 @@
+"""Unit tests for the extended metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.extended import (
+    bounded_slowdown,
+    jain_fairness,
+    mean_bounded_slowdown,
+    spatial_penalty,
+    utilization_timeline,
+)
+from repro.metrics.records import JobRecord
+from repro.metrics.report import sparkline
+
+
+def rec(rid=0, wait=0.0, lr=100.0, nr=4, rejected=False):
+    return JobRecord(
+        rid=rid, qr=0.0, sr=0.0, lr=lr, nr=nr,
+        start=None if rejected else wait, attempts=1, ops=0, scheduler="t",
+    )
+
+
+class TestBoundedSlowdown:
+    def test_no_wait_is_unity(self):
+        assert bounded_slowdown(rec(wait=0.0, lr=100.0)) == 1.0
+
+    def test_formula(self):
+        # (wait + lr) / lr for long jobs
+        assert bounded_slowdown(rec(wait=100.0, lr=100.0)) == 2.0
+
+    def test_bound_protects_tiny_jobs(self):
+        # a 1-second job waiting 10s: slowdown 11/10 with bound, not 11
+        assert bounded_slowdown(rec(wait=10.0, lr=1.0), bound=10.0) == pytest.approx(1.1)
+
+    def test_mean_over_accepted_only(self):
+        records = [rec(rid=0, wait=100.0, lr=100.0), rec(rid=1, rejected=True)]
+        assert mean_bounded_slowdown(records) == 2.0
+
+    def test_empty(self):
+        assert mean_bounded_slowdown([]) == 1.0
+
+
+class TestSpatialPenalty:
+    def test_wait_per_processor(self):
+        records = [rec(rid=0, wait=100.0, nr=4), rec(rid=1, wait=100.0, nr=1)]
+        assert spatial_penalty(records) == pytest.approx((25.0 + 100.0) / 2)
+
+    def test_empty(self):
+        assert spatial_penalty([]) == 0.0
+
+
+class TestJainFairness:
+    def test_equal_waits_are_fair(self):
+        records = [rec(rid=i, wait=50.0) for i in range(5)]
+        assert jain_fairness(records) == pytest.approx(1.0)
+
+    def test_single_sufferer_is_unfair(self):
+        records = [rec(rid=0, wait=100.0)] + [rec(rid=i, wait=0.0) for i in range(1, 10)]
+        assert jain_fairness(records) == pytest.approx(0.1)
+
+    def test_all_zero_waits_fair(self):
+        records = [rec(rid=i, wait=0.0) for i in range(5)]
+        assert jain_fairness(records) == 1.0
+
+    def test_empty(self):
+        assert jain_fairness([]) == 1.0
+
+
+class TestUtilizationTimeline:
+    def test_single_job(self):
+        times, busy = utilization_timeline([rec(wait=10.0, lr=100.0, nr=4)], n_servers=8)
+        assert list(times) == [10.0, 110.0]
+        assert list(busy) == [4, 0]
+
+    def test_overlap_stacks(self):
+        records = [rec(rid=0, wait=0.0, lr=100.0, nr=2), rec(rid=1, wait=50.0, lr=100.0, nr=3)]
+        times, busy = utilization_timeline(records, n_servers=8)
+        assert list(times) == [0.0, 50.0, 100.0, 150.0]
+        assert list(busy) == [2, 5, 3, 0]
+
+    def test_simultaneous_events_merge(self):
+        records = [rec(rid=0, wait=0.0, lr=100.0, nr=2), rec(rid=1, wait=100.0, lr=50.0, nr=2)]
+        times, busy = utilization_timeline(records, n_servers=8)
+        assert list(times) == [0.0, 100.0, 150.0]
+        assert list(busy) == [2, 2, 0]
+
+    def test_empty(self):
+        times, busy = utilization_timeline([], n_servers=4)
+        assert list(busy) == [0]
+
+    def test_bad_server_count(self):
+        with pytest.raises(ValueError):
+            utilization_timeline([], n_servers=0)
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        out = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert out == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_mid_height(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_nan_renders_blank(self):
+        assert sparkline([1.0, float("nan"), 2.0])[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_downsampling(self):
+        out = sparkline(list(range(100)), width=10)
+        assert len(out) == 10
+        assert out[0] == "▁" and out[-1] == "█"

@@ -1,0 +1,41 @@
+"""Unit tests for job records."""
+
+import pytest
+
+from repro.metrics.records import JobRecord
+
+
+def rec(start=100.0, sr=40.0, lr=60.0, nr=4):
+    return JobRecord(
+        rid=1, qr=40.0, sr=sr, lr=lr, nr=nr, start=start, attempts=2, ops=10, scheduler="online"
+    )
+
+
+class TestJobRecord:
+    def test_waiting_time(self):
+        assert rec().waiting_time == 60.0
+
+    def test_temporal_penalty(self):
+        # P^l = W / l = 60 / 60
+        assert rec().temporal_penalty == 1.0
+
+    def test_end_and_turnaround(self):
+        r = rec()
+        assert r.end == 160.0
+        assert r.turnaround == 120.0
+
+    def test_zero_wait(self):
+        r = rec(start=40.0)
+        assert r.waiting_time == 0.0
+        assert r.temporal_penalty == 0.0
+
+    def test_rejected_record(self):
+        r = rec(start=None)
+        assert r.rejected
+        with pytest.raises(ValueError, match="rejected"):
+            _ = r.waiting_time
+        with pytest.raises(ValueError, match="rejected"):
+            _ = r.end
+
+    def test_accepted_flag(self):
+        assert not rec().rejected

@@ -1,0 +1,61 @@
+"""Unit tests for the text table renderer."""
+
+import math
+
+from repro.metrics.report import fmt, format_series, format_table
+
+
+class TestFmt:
+    def test_float_precision(self):
+        assert fmt(3.14159, 2) == "3.14"
+
+    def test_nan_and_none(self):
+        assert fmt(float("nan")) == "—"
+        assert fmt(None) == "—"
+
+    def test_inf(self):
+        assert fmt(math.inf) == "inf"
+
+    def test_passthrough(self):
+        assert fmt("CTC") == "CTC"
+        assert fmt(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        header_cols = lines[0].index("value")
+        assert lines[2].index("1") == header_cols
+        assert lines[3].index("22") == header_cols
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        out = format_series(
+            [1, 2, 3],
+            {"online": [0.1, 0.2, 0.3], "batch": [0.4, 0.5, 0.6]},
+            "hours",
+            sparks=False,
+        )
+        lines = out.splitlines()
+        assert len(lines) == 5
+        assert "online" in lines[0] and "batch" in lines[0]
+
+    def test_short_series_padded(self):
+        out = format_series([1, 2], {"y": [0.5]}, "x")
+        assert "—" in out
+
+    def test_spark_legend_appended(self):
+        out = format_series([1, 2, 3], {"rising": [1.0, 2.0, 3.0]}, "x")
+        assert out.splitlines()[-1] == "rising  ▁▄█"

@@ -1,0 +1,138 @@
+"""Unit tests for the Section 5 statistics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.records import JobRecord
+from repro.metrics.stats import (
+    HOUR,
+    attempts_by_spatial_bin,
+    avg_waiting_by_spatial,
+    duration_histogram,
+    summarize,
+    temporal_penalty_by_duration,
+    waiting_time_histogram,
+)
+
+
+def rec(rid=0, wait_h=1.0, lr_h=2.0, nr=4, attempts=1, rejected=False):
+    sr = 0.0
+    return JobRecord(
+        rid=rid,
+        qr=sr,
+        sr=sr,
+        lr=lr_h * HOUR,
+        nr=nr,
+        start=None if rejected else sr + wait_h * HOUR,
+        attempts=attempts,
+        ops=5,
+        scheduler="test",
+    )
+
+
+class TestSummarize:
+    def test_basic_numbers(self):
+        records = [rec(rid=i, wait_h=float(i)) for i in range(5)]  # waits 0..4 h
+        s = summarize(records)
+        assert s.jobs == 5 and s.accepted == 5
+        assert s.mean_wait == pytest.approx(2.0)
+        assert s.median_wait == pytest.approx(2.0)
+        assert s.max_wait == pytest.approx(4.0)
+
+    def test_rejections_excluded_from_waits(self):
+        records = [rec(rid=0, wait_h=2.0), rec(rid=1, rejected=True)]
+        s = summarize(records)
+        assert s.jobs == 2 and s.accepted == 1
+        assert s.mean_wait == pytest.approx(2.0)
+        assert s.acceptance_rate == pytest.approx(0.5)
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.jobs == 0 and s.acceptance_rate == 1.0
+
+    def test_all_rejected(self):
+        s = summarize([rec(rejected=True)])
+        assert s.accepted == 0 and s.mean_wait == 0.0
+
+
+class TestWaitingHistogram:
+    def test_frequencies_sum_to_one(self):
+        records = [rec(rid=i, wait_h=float(i % 7)) for i in range(70)]
+        _, freq = waiting_time_histogram(records, bin_hours=1.0, max_hours=10.0)
+        assert freq.sum() == pytest.approx(1.0)
+
+    def test_tail_lands_in_last_bin(self):
+        records = [rec(wait_h=500.0)]
+        lefts, freq = waiting_time_histogram(records, bin_hours=1.0, max_hours=10.0)
+        assert freq[-1] == pytest.approx(1.0)
+        assert lefts[-1] == 9.0
+
+    def test_zero_wait_in_first_bin(self):
+        _, freq = waiting_time_histogram([rec(wait_h=0.0)], bin_hours=1.0, max_hours=4.0)
+        assert freq[0] == pytest.approx(1.0)
+
+    def test_empty_records(self):
+        lefts, freq = waiting_time_histogram([])
+        assert lefts.size == 0 and freq.size == 0
+
+
+class TestDurationHistogram:
+    def test_distribution_shape(self):
+        records = [rec(rid=i, lr_h=1.0) for i in range(3)] + [rec(rid=9, lr_h=5.0)]
+        lefts, freq = duration_histogram(records, bin_hours=2.0, max_hours=8.0)
+        assert freq[0] == pytest.approx(0.75)  # [0, 2): the three 1-hour jobs
+        assert freq[2] == pytest.approx(0.25)  # [4, 6): the 5-hour job
+
+    def test_includes_rejected_jobs(self):
+        # Figure 4(b) describes the workload, not the outcome
+        _, freq = duration_histogram([rec(rejected=True, lr_h=1.0)])
+        assert freq.sum() == pytest.approx(1.0)
+
+
+class TestTemporalPenalty:
+    def test_penalty_binned_by_duration(self):
+        records = [
+            rec(rid=0, wait_h=2.0, lr_h=0.5),  # penalty 4, bin [0,1)
+            rec(rid=1, wait_h=2.0, lr_h=4.5),  # penalty 0.444, bin [4,5)
+        ]
+        lefts, means = temporal_penalty_by_duration(records, bin_hours=1.0, max_hours=6.0)
+        assert means[0] == pytest.approx(4.0)
+        assert means[4] == pytest.approx(2.0 / 4.5)
+        assert np.isnan(means[2])
+
+    def test_small_jobs_show_higher_penalty(self):
+        # same absolute wait -> smaller jobs are penalized more (Figure 3)
+        records = [rec(rid=i, wait_h=1.0, lr_h=l) for i, l in enumerate([0.5, 2.5, 8.5])]
+        _, means = temporal_penalty_by_duration(records, bin_hours=1.0, max_hours=10.0)
+        valid = means[~np.isnan(means)]
+        assert (np.diff(valid) < 0).all()
+
+
+class TestSpatialMetrics:
+    def test_avg_waiting_by_spatial(self):
+        records = [
+            rec(rid=0, wait_h=1.0, nr=10),
+            rec(rid=1, wait_h=3.0, nr=20),
+            rec(rid=2, wait_h=10.0, nr=30),
+        ]
+        lefts, means = avg_waiting_by_spatial(records, bin_width=25)
+        assert means[0] == pytest.approx(2.0 * HOUR)  # nr 10 and 20
+        assert means[1] == pytest.approx(10.0 * HOUR)  # nr 30
+
+    def test_attempts_by_spatial_bin_matches_paper_grouping(self):
+        records = [
+            rec(rid=0, nr=10, attempts=2),
+            rec(rid=1, nr=50, attempts=4),  # 50 belongs to (0, 50]
+            rec(rid=2, nr=51, attempts=8),  # 51 belongs to (50, 100]
+        ]
+        table = attempts_by_spatial_bin(records, bin_width=50)
+        assert table[(0, 50)] == pytest.approx(3.0)
+        assert table[(50, 100)] == pytest.approx(8.0)
+
+    def test_empty_groups_absent(self):
+        table = attempts_by_spatial_bin([rec(nr=10)], bin_width=50)
+        assert list(table.keys()) == [(0, 50)]
+
+    def test_rejected_jobs_excluded(self):
+        table = attempts_by_spatial_bin([rec(rejected=True)], bin_width=50)
+        assert table == {}

@@ -1,0 +1,111 @@
+"""Dense (paper-literal) indexing ≡ tail-index optimization.
+
+DESIGN.md claims the tail index is a pure *representation* change: the
+paper registers trailing idle periods in every slot tree, we keep them in
+one sorted array, and on identical calendar state the two must agree on
+every feasibility question.  (Which of several equally feasible servers
+gets picked is tie-order the paper leaves unspecified; the two layouts
+break ties differently, so whole-run outcome equality is not the claim —
+per-state equivalence is.)
+
+The harness therefore keeps the two calendars in lock-step: the dense
+calendar drives scheduling, every allocation is mirrored onto the tail
+calendar server-for-server, and after each step the feasibility verdicts
+and range-search results of both representations are compared on the
+*same* state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calendar import AvailabilityCalendar
+from repro.core.coalloc import OnlineCoAllocator
+from repro.core.types import Request
+
+TAU = 10.0
+Q = 24
+N = 6
+RMAX = 8
+
+
+@st.composite
+def request_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    reqs = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=30.0, allow_nan=False, width=32))
+        lead = draw(st.sampled_from([0.0, 0.0, 15.0, 60.0]))
+        lr = draw(st.floats(min_value=1.0, max_value=80.0, allow_nan=False, width=32))
+        nr = draw(st.integers(min_value=1, max_value=N))
+        reqs.append(Request(qr=t, sr=t + lead, lr=lr, nr=nr, rid=i))
+    return reqs
+
+
+def _mirror(tail_cal: AvailabilityCalendar, allocation) -> None:
+    """Replay a dense-mode allocation onto the tail calendar, server-exact."""
+    for res in allocation.reservations:
+        host = [
+            p
+            for p in tail_cal.idle_periods(res.server)
+            if p.is_feasible(res.start, res.end)
+        ]
+        assert host, f"tail calendar cannot host mirrored reservation {res}"
+        tail_cal.allocate([host[0]], res.start, res.end, rid=res.rid)
+
+
+def lockstep(requests):
+    dense = AvailabilityCalendar(N, TAU, Q, indexing="dense")
+    tail = AvailabilityCalendar(N, TAU, Q, indexing="tail")
+    alloc = OnlineCoAllocator(dense, delta_t=TAU, r_max=RMAX)
+    for req in requests:
+        dense.advance(req.qr)
+        tail.advance(req.qr)
+        # probe a few windows on the *identical* state
+        yield req, dense, tail
+        a = alloc.schedule(req)
+        if a is not None:
+            _mirror(tail, a)
+    dense.validate()
+    tail.validate()
+
+
+class TestDenseEquivalence:
+    @given(requests=request_streams())
+    @settings(max_examples=120, deadline=None)
+    def test_feasibility_verdicts_agree_on_identical_state(self, requests):
+        for req, dense, tail in lockstep(requests):
+            base = max(req.sr, req.qr)
+            for k in range(RMAX):
+                t = base + k * TAU
+                if not dense.in_horizon(t):
+                    break
+                for nr in (1, req.nr, N):
+                    d = dense.find_feasible(t, t + req.lr, nr)
+                    s = tail.find_feasible(t, t + req.lr, nr)
+                    assert (d is None) == (s is None), (
+                        f"verdict differs at t={t}, nr={nr} for {req}"
+                    )
+                    if d is not None:
+                        assert len(d) == len(s) == nr
+
+    @given(requests=request_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_range_search_identical_on_identical_state(self, requests):
+        for req, dense, tail in lockstep(requests):
+            window = (req.qr + 5.0, req.qr + 25.0)
+            if dense.in_horizon(window[0]):
+                a = {(p.server, p.st, p.et) for p in dense.range_search(*window)}
+                b = {(p.server, p.st, p.et) for p in tail.range_search(*window)}
+                assert a == b, f"range search differs at {window}"
+
+    @given(requests=request_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_mirrored_states_stay_identical(self, requests):
+        """The per-server idle periods of both calendars coincide after
+        every mirrored allocation (ignoring uids)."""
+        for req, dense, tail in lockstep(requests):
+            for server in range(N):
+                d = [(p.st, p.et) for p in dense.idle_periods(server)]
+                s = [(p.st, p.et) for p in tail.idle_periods(server)]
+                assert d == s, f"server {server} diverged: {d} vs {s}"

@@ -1,0 +1,119 @@
+"""Property tests for workload infrastructure."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.profile import AvailabilityProfile
+from repro.workloads.swf import SWFJob, read_swf, swf_to_requests, write_swf
+
+_times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, width=32)
+_counts = st.integers(min_value=-1, max_value=4096)
+
+
+@st.composite
+def swf_jobs(draw):
+    return SWFJob(
+        job_number=draw(st.integers(1, 10**6)),
+        submit_time=draw(_times),
+        wait_time=draw(_times),
+        run_time=draw(_times),
+        allocated_processors=draw(_counts),
+        average_cpu_time=draw(_times),
+        used_memory=draw(_times),
+        requested_processors=draw(_counts),
+        requested_time=draw(_times),
+        requested_memory=draw(_times),
+        status=draw(st.sampled_from([-1, 0, 1, 5])),
+        user_id=draw(_counts),
+        group_id=draw(_counts),
+        executable=draw(_counts),
+        queue=draw(_counts),
+        partition=draw(_counts),
+        preceding_job=draw(_counts),
+        think_time=draw(_times),
+    )
+
+
+class TestSWFRoundTrip:
+    @given(jobs=st.lists(swf_jobs(), max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_write_read_identity(self, jobs):
+        buf = io.StringIO()
+        write_swf(jobs, buf)
+        parsed, _ = read_swf(io.StringIO(buf.getvalue()))
+        assert parsed == jobs
+
+    @given(jobs=st.lists(swf_jobs(), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_conversion_only_keeps_usable(self, jobs):
+        requests = swf_to_requests(jobs)
+        for r in requests:
+            assert r.lr > 0 and r.nr > 0
+            assert r.qr == r.sr
+        usable = [j for j in jobs if j.processors() > 0 and j.estimated_runtime() > 0]
+        assert len(requests) == len(usable)
+
+
+@st.composite
+def reservation_scripts(draw):
+    n = draw(st.integers(0, 20))
+    out = []
+    for _ in range(n):
+        start = draw(st.floats(min_value=0.0, max_value=100.0, width=32))
+        dur = draw(st.floats(min_value=0.5, max_value=50.0, width=32))
+        count = draw(st.integers(1, 8))
+        out.append((start, start + dur, count))
+    return out
+
+
+class TestProfileProperties:
+    @given(script=reservation_scripts())
+    @settings(max_examples=150, deadline=None)
+    def test_reserve_then_free_at_consistent(self, script):
+        """free_at must equal capacity minus the stacked reservations."""
+        profile = AvailabilityProfile(8)
+        accepted = []
+        for start, end, count in script:
+            try:
+                profile.reserve(start, end, count)
+                accepted.append((start, end, count))
+            except RuntimeError:
+                pass  # over capacity at some step — fine, must be unchanged
+            profile.validate()
+        for probe in (0.0, 10.0, 33.3, 75.0, 149.9, 200.0):
+            expected = 8 - sum(c for s, e, c in accepted if s <= probe < e)
+            assert profile.free_at(probe) == expected
+
+    @given(script=reservation_scripts(), n=st.integers(1, 8), dur=st.floats(0.5, 30.0, width=32))
+    @settings(max_examples=150, deadline=None)
+    def test_earliest_fit_is_correct_and_earliest(self, script, n, dur):
+        profile = AvailabilityProfile(8)
+        for start, end, count in script:
+            try:
+                profile.reserve(start, end, count)
+            except RuntimeError:
+                pass
+        t = profile.earliest_fit(0.0, dur, n)
+        # the returned slot truly fits
+        assert profile.fits(t, dur, n)
+        # no earlier breakpoint-aligned start fits
+        for bp, _ in profile.steps():
+            if bp < t:
+                assert not profile.fits(bp, dur, n), f"earlier fit at {bp} missed"
+
+    @given(script=reservation_scripts())
+    @settings(max_examples=80, deadline=None)
+    def test_advance_preserves_future(self, script):
+        profile = AvailabilityProfile(8)
+        for start, end, count in script:
+            try:
+                profile.reserve(start, end, count)
+            except RuntimeError:
+                pass
+        before = {t: profile.free_at(t) for t in (60.0, 90.0, 130.0)}
+        profile.advance(50.0)
+        profile.validate()
+        for t, free in before.items():
+            assert profile.free_at(t) == free

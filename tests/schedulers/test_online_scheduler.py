@@ -1,0 +1,97 @@
+"""Unit tests for the online scheduler adapter + simulation driver."""
+
+import pytest
+
+from repro.core.types import Request
+from repro.schedulers import EasyBackfillScheduler, OnlineScheduler
+from repro.sim.driver import run_simulation
+
+
+def req(qr, lr, nr, rid, sr=None):
+    return Request(qr=qr, sr=sr if sr is not None else qr, lr=lr, nr=nr, rid=rid)
+
+
+def make_online(n=4, tau=10.0, q=24, **kw):
+    return OnlineScheduler(n_servers=n, tau=tau, q_slots=q, **kw)
+
+
+class TestOnlineScheduler:
+    def test_immediate_allocation(self):
+        result = run_simulation(make_online(), [req(0.0, 30.0, 2, 0)])
+        rec = result.records[0]
+        assert rec.start == 0.0 and rec.attempts == 1 and not rec.rejected
+
+    def test_delayed_allocation_counts_attempts(self):
+        result = run_simulation(
+            make_online(n=1), [req(0.0, 25.0, 1, 0), req(0.0, 10.0, 1, 1)]
+        )
+        by_rid = {r.rid: r for r in result.records}
+        assert by_rid[1].start == 30.0
+        assert by_rid[1].attempts == 4
+
+    def test_rejection_after_r_max(self):
+        result = run_simulation(
+            make_online(n=1, r_max=2), [req(0.0, 45.0, 1, 0), req(0.0, 10.0, 1, 1)]
+        )
+        by_rid = {r.rid: r for r in result.records}
+        assert by_rid[1].rejected
+        assert result.rejected == 1
+
+    def test_oversized_rejected(self):
+        result = run_simulation(make_online(n=4), [req(0.0, 10.0, 5, 0)])
+        assert result.records[0].rejected
+
+    def test_ops_recorded_per_job(self):
+        result = run_simulation(make_online(), [req(0.0, 10.0, 2, 0)])
+        assert result.records[0].ops > 0
+        assert result.total_ops >= result.records[0].ops
+
+    def test_advance_reservation_honoured(self):
+        result = run_simulation(make_online(), [req(0.0, 10.0, 2, 0, sr=50.0)])
+        assert result.records[0].start == 50.0
+        assert result.records[0].waiting_time == 0.0
+
+    def test_utilization_counts_commitments(self):
+        # one job occupying the full machine for the whole makespan
+        result = run_simulation(make_online(n=2), [req(0.0, 40.0, 2, 0)])
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_defaults_follow_paper(self):
+        sched = make_online(q=24)
+        assert sched.r_max == 12  # Q / 2
+        assert sched.delta_t == 10.0  # tau
+
+
+class TestDriver:
+    def test_records_align_with_requests(self):
+        requests = [req(float(i), 10.0, 1, i) for i in range(5)]
+        result = run_simulation(make_online(), requests)
+        assert [r.rid for r in result.records] == [0, 1, 2, 3, 4]
+        assert all(r.scheduler == "online" for r in result.records)
+
+    def test_requests_sorted_by_submission(self):
+        requests = [req(5.0, 10.0, 1, 0), req(0.0, 10.0, 1, 1)]
+        result = run_simulation(make_online(), requests)
+        assert {r.rid for r in result.records} == {0, 1}
+
+    def test_empty_workload(self):
+        result = run_simulation(make_online(), [])
+        assert result.records == [] and result.makespan == 0.0
+
+    def test_acceptance_rate(self):
+        result = run_simulation(
+            make_online(n=1, r_max=1), [req(0.0, 500.0, 1, 0), req(0.0, 10.0, 1, 1)]
+        )
+        assert result.acceptance_rate == pytest.approx(0.5)
+
+    def test_batch_makespan_extends_past_last_arrival(self):
+        result = run_simulation(EasyBackfillScheduler(2), [req(0.0, 100.0, 2, 0)])
+        assert result.makespan == 100.0
+
+    def test_same_seeded_run_is_deterministic(self):
+        requests = [req(float(i) * 3.0, 20.0, (i % 4) + 1, i) for i in range(30)]
+        a = run_simulation(make_online(), list(requests))
+        b = run_simulation(make_online(), list(requests))
+        assert [(r.rid, r.start, r.attempts) for r in a.records] == [
+            (r.rid, r.start, r.attempts) for r in b.records
+        ]

@@ -1,0 +1,112 @@
+"""Unit tests for the availability profile used by backfilling."""
+
+import pytest
+
+from repro.schedulers.profile import AvailabilityProfile
+
+
+class TestReserve:
+    def test_free_at_reflects_reservations(self):
+        p = AvailabilityProfile(10, now=0.0)
+        p.reserve(5.0, 15.0, 4)
+        assert p.free_at(0.0) == 10
+        assert p.free_at(5.0) == 6
+        assert p.free_at(14.9) == 6
+        assert p.free_at(15.0) == 10
+
+    def test_overlapping_reservations_stack(self):
+        p = AvailabilityProfile(10)
+        p.reserve(0.0, 10.0, 4)
+        p.reserve(5.0, 15.0, 4)
+        assert p.free_at(7.0) == 2
+        assert p.free_at(12.0) == 6
+
+    def test_overbooking_raises(self):
+        p = AvailabilityProfile(4)
+        p.reserve(0.0, 10.0, 3)
+        with pytest.raises(RuntimeError, match="exceeds"):
+            p.reserve(5.0, 8.0, 2)
+
+    def test_failed_reserve_leaves_profile_unchanged(self):
+        p = AvailabilityProfile(4)
+        p.reserve(0.0, 10.0, 3)
+        before = p.steps()
+        with pytest.raises(RuntimeError):
+            p.reserve(5.0, 20.0, 2)
+        # breakpoints may have been inserted but free counts are untouched
+        assert [f for _, f in p.steps() if f < 0] == []
+        assert p.free_at(7.0) == 1
+        assert p.free_at(15.0) == 4
+        assert before  # silence lint
+
+    def test_empty_window_rejected(self):
+        p = AvailabilityProfile(4)
+        with pytest.raises(ValueError, match="empty"):
+            p.reserve(5.0, 5.0, 1)
+
+    def test_reserve_before_start_rejected(self):
+        p = AvailabilityProfile(4, now=10.0)
+        with pytest.raises(ValueError, match="before profile start"):
+            p.reserve(5.0, 15.0, 1)
+
+
+class TestEarliestFit:
+    def test_immediate_when_free(self):
+        p = AvailabilityProfile(8)
+        assert p.earliest_fit(0.0, 10.0, 8) == 0.0
+
+    def test_waits_for_release(self):
+        p = AvailabilityProfile(8)
+        p.reserve(0.0, 20.0, 6)
+        assert p.earliest_fit(0.0, 10.0, 4) == 20.0
+
+    def test_fits_in_gap(self):
+        p = AvailabilityProfile(8)
+        p.reserve(0.0, 10.0, 8)
+        p.reserve(30.0, 40.0, 8)
+        assert p.earliest_fit(0.0, 20.0, 4) == 10.0
+        assert p.earliest_fit(0.0, 25.0, 4) == 40.0
+
+    def test_respects_after(self):
+        p = AvailabilityProfile(8)
+        assert p.earliest_fit(17.0, 5.0, 2) == 17.0
+
+    def test_impossible_count_raises(self):
+        p = AvailabilityProfile(8)
+        with pytest.raises(ValueError, match="no fit"):
+            p.earliest_fit(0.0, 1.0, 9)
+
+    def test_fit_spanning_multiple_steps(self):
+        p = AvailabilityProfile(8)
+        p.reserve(0.0, 10.0, 2)
+        p.reserve(10.0, 20.0, 3)
+        p.reserve(20.0, 30.0, 4)
+        # 4 processors are free throughout [0, 30)
+        assert p.earliest_fit(0.0, 30.0, 4) == 0.0
+        # 5 are only free from t=20 on... no: [20,30) has 4 free; from 30 all 8
+        assert p.earliest_fit(0.0, 30.0, 5) == 30.0
+
+
+class TestAdvance:
+    def test_advance_drops_history(self):
+        p = AvailabilityProfile(8)
+        p.reserve(0.0, 10.0, 4)
+        p.reserve(20.0, 30.0, 2)
+        p.advance(15.0)
+        assert p.now == 15.0
+        assert p.free_at(15.0) == 8
+        assert p.free_at(25.0) == 6
+        p.validate()
+
+    def test_advance_backwards_rejected(self):
+        p = AvailabilityProfile(8, now=10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            p.advance(5.0)
+
+
+class TestValidate:
+    def test_validate_accepts_consistent_profile(self):
+        p = AvailabilityProfile(8)
+        p.reserve(1.0, 4.0, 2)
+        p.reserve(2.0, 6.0, 3)
+        p.validate()

@@ -1,0 +1,140 @@
+"""Tests for runtime-estimate inaccuracy and early-completion reclamation."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Request
+from repro.schedulers import EasyBackfillScheduler, OnlineScheduler
+from repro.sim.driver import run_simulation
+from repro.workloads.archive import generate_workload
+from repro.workloads.models import EstimateAccuracy
+
+
+def req(qr, lr, nr, rid, actual=None, sr=None):
+    return Request(qr=qr, sr=sr if sr is not None else qr, lr=lr, nr=nr, rid=rid, actual_lr=actual)
+
+
+class TestRequestActuals:
+    def test_runtime_defaults_to_estimate(self):
+        assert req(0.0, 100.0, 1, 0).runtime == 100.0
+
+    def test_runtime_uses_actual(self):
+        assert req(0.0, 100.0, 1, 0, actual=40.0).runtime == 40.0
+
+    def test_actual_cannot_exceed_estimate(self):
+        with pytest.raises(ValueError, match="actual runtime"):
+            req(0.0, 100.0, 1, 0, actual=150.0)
+
+    def test_actual_must_be_positive(self):
+        with pytest.raises(ValueError, match="actual runtime"):
+            req(0.0, 100.0, 1, 0, actual=0.0)
+
+
+class TestEstimateAccuracyModel:
+    def test_factors_in_range(self):
+        model = EstimateAccuracy(p_exact=0.2, min_fraction=0.1)
+        factors = model.sample(np.random.default_rng(0), 5000)
+        assert factors.min() >= 0.1
+        assert factors.max() <= 1.0
+
+    def test_exact_spike(self):
+        model = EstimateAccuracy(p_exact=0.3)
+        factors = model.sample(np.random.default_rng(1), 20000)
+        assert (factors == 1.0).mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_mean_fraction_matches_samples(self):
+        model = EstimateAccuracy()
+        factors = model.sample(np.random.default_rng(2), 50000)
+        assert factors.mean() == pytest.approx(model.mean_fraction(), rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="p_exact"):
+            EstimateAccuracy(p_exact=1.5)
+        with pytest.raises(ValueError, match="min_fraction"):
+            EstimateAccuracy(min_fraction=0.0)
+
+    def test_generator_integration(self):
+        reqs = generate_workload("KTH", n_jobs=500, seed=1, accuracy=EstimateAccuracy())
+        assert all(r.actual_lr is not None and r.actual_lr <= r.lr for r in reqs)
+        assert any(r.actual_lr < r.lr for r in reqs)
+
+
+class TestBatchWithActuals:
+    def test_early_completion_frees_processors(self):
+        # the big job ends (actually) at t=20; the follower starts then,
+        # not at the estimated t=100
+        jobs = [req(0.0, 100.0, 4, 0, actual=20.0), req(1.0, 10.0, 4, 1)]
+        result = run_simulation(EasyBackfillScheduler(4), jobs)
+        starts = {r.rid: r.start for r in result.records}
+        assert starts[1] == 20.0
+
+    def test_backfill_plans_on_estimates(self):
+        # head needs the whole machine; a candidate that would end after
+        # the *estimated* shadow may not backfill, even though the
+        # running job will actually finish early
+        jobs = [
+            req(0.0, 100.0, 3, 0, actual=10.0),  # estimated shadow at 100
+            req(1.0, 50.0, 4, 1),  # head, blocked
+            req(2.0, 120.0, 1, 2),  # ends at ~122 > shadow 100, 0 extra
+        ]
+        result = run_simulation(EasyBackfillScheduler(4), jobs)
+        starts = {r.rid: r.start for r in result.records}
+        assert starts[2] >= starts[1], "candidate must not backfill past the estimate-based shadow"
+
+
+class TestOnlineReclamation:
+    def test_without_reclaim_surplus_stays_reserved(self):
+        sched = OnlineScheduler(n_servers=1, tau=10.0, q_slots=24)
+        jobs = [req(0.0, 100.0, 1, 0, actual=20.0), req(30.0, 10.0, 1, 1)]
+        result = run_simulation(sched, jobs)
+        starts = {r.rid: r.start for r in result.records}
+        assert starts[1] == 100.0  # reservation holds to the estimate
+
+    def test_reclaim_frees_surplus(self):
+        sched = OnlineScheduler(n_servers=1, tau=10.0, q_slots=24, reclaim_early=True)
+        jobs = [req(0.0, 100.0, 1, 0, actual=20.0), req(30.0, 10.0, 1, 1)]
+        result = run_simulation(sched, jobs)
+        starts = {r.rid: r.start for r in result.records}
+        assert starts[1] == 30.0  # the surplus [20, 100) was returned at t=20
+
+    def test_reclaim_improves_utilization_accounting(self):
+        plain = OnlineScheduler(n_servers=2, tau=10.0, q_slots=24)
+        reclaiming = OnlineScheduler(n_servers=2, tau=10.0, q_slots=24, reclaim_early=True)
+        jobs = [req(0.0, 100.0, 2, 0, actual=25.0)]
+        a = run_simulation(plain, list(jobs))
+        b = run_simulation(reclaiming, list(jobs))
+        assert b.utilization < a.utilization  # same work, shorter busy integral
+
+    def test_reclaim_calendar_stays_consistent(self):
+        sched = OnlineScheduler(n_servers=4, tau=10.0, q_slots=24, reclaim_early=True)
+        jobs = [
+            req(float(i), 60.0, 2, i, actual=15.0 + i) for i in range(6)
+        ]
+        run_simulation(sched, jobs)
+        assert sched.calendar is not None
+        sched.calendar.validate()
+
+    def test_reclaim_noop_for_exact_estimates(self):
+        sched = OnlineScheduler(n_servers=1, tau=10.0, q_slots=24, reclaim_early=True)
+        jobs = [req(0.0, 50.0, 1, 0), req(10.0, 10.0, 1, 1)]
+        result = run_simulation(sched, jobs)
+        starts = {r.rid: r.start for r in result.records}
+        assert starts[1] == 50.0
+
+
+class TestReclamationAtScale:
+    def test_reclamation_reduces_waits_under_overestimates(self):
+        requests = generate_workload(
+            "KTH", n_jobs=600, seed=11, accuracy=EstimateAccuracy(p_exact=0.1)
+        )
+        plain = run_simulation(
+            OnlineScheduler(n_servers=128, tau=900.0, q_slots=288), list(requests)
+        )
+        reclaiming = run_simulation(
+            OnlineScheduler(n_servers=128, tau=900.0, q_slots=288, reclaim_early=True),
+            list(requests),
+        )
+        waits_plain = np.mean([r.waiting_time for r in plain.accepted])
+        waits_reclaim = np.mean([r.waiting_time for r in reclaiming.accepted])
+        assert waits_reclaim <= waits_plain
+        assert reclaiming.acceptance_rate >= plain.acceptance_rate

@@ -1,0 +1,74 @@
+"""Unit tests for the fungible-processor cluster model."""
+
+import pytest
+
+from repro.sim.cluster import Cluster
+
+
+class TestAcquireRelease:
+    def test_initially_all_free(self):
+        c = Cluster(16)
+        assert c.free == 16 and c.busy == 0
+
+    def test_acquire_decrements(self):
+        c = Cluster(16)
+        c.acquire(5, now=0.0)
+        assert c.free == 11 and c.busy == 5
+
+    def test_over_acquire_raises(self):
+        c = Cluster(4)
+        with pytest.raises(RuntimeError, match="only"):
+            c.acquire(5, now=0.0)
+
+    def test_release_restores(self):
+        c = Cluster(8)
+        c.acquire(3, now=0.0)
+        c.release(3, now=1.0)
+        assert c.free == 8
+
+    def test_over_release_raises(self):
+        c = Cluster(8)
+        with pytest.raises(RuntimeError, match="capacity"):
+            c.release(1, now=0.0)
+
+    def test_nonpositive_counts_rejected(self):
+        c = Cluster(8)
+        with pytest.raises(ValueError):
+            c.acquire(0, now=0.0)
+        c.acquire(2, now=0.0)
+        with pytest.raises(ValueError):
+            c.release(-1, now=1.0)
+
+    def test_time_backwards_raises(self):
+        c = Cluster(8)
+        c.acquire(1, now=5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            c.acquire(1, now=4.0)
+
+
+class TestUtilization:
+    def test_idle_cluster_utilization_zero(self):
+        c = Cluster(10)
+        assert c.utilization(now=100.0) == 0.0
+
+    def test_fully_busy(self):
+        c = Cluster(10)
+        c.acquire(10, now=0.0)
+        assert c.utilization(now=50.0) == pytest.approx(1.0)
+
+    def test_half_busy_half_time(self):
+        c = Cluster(10)
+        c.acquire(5, now=0.0)
+        c.release(5, now=50.0)
+        assert c.utilization(now=100.0) == pytest.approx(0.25)
+
+    def test_busy_area_integrates_steps(self):
+        c = Cluster(4)
+        c.acquire(2, now=0.0)  # 2 busy over [0, 10)
+        c.acquire(2, now=10.0)  # 4 busy over [10, 20)
+        c.release(4, now=20.0)
+        assert c.busy_area(30.0) == pytest.approx(2 * 10 + 4 * 10)
+
+    def test_zero_span(self):
+        c = Cluster(4)
+        assert c.utilization(now=0.0) == 0.0

@@ -1,0 +1,115 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        fired = []
+        eng.at(5.0, lambda: fired.append("b"))
+        eng.at(1.0, lambda: fired.append("a"))
+        eng.at(9.0, lambda: fired.append("c"))
+        eng.run()
+        assert fired == ["a", "b", "c"]
+        assert eng.now == 9.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        eng = Engine()
+        fired = []
+        for tag in "abc":
+            eng.at(3.0, lambda tag=tag: fired.append(tag))
+        eng.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_after_is_relative(self):
+        eng = Engine(start_time=10.0)
+        fired = []
+        eng.after(5.0, lambda: fired.append(eng.now))
+        eng.run()
+        assert fired == [15.0]
+
+    def test_cannot_schedule_in_past(self):
+        eng = Engine(start_time=10.0)
+        with pytest.raises(ValueError, match="past"):
+            eng.at(9.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError, match="non-negative"):
+            eng.after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        eng = Engine()
+        fired = []
+
+        def cascade():
+            fired.append(eng.now)
+            if eng.now < 3.0:
+                eng.after(1.0, cascade)
+
+        eng.at(1.0, cascade)
+        eng.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        fired = []
+        handle = eng.at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        eng.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        handle = eng.at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        eng.run()
+
+    def test_pending_ignores_cancelled(self):
+        eng = Engine()
+        eng.at(1.0, lambda: None)
+        h = eng.at(2.0, lambda: None)
+        h.cancel()
+        assert eng.pending() == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_clock_exactly(self):
+        eng = Engine()
+        fired = []
+        eng.at(5.0, lambda: fired.append("early"))
+        eng.at(15.0, lambda: fired.append("late"))
+        eng.run(until=10.0)
+        assert fired == ["early"]
+        assert eng.now == 10.0
+        eng.run()
+        assert fired == ["early", "late"]
+
+    def test_peek(self):
+        eng = Engine()
+        assert eng.peek() is None
+        eng.at(4.0, lambda: None)
+        assert eng.peek() == 4.0
+
+    def test_step_returns_false_when_drained(self):
+        eng = Engine()
+        assert eng.step() is False
+        eng.at(1.0, lambda: None)
+        assert eng.step() is True
+        assert eng.step() is False
+
+    def test_reentrant_run_rejected(self):
+        eng = Engine()
+
+        def evil():
+            eng.run()
+
+        eng.at(1.0, evil)
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            eng.run()

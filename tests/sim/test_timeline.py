@@ -1,0 +1,87 @@
+"""Tests for schedule timelines and Gantt rendering."""
+
+import pytest
+
+from repro.core.calendar import AvailabilityCalendar
+from repro.core.types import INF
+from repro.sim.timeline import Segment, gantt, server_timeline
+
+
+def busy_calendar() -> AvailabilityCalendar:
+    cal = AvailabilityCalendar(n_servers=2, tau=10.0, q_slots=12)
+    cal.allocate(cal.find_feasible(20.0, 50.0, 1), 20.0, 50.0)  # server A
+    return cal
+
+
+class TestServerTimeline:
+    def test_idle_server_is_one_idle_segment(self):
+        cal = AvailabilityCalendar(n_servers=1, tau=10.0, q_slots=12)
+        segs = server_timeline(cal, 0)
+        assert len(segs) == 1
+        assert not segs[0].busy
+        assert segs[0].start == 0.0 and segs[0].end == 120.0  # clipped at horizon
+
+    def test_busy_window_appears(self):
+        cal = busy_calendar()
+        busy_server = next(
+            s for s in range(2) if len(cal.idle_periods(s)) == 2
+        )
+        segs = server_timeline(cal, busy_server)
+        assert [(s.start, s.end, s.busy) for s in segs] == [
+            (0.0, 20.0, False),
+            (20.0, 50.0, True),
+            (50.0, 120.0, False),
+        ]
+
+    def test_segments_tile_the_window(self):
+        cal = busy_calendar()
+        for server in range(2):
+            segs = server_timeline(cal, server)
+            assert segs[0].start == cal.horizon_start
+            for a, b in zip(segs, segs[1:]):
+                assert a.end == b.start
+            assert segs[-1].end == cal.horizon_end
+
+    def test_until_clips(self):
+        cal = busy_calendar()
+        segs = server_timeline(cal, 0, until=30.0)
+        assert segs[-1].end == 30.0
+
+    def test_segment_duration(self):
+        assert Segment(server=0, start=5.0, end=15.0, busy=True).duration == 10.0
+
+
+class TestGantt:
+    def test_rows_and_header(self):
+        cal = busy_calendar()
+        chart = gantt(cal, start=0.0, end=120.0, width=12)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # header + 2 servers
+        assert lines[0].startswith("t = [0, 120)")
+
+    def test_busy_columns_marked(self):
+        cal = busy_calendar()
+        chart = gantt(cal, start=0.0, end=120.0, width=12)
+        busy_row = next(line for line in chart.splitlines()[1:] if "#" in line)
+        cells = busy_row.split(" ", 1)[1]
+        # busy over [20, 50) with 10-unit columns -> columns 2, 3, 4
+        assert cells == "··###·······"
+
+    def test_idle_server_all_idle(self):
+        cal = busy_calendar()
+        idle_row = next(line for line in chart_lines(cal) if "#" not in line)
+        assert set(idle_row.split(" ", 1)[1]) == {"·"}
+
+    def test_empty_window_rejected(self):
+        cal = busy_calendar()
+        with pytest.raises(ValueError, match="empty"):
+            gantt(cal, start=10.0, end=10.0)
+
+    def test_bad_width_rejected(self):
+        cal = busy_calendar()
+        with pytest.raises(ValueError, match="width"):
+            gantt(cal, width=0)
+
+
+def chart_lines(cal):
+    return gantt(cal, start=0.0, end=120.0, width=12).splitlines()[1:]

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_artifacts(self):
+        args = build_parser().parse_args(["experiment", "table1", "--scale", "smoke"])
+        assert args.artifact == "table1" and args.scale == "smoke"
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.workload == "KTH" and args.scheduler == "online"
+        assert args.rho == 0.0 and not args.reclaim
+
+
+class TestSimulate(object):
+    def test_online_summary(self, capsys):
+        rc = main(["simulate", "--jobs", "120", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scheduler:    online" in out
+        assert "waiting time" in out and "utilization" in out
+
+    def test_batch_summary(self, capsys):
+        rc = main(["simulate", "--scheduler", "easy", "--jobs", "120"])
+        assert rc == 0
+        assert "easy" in capsys.readouterr().out
+
+    def test_rho_and_reclaim_flags(self, capsys):
+        rc = main(
+            ["simulate", "--jobs", "100", "--rho", "0.5",
+             "--inaccurate-estimates", "--reclaim"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rho 0.5" in out and "+reclaim" in out
+
+
+class TestGenerateAndInfo:
+    def test_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "kth.swf"
+        rc = main(["generate", "--jobs", "150", "--out", str(out_file)])
+        assert rc == 0 and out_file.exists()
+        capsys.readouterr()
+        rc = main(["swf-info", str(out_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "jobs:        150 (150 usable)" in out
+        assert "Computer: repro synthetic KTH" in out
+
+    def test_generated_swf_feeds_simulator(self, tmp_path):
+        from repro.schedulers import OnlineScheduler
+        from repro.sim.driver import run_simulation
+        from repro.workloads.swf import read_swf, swf_to_requests
+
+        out_file = tmp_path / "ctc.swf"
+        main(["generate", "--workload", "CTC", "--jobs", "100", "--out", str(out_file)])
+        jobs, _ = read_swf(out_file)
+        requests = swf_to_requests(jobs)
+        result = run_simulation(OnlineScheduler(n_servers=512, tau=900.0, q_slots=96), requests)
+        assert len(result.records) == 100
+
+
+class TestExperimentCommand:
+    def test_table1_smoke(self, capsys):
+        rc = main(["experiment", "table1", "--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 1" in out and "CTC" in out

@@ -1,0 +1,103 @@
+"""End-to-end scenario: a day in the life of one scheduler instance.
+
+Exercises the whole public surface in one realistic interleaving —
+on-demand jobs, advance reservations, range-search-then-commit,
+deadlines, cancellations, early releases, clock advances across many
+slot rollovers — validating calendar invariants and accounting at every
+step.  This is the "does it hold together" test the unit suite can't
+give.
+"""
+
+import random
+
+import pytest
+
+from repro import CoAllocationScheduler, Request
+from repro.sim.timeline import gantt, server_timeline
+
+HOUR = 3600.0
+
+
+class TestDayInTheLife:
+    def test_mixed_day(self):
+        rng = random.Random(2024)
+        sched = CoAllocationScheduler(n_servers=16, tau=900.0, q_slots=96)
+        live: list[int] = []
+        accepted = rejected = 0
+        committed_area = 0.0
+        rid = 0
+
+        for step in range(120):
+            now = step * 600.0  # events every 10 minutes
+            sched.advance(now)
+            action = rng.random()
+            rid += 1
+            if action < 0.45:  # on-demand job
+                req = Request(
+                    qr=now, sr=now,
+                    lr=rng.uniform(900.0, 4 * HOUR),
+                    nr=rng.randint(1, 8),
+                    rid=rid,
+                )
+                a = sched.schedule(req)
+            elif action < 0.65:  # advance reservation
+                req = Request(
+                    qr=now, sr=now + rng.uniform(0, 3 * HOUR),
+                    lr=rng.uniform(900.0, 2 * HOUR),
+                    nr=rng.randint(1, 6),
+                    rid=rid,
+                )
+                a = sched.schedule(req)
+            elif action < 0.75:  # deadline job
+                lr = rng.uniform(900.0, HOUR)
+                req = Request(
+                    qr=now, sr=now, lr=lr, nr=rng.randint(1, 4),
+                    rid=rid, deadline=now + lr + rng.uniform(0, 2 * HOUR),
+                )
+                a = sched.schedule(req)
+            elif action < 0.9 and live:  # cancel something future
+                victim = live.pop(rng.randrange(len(live)))
+                try:
+                    sched.cancel(victim)
+                except KeyError:
+                    pass
+                continue
+            else:  # range search + commit
+                ta = now + 1800.0
+                tb = ta + 1800.0
+                free = sched.range_search(ta, tb)
+                if free:
+                    chosen = free[: rng.randint(1, min(3, len(free)))]
+                    a = sched.commit(chosen, ta, tb, rid=rid)
+                else:
+                    a = None
+            if a is not None:
+                accepted += 1
+                live.append(a.rid)
+                committed_area += (a.end - a.start) * a.nr
+            else:
+                rejected += 1
+            if step % 20 == 0:
+                sched.calendar.validate()
+
+        sched.calendar.validate()
+        assert accepted > 50, "scenario should mostly succeed"
+        # utilization over the active span is sane
+        util = sched.utilization(0.0, 120 * 600.0)
+        assert 0.0 <= util <= 1.0
+        # the timeline view agrees with the calendar on every server
+        for server in range(16):
+            segments = server_timeline(sched.calendar, server)
+            for a_seg, b_seg in zip(segments, segments[1:]):
+                assert a_seg.end == b_seg.start
+
+    def test_gantt_renders_after_the_day(self):
+        sched = CoAllocationScheduler(n_servers=4, tau=900.0, q_slots=24)
+        for i in range(6):
+            sched.schedule(
+                Request(qr=0.0, sr=i * 1800.0, lr=3600.0, nr=2, rid=i)
+            )
+        chart = gantt(sched.calendar, width=24)
+        lines = chart.splitlines()
+        assert len(lines) == 5
+        assert any("#" in line for line in lines[1:])

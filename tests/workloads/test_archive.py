@@ -1,0 +1,98 @@
+"""Tests for the calibrated synthetic trace generators (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.archive import WORKLOADS, generate_workload, workload_table
+
+HOUR = 3600.0
+
+#: Table 1 of the paper: (processors, jobs, avg estimated l_r in hours)
+PAPER_TABLE_1 = {
+    "CTC": (512, 39734, 5.82),
+    "KTH": (128, 28481, 2.46),
+    "HPC2N": (240, 202825, 4.72),
+}
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", ["CTC", "KTH", "HPC2N"])
+    def test_processor_counts_match_paper(self, name):
+        assert WORKLOADS[name].n_servers == PAPER_TABLE_1[name][0]
+
+    @pytest.mark.parametrize("name", ["CTC", "KTH", "HPC2N"])
+    def test_job_counts_match_paper(self, name):
+        assert WORKLOADS[name].n_jobs == PAPER_TABLE_1[name][1]
+
+    @pytest.mark.parametrize("name", ["CTC", "KTH", "HPC2N"])
+    def test_mean_duration_matches_paper(self, name):
+        reqs = generate_workload(name, n_jobs=20000, seed=0)
+        mean_hours = np.mean([r.lr for r in reqs]) / HOUR
+        assert mean_hours == pytest.approx(PAPER_TABLE_1[name][2], rel=0.12)
+
+    def test_kth_dominated_by_short_jobs(self):
+        # Figure 4(b): most KTH jobs run under 2 hours
+        reqs = generate_workload("KTH", n_jobs=20000, seed=1)
+        short = np.mean([r.lr < 2 * HOUR for r in reqs])
+        assert short > 0.5
+
+    def test_ctc_few_short_jobs(self):
+        # Figure 4(b): at most ~14% of CTC jobs are under 2 hours
+        reqs = generate_workload("CTC", n_jobs=20000, seed=1)
+        short = np.mean([r.lr < 2 * HOUR for r in reqs])
+        assert short < 0.2
+
+    @pytest.mark.parametrize("name", ["CTC", "KTH", "HPC2N"])
+    def test_sizes_bounded_by_machine(self, name):
+        reqs = generate_workload(name, n_jobs=5000, seed=2)
+        spec = WORKLOADS[name]
+        assert max(r.nr for r in reqs) <= spec.n_servers
+        assert min(r.nr for r in reqs) >= 1
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        a = generate_workload("KTH", n_jobs=500, seed=3)
+        b = generate_workload("KTH", n_jobs=500, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_workload("KTH", n_jobs=500, seed=3)
+        b = generate_workload("KTH", n_jobs=500, seed=4)
+        assert a != b
+
+    def test_arrivals_sorted(self):
+        reqs = generate_workload("CTC", n_jobs=2000, seed=5)
+        times = [r.qr for r in reqs]
+        assert times == sorted(times)
+
+    def test_on_demand_by_default(self):
+        reqs = generate_workload("CTC", n_jobs=100, seed=6)
+        assert all(r.qr == r.sr for r in reqs)
+
+    def test_load_override_changes_density(self):
+        light = generate_workload("KTH", n_jobs=3000, seed=7, offered_load=0.3)
+        heavy = generate_workload("KTH", n_jobs=3000, seed=7, offered_load=0.9)
+        assert light[-1].qr > heavy[-1].qr  # same work spread over longer span
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_workload("KTH", n_jobs=0)
+
+    def test_unknown_system_raises(self):
+        with pytest.raises(KeyError):
+            generate_workload("NERSC")
+
+
+class TestWorkloadTable:
+    def test_analytic_rows(self):
+        rows = {name: (n, jobs, avg) for name, n, jobs, avg in workload_table()}
+        for name, (procs, jobs, avg) in PAPER_TABLE_1.items():
+            got = rows[name]
+            assert got[0] == procs
+            assert got[1] == jobs
+            assert got[2] == pytest.approx(avg, rel=0.15)
+
+    def test_sampled_rows(self):
+        rows = workload_table(n_jobs=2000, seed=0)
+        assert all(jobs == 2000 for _, _, jobs, _ in rows)

@@ -1,0 +1,111 @@
+"""Unit tests for the workload model distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.models import DAY, ArrivalProcess, LognormalMixture, PowerOfTwoSizes
+
+
+class TestLognormalMixture:
+    def test_mean_calibration(self):
+        mix = LognormalMixture(
+            components=((0.5, 1800.0, 1.0), (0.5, 18000.0, 0.8)),
+            min_value=60.0,
+            max_value=1e6,
+        )
+        rng = np.random.default_rng(0)
+        samples = mix.sample(rng, 40000)
+        # clamping slightly shifts the mean; 10% tolerance
+        assert samples.mean() == pytest.approx(mix.mean(), rel=0.1)
+
+    def test_samples_within_bounds(self):
+        mix = LognormalMixture(components=((1.0, 3600.0, 1.5),), min_value=900.0, max_value=7200.0)
+        rng = np.random.default_rng(1)
+        samples = mix.sample(rng, 5000)
+        assert samples.min() >= 900.0
+        assert samples.max() <= 7200.0
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            LognormalMixture(components=((0.5, 100.0, 1.0),))
+
+    def test_rejects_bad_component(self):
+        with pytest.raises(ValueError, match="bad component"):
+            LognormalMixture(components=((1.0, -5.0, 1.0),))
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="min"):
+            LognormalMixture(components=((1.0, 100.0, 1.0),), min_value=10.0, max_value=5.0)
+
+    def test_reproducible(self):
+        mix = LognormalMixture(components=((1.0, 3600.0, 1.0),))
+        a = mix.sample(np.random.default_rng(7), 100)
+        b = mix.sample(np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)
+
+
+class TestPowerOfTwoSizes:
+    def test_sizes_within_bounds(self):
+        dist = PowerOfTwoSizes(max_size=128)
+        samples = dist.sample(np.random.default_rng(2), 5000)
+        assert samples.min() >= 1
+        assert samples.max() <= 128
+
+    def test_serial_fraction(self):
+        dist = PowerOfTwoSizes(max_size=64, p_serial=0.4, p_power=0.5)
+        samples = dist.sample(np.random.default_rng(3), 20000)
+        assert (samples == 1).mean() == pytest.approx(0.4, abs=0.03)
+
+    def test_powers_dominate(self):
+        dist = PowerOfTwoSizes(max_size=256, p_serial=0.2, p_power=0.7)
+        samples = dist.sample(np.random.default_rng(4), 20000)
+        is_pow2 = (samples & (samples - 1)) == 0
+        assert is_pow2.mean() > 0.8  # serial (2^0) + explicit powers + luck
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="max_size"):
+            PowerOfTwoSizes(max_size=1)
+        with pytest.raises(ValueError, match="exceed"):
+            PowerOfTwoSizes(max_size=8, p_serial=0.7, p_power=0.7)
+        with pytest.raises(ValueError, match="geo_decay"):
+            PowerOfTwoSizes(max_size=8, geo_decay=1.5)
+
+    def test_mean_is_stable(self):
+        dist = PowerOfTwoSizes(max_size=128)
+        assert dist.mean() == pytest.approx(dist.mean(), rel=1e-9)
+
+
+class TestArrivalProcess:
+    def test_rate_controls_density(self):
+        proc = ArrivalProcess(rate=0.01)
+        times = proc.sample(np.random.default_rng(5), 5000)
+        mean_gap = np.diff(times).mean()
+        assert mean_gap == pytest.approx(100.0, rel=0.1)
+
+    def test_times_are_increasing(self):
+        proc = ArrivalProcess(rate=0.1, cycle_amplitude=0.5)
+        times = proc.sample(np.random.default_rng(6), 2000)
+        assert (np.diff(times) > 0).all()
+
+    def test_cycle_preserves_average_rate(self):
+        flat = ArrivalProcess(rate=0.01)
+        waved = ArrivalProcess(rate=0.01, cycle_amplitude=0.6)
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        span_flat = flat.sample(rng_a, 20000)[-1]
+        span_waved = waved.sample(rng_b, 20000)[-1]
+        assert span_waved == pytest.approx(span_flat, rel=0.1)
+
+    def test_cycle_modulates_density(self):
+        proc = ArrivalProcess(rate=0.02, cycle_amplitude=0.8)
+        times = proc.sample(np.random.default_rng(8), 30000)
+        phase = (times % DAY) / DAY
+        # arrivals in the peak half-cycle should clearly outnumber the trough
+        peak = ((phase > 0.0) & (phase < 0.5)).sum()
+        trough = ((phase >= 0.5) & (phase < 1.0)).sum()
+        assert peak > 1.3 * trough
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            ArrivalProcess(rate=0.0)
+        with pytest.raises(ValueError, match="amplitude"):
+            ArrivalProcess(rate=1.0, cycle_amplitude=1.0)

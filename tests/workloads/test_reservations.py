@@ -1,0 +1,61 @@
+"""Tests for the advance-reservation transformer (Section 5.2)."""
+
+import pytest
+
+from repro.core.types import Request
+from repro.workloads.reservations import MAX_LEAD, with_advance_reservations
+
+
+def make_requests(n=100):
+    return [Request(qr=float(i) * 10.0, sr=float(i) * 10.0, lr=100.0, nr=2, rid=i) for i in range(n)]
+
+
+class TestTransformation:
+    def test_rho_zero_is_identity(self):
+        reqs = make_requests()
+        assert with_advance_reservations(reqs, 0.0) == reqs
+
+    def test_rho_one_converts_everything(self):
+        out = with_advance_reservations(make_requests(), 1.0, seed=1)
+        assert all(r.sr > r.qr for r in out)
+
+    @pytest.mark.parametrize("rho", [0.2, 0.4, 0.6, 0.8])
+    def test_fraction_is_respected(self, rho):
+        out = with_advance_reservations(make_requests(200), rho, seed=2)
+        converted = sum(1 for r in out if r.sr > r.qr)
+        assert converted == round(rho * 200)
+
+    def test_lead_times_within_three_hours(self):
+        out = with_advance_reservations(make_requests(), 1.0, seed=3)
+        for r in out:
+            assert 0.0 <= r.sr - r.qr <= MAX_LEAD
+
+    def test_other_fields_preserved(self):
+        reqs = make_requests()
+        out = with_advance_reservations(reqs, 0.5, seed=4)
+        for before, after in zip(reqs, out):
+            assert after.qr == before.qr
+            assert after.lr == before.lr
+            assert after.nr == before.nr
+            assert after.rid == before.rid
+
+    def test_reproducible(self):
+        reqs = make_requests()
+        a = with_advance_reservations(reqs, 0.5, seed=5)
+        b = with_advance_reservations(reqs, 0.5, seed=5)
+        assert a == b
+
+    def test_custom_lead(self):
+        out = with_advance_reservations(make_requests(), 1.0, seed=6, max_lead=60.0)
+        assert all(r.sr - r.qr <= 60.0 for r in out)
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            with_advance_reservations(make_requests(), 1.5)
+
+    def test_invalid_lead_rejected(self):
+        with pytest.raises(ValueError, match="lead"):
+            with_advance_reservations(make_requests(), 0.5, max_lead=0.0)
+
+    def test_empty_workload(self):
+        assert with_advance_reservations([], 0.5) == []

@@ -1,0 +1,94 @@
+"""Unit tests for the SWF parser/writer."""
+
+import io
+
+import pytest
+
+from repro.workloads.swf import SWFJob, read_swf, swf_to_requests, write_swf
+
+SAMPLE = """\
+; Computer: Test SP2
+; MaxJobs: 3
+; just a note without a colon-key structure
+1 0 10 100 4 -1 -1 4 120 -1 1 1 1 -1 1 -1 -1 -1
+2 50 0 200 8 -1 -1 8 240 -1 1 2 1 -1 1 -1 -1 -1
+3 60 5 50 1 -1 -1 -1 -1 -1 0 3 1 -1 1 -1 -1 -1
+"""
+
+
+class TestRead:
+    def test_parses_jobs_and_metadata(self):
+        jobs, meta = read_swf(io.StringIO(SAMPLE))
+        assert len(jobs) == 3
+        assert meta["Computer"] == "Test SP2"
+        assert meta["MaxJobs"] == "3"
+
+    def test_field_values(self):
+        jobs, _ = read_swf(io.StringIO(SAMPLE))
+        j = jobs[0]
+        assert j.job_number == 1
+        assert j.submit_time == 0.0
+        assert j.wait_time == 10.0
+        assert j.run_time == 100.0
+        assert j.allocated_processors == 4
+        assert j.requested_time == 120.0
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(ValueError, match="18 fields"):
+            read_swf(io.StringIO("1 2 3\n"))
+
+    def test_bad_value_raises(self):
+        bad = "x 0 10 100 4 -1 -1 4 120 -1 1 1 1 -1 1 -1 -1 -1\n"
+        with pytest.raises(ValueError, match="job_number"):
+            read_swf(io.StringIO(bad))
+
+    def test_blank_lines_skipped(self):
+        jobs, _ = read_swf(io.StringIO("\n\n" + SAMPLE + "\n"))
+        assert len(jobs) == 3
+
+
+class TestWrite:
+    def test_round_trip(self):
+        jobs, meta = read_swf(io.StringIO(SAMPLE))
+        buf = io.StringIO()
+        write_swf(jobs, buf, metadata=meta)
+        jobs2, meta2 = read_swf(io.StringIO(buf.getvalue()))
+        assert jobs2 == jobs
+        assert meta2 == meta
+
+    def test_file_round_trip(self, tmp_path):
+        jobs, _ = read_swf(io.StringIO(SAMPLE))
+        path = tmp_path / "log.swf"
+        write_swf(jobs, path)
+        jobs2, _ = read_swf(path)
+        assert jobs2 == jobs
+
+
+class TestConversion:
+    def test_requests_use_estimates(self):
+        jobs, _ = read_swf(io.StringIO(SAMPLE))
+        reqs = swf_to_requests(jobs)
+        assert reqs[0].lr == 120.0  # requested_time preferred
+        assert reqs[0].nr == 4
+        assert reqs[0].qr == reqs[0].sr == 0.0
+
+    def test_requests_actual_runtime_mode(self):
+        jobs, _ = read_swf(io.StringIO(SAMPLE))
+        reqs = swf_to_requests(jobs, use_estimates=False)
+        assert reqs[0].lr == 100.0
+
+    def test_fallbacks(self):
+        jobs, _ = read_swf(io.StringIO(SAMPLE))
+        j3 = jobs[2]  # requested fields are -1
+        assert j3.processors() == 1  # falls back to allocated
+        assert j3.estimated_runtime() == 50.0  # falls back to run_time
+
+    def test_unusable_jobs_skipped(self):
+        job = SWFJob(
+            job_number=9,
+            submit_time=0.0,
+            wait_time=0.0,
+            run_time=-1.0,
+            allocated_processors=-1,
+        )
+        assert swf_to_requests([job]) == []
