@@ -17,6 +17,10 @@ Installed as ``repro`` (see ``pyproject.toml``); also runnable as
 
 ``repro swf-info``
     Summarize an SWF file: jobs, processors, duration/size statistics.
+
+``repro profile``
+    Replay a heavy-traffic stress workload under cProfile and print the
+    hot functions of the scheduling fast path.
 """
 
 from __future__ import annotations
@@ -71,6 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("swf-info", help="summarize an SWF file")
     info.add_argument("path")
+
+    prof = sub.add_parser("profile", help="cProfile the scheduling hot path")
+    prof.add_argument("--requests", type=int, default=20_000)
+    prof.add_argument("--servers", type=int, default=512)
+    prof.add_argument("--rho", type=float, default=0.3, help="advance-reservation fraction")
+    prof.add_argument("--load", type=float, default=0.9, help="offered load vs capacity")
+    prof.add_argument("--seed", type=int, default=7)
+    prof.add_argument("--tau", type=float, default=900.0)
+    prof.add_argument("--q-slots", type=int, default=288)
+    prof.add_argument(
+        "--sort", default="cumulative", help="pstats sort key (cumulative, tottime, ...)"
+    )
+    prof.add_argument("--limit", type=int, default=25, help="rows of the pstats table")
+    prof.add_argument("--dump", default=None, help="also write the binary profile here")
 
     return parser
 
@@ -196,6 +214,35 @@ def _cmd_swf_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .schedulers.online import OnlineScheduler
+    from .schedulers.profile import profile_call
+    from .sim.replay import replay
+    from .workloads.stress import stress_workload
+
+    requests = stress_workload(
+        n_requests=args.requests,
+        n_servers=args.servers,
+        rho=args.rho,
+        seed=args.seed,
+        tau=args.tau,
+        load=args.load,
+    )
+    scheduler = OnlineScheduler(n_servers=args.servers, tau=args.tau, q_slots=args.q_slots)
+    report = profile_call(replay, scheduler, requests, record_latencies=False)
+    result = report.result
+    print(
+        f"replayed {args.requests} requests on {args.servers} servers "
+        f"(rho {args.rho:g}, load {args.load:g}): "
+        f"{result.requests_per_sec:.1f} req/s under cProfile"
+    )
+    print(report.stats_text(sort=args.sort, limit=args.limit))
+    if args.dump:
+        report.dump(args.dump)
+        print(f"wrote binary profile to {args.dump}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
@@ -203,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "generate": _cmd_generate,
         "swf-info": _cmd_swf_info,
+        "profile": _cmd_profile,
     }
     return commands[args.command](args)
 

@@ -35,7 +35,7 @@ that overlap the new slot.
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 
 from .opcount import NULL_COUNTER, OpCounter
 from .slot_tree import TwoDimTree
@@ -101,16 +101,26 @@ class AvailabilityCalendar:
             q: TwoDimTree(counter) for q in range(self._base_slot, self._base_slot + q_slots)
         }
         self._server_periods: list[list[IdlePeriod]] = []
+        # parallel per-server key arrays: starting times of the periods in
+        # ``_server_periods`` (disjoint periods have unique starts per
+        # server), so membership and insertion points are a bisect instead
+        # of a scan or a per-insert key-list rebuild
+        self._server_keys: list[list[float]] = []
         # tail index: unbounded periods, parallel arrays sorted by (st, uid)
         self._inf_keys: list[tuple[float, int]] = []
         self._inf_periods: list[IdlePeriod] = []
-        # bounded periods ending beyond the horizon, keyed by uid
+        # bounded periods ending beyond the horizon, keyed by uid, bucketed
+        # by the first not-yet-active slot each overlaps so rollover seeds
+        # a new slot tree without scanning the whole pending set
         self._pending: dict[int, IdlePeriod] = {}
+        self._pending_slot: dict[int, int] = {}
+        self._pending_buckets: dict[int, dict[int, IdlePeriod]] = {}
 
         initial = []
         for server in range(n_servers):
             period = IdlePeriod(server=server, st=self.now, et=INF)
             self._server_periods.append([period])
+            self._server_keys.append([period.st])
             self._inf_keys.append((period.st, period.uid))
             self._inf_periods.append(period)
             initial.append(period)
@@ -133,8 +143,21 @@ class AvailabilityCalendar:
         return (self._base_slot + self.q_slots) * self.tau
 
     def slot_of(self, t: float) -> int:
-        """Absolute index of the slot containing time ``t``."""
-        return int(math.floor(t / self.tau))
+        """Absolute index of the slot containing time ``t``.
+
+        Robust against the ≤1-ulp rounding of ``t / tau`` for non-integral
+        ``tau``: the result always satisfies ``q*tau <= t < (q+1)*tau``
+        under the *same* float products that slot-overlap tests use, so a
+        time sitting exactly on a slot boundary can never be attributed to
+        the wrong slot.
+        """
+        tau = self.tau
+        q = int(t // tau)
+        while t < q * tau:
+            q -= 1
+        while t >= (q + 1) * tau:
+            q += 1
+        return q
 
     def in_horizon(self, t: float) -> bool:
         """True when ``t`` falls inside an active slot."""
@@ -173,14 +196,26 @@ class AvailabilityCalendar:
             new_slot = self._base_slot + self.q_slots - 1
             new_end = (new_slot + 1) * self.tau
             tree = TwoDimTree(self.counter)
-            seeds = [p for p in self._pending.values() if p.st < new_end]
+            bucket = self._pending_buckets.pop(new_slot, None)
+            seeds = list(bucket.values()) if bucket else []
             if self.dense:
-                seeds.extend(p for p in self._inf_periods if p.st < new_end)
+                seeds.extend(self._inf_periods[: bisect_left(self._inf_keys, (new_end,))])
             tree.bulk_load(seeds)
             self._trees[new_slot] = tree
-            # periods now fully inside the horizon leave the pending set
-            for uid in [uid for uid, p in self._pending.items() if p.et <= new_end]:
-                del self._pending[uid]
+            if bucket:
+                # periods now fully inside the horizon leave the pending
+                # set; the rest overlap the next slot too and carry over
+                carry: dict[int, IdlePeriod] = {}
+                for uid, p in bucket.items():
+                    if p.et > new_end:
+                        carry[uid] = p
+                        self._pending_slot[uid] = new_slot + 1
+                    else:
+                        del self._pending[uid]
+                        del self._pending_slot[uid]
+                if carry:
+                    nxt = self._pending_buckets.setdefault(new_slot + 1, {})
+                    nxt.update(carry)
             rolled = True
         if rolled:
             self._trim_history()
@@ -188,13 +223,31 @@ class AvailabilityCalendar:
     def _trim_history(self) -> None:
         """Drop per-server periods that ended before the horizon start."""
         cutoff = self.horizon_start
-        for periods in self._server_periods:
-            while periods and periods[0].et <= cutoff:
-                periods.pop(0)
+        for server, periods in enumerate(self._server_periods):
+            n = 0
+            for p in periods:
+                if p.et > cutoff:
+                    break
+                n += 1
+            if n:
+                del periods[:n]
+                del self._server_keys[server][:n]
 
     # ------------------------------------------------------------------
     # period registration
     # ------------------------------------------------------------------
+
+    def _last_overlapping_slot(self, et: float) -> int:
+        """Last slot a period with (finite) ending time ``et`` overlaps.
+
+        ``et`` is an open endpoint: a period ending exactly on a slot
+        boundary does not overlap the next slot.  :meth:`slot_of` pins
+        ``et`` to the slot whose boundary products bracket it, so the
+        boundary test is a float-exact comparison rather than the modulo
+        arithmetic that drifts for non-integral ``tau``.
+        """
+        q = self.slot_of(et)
+        return q - 1 if et <= q * self.tau else q
 
     def _overlapping_slots(self, period: IdlePeriod) -> range:
         """Active slot indexes a tree-indexed period must appear in."""
@@ -204,12 +257,7 @@ class AvailabilityCalendar:
             # every remaining slot of the horizon
             last = self._base_slot + self.q_slots - 1
         else:
-            # et is an open endpoint: a period ending exactly on a slot
-            # boundary does not overlap the next slot
-            last = min(
-                self.slot_of(period.et) if period.et % self.tau else self.slot_of(period.et) - 1,
-                self._base_slot + self.q_slots - 1,
-            )
+            last = min(self._last_overlapping_slot(period.et), self._base_slot + self.q_slots - 1)
         if first > last:
             return range(0)
         return range(first, last + 1)
@@ -224,10 +272,14 @@ class AvailabilityCalendar:
                 return
             # dense (paper-literal) mode: the trailing period also lives
             # in the tree of every remaining slot
+        trees = self._trees
         for q in self._overlapping_slots(period):
-            self._trees[q].insert(period)
+            trees[q].insert(period)
         if period.et != INF and period.et > self.horizon_end:
+            bucket_slot = max(self.slot_of(period.st), self._base_slot + self.q_slots)
             self._pending[period.uid] = period
+            self._pending_slot[period.uid] = bucket_slot
+            self._pending_buckets.setdefault(bucket_slot, {})[period.uid] = period
 
     def _unindex_period(self, period: IdlePeriod) -> None:
         if period.et == INF:
@@ -238,18 +290,34 @@ class AvailabilityCalendar:
             self.counter.add("remove")
             if not self.dense:
                 return
+        trees = self._trees
         for q in self._overlapping_slots(period):
-            self._trees[q].remove(period)
-        self._pending.pop(period.uid, None)
+            trees[q].remove(period)
+        if self._pending.pop(period.uid, None) is not None:
+            bucket_slot = self._pending_slot.pop(period.uid)
+            bucket = self._pending_buckets[bucket_slot]
+            del bucket[period.uid]
+            if not bucket:
+                del self._pending_buckets[bucket_slot]
 
     def _add_period(self, period: IdlePeriod) -> None:
-        periods = self._server_periods[period.server]
-        idx = bisect_right([p.st for p in periods], period.st)
-        periods.insert(idx, period)
+        keys = self._server_keys[period.server]
+        idx = bisect_right(keys, period.st)
+        keys.insert(idx, period.st)
+        self._server_periods[period.server].insert(idx, period)
         self._index_period(period)
 
     def _drop_period(self, period: IdlePeriod) -> None:
-        self._server_periods[period.server].remove(period)
+        keys = self._server_keys[period.server]
+        periods = self._server_periods[period.server]
+        idx = bisect_left(keys, period.st)
+        # starts are unique per server, so the key pins the exact period;
+        # a stale handle (already carved by someone else) raises, matching
+        # the commit-after-range-search failure contract
+        if idx >= len(periods) or periods[idx] is not period:
+            raise ValueError(f"{period} is not registered on server {period.server}")
+        del keys[idx]
+        del periods[idx]
         self._unindex_period(period)
 
     # ------------------------------------------------------------------
@@ -289,18 +357,27 @@ class AvailabilityCalendar:
         if not start < end:
             raise ValueError(f"release window [{start}, {end}) is empty")
         periods = self._server_periods[server]
+        keys = self._server_keys[server]
         lo, hi = start, end
-        for neighbour in [p for p in periods if p.et == start or p.st == end]:
-            if neighbour.et == start:
-                lo = neighbour.st
-                self._drop_period(neighbour)
-            elif neighbour.st == end:
-                hi = neighbour.et
-                self._drop_period(neighbour)
-        for p in periods:
-            if p.overlaps(lo, hi):
+        # the only merge candidates are the period ending exactly at
+        # ``start`` (the last one starting before it) and the one starting
+        # exactly at ``end`` — both found by bisect on the key array
+        idx = bisect_left(keys, end)
+        if idx < len(keys) and keys[idx] == end:
+            hi = periods[idx].et
+            self._drop_period(periods[idx])
+        idx = bisect_left(keys, start) - 1
+        if idx >= 0 and periods[idx].et == start:
+            lo = periods[idx].st
+            self._drop_period(periods[idx])
+        # disjointness check: only the immediate neighbours of the merged
+        # window can overlap it (periods are sorted and pairwise disjoint)
+        idx = bisect_left(keys, lo)
+        for neighbour_idx in (idx - 1, idx):
+            if 0 <= neighbour_idx < len(periods) and periods[neighbour_idx].overlaps(lo, hi):
                 raise ValueError(
-                    f"release of [{start}, {end}) on server {server} overlaps idle period {p}"
+                    f"release of [{start}, {end}) on server {server} overlaps "
+                    f"idle period {periods[neighbour_idx]}"
                 )
         self._add_period(IdlePeriod(server=server, st=lo, et=hi))
 
@@ -328,9 +405,10 @@ class AvailabilityCalendar:
         (earliest-ending first), then trailing periods (latest-starting
         first), yielding best-fit-style packing.
         """
-        if not self.in_horizon(sr):
+        q = self.slot_of(sr)
+        if not self._base_slot <= q < self._base_slot + self.q_slots:
             return None
-        tree = self.tree_for(sr)
+        tree = self._trees[q]
         count, marks = tree.phase1(sr)
         tail_count = self._tail_candidates(sr)
         if count + tail_count < nr:
@@ -352,9 +430,10 @@ class AvailabilityCalendar:
         The paper's range-search feature: users inspect availability and
         commit later via :meth:`allocate`.
         """
-        if not self.in_horizon(ta):
+        q = self.slot_of(ta)
+        if not self._base_slot <= q < self._base_slot + self.q_slots:
             return []
-        found = self.tree_for(ta).range_search(ta, tb)
+        found = self._trees[q].range_search(ta, tb)
         if not self.dense:
             tail_count = self._tail_candidates(ta)
             found.extend(self._inf_periods[:tail_count])
@@ -375,6 +454,9 @@ class AvailabilityCalendar:
                 assert a.et <= b.st, f"server {server}: overlapping idle periods {a} / {b}"
             for p in periods:
                 assert p.server == server
+            assert self._server_keys[server] == [p.st for p in periods], (
+                f"server {server}: key array out of sync with period list"
+            )
         indexed: dict[int, set[int]] = {}
         for q, tree in self._trees.items():
             tree.validate()
@@ -405,6 +487,16 @@ class AvailabilityCalendar:
                     assert p.uid in self._pending, f"period {p} missing from pending set"
         all_uids = {p.uid for periods in self._server_periods for p in periods}
         assert tail_uids <= all_uids, "tail index holds stale periods"
+        first_inactive = self._base_slot + self.q_slots
         for uid, p in self._pending.items():
             assert p.et > self.horizon_end, f"pending period {p} is inside the horizon"
             assert uid in all_uids, f"pending set holds stale period {p}"
+            bucket_slot = self._pending_slot[uid]
+            assert bucket_slot == max(self.slot_of(p.st), first_inactive), (
+                f"pending period {p} bucketed at slot {bucket_slot}, expected "
+                f"{max(self.slot_of(p.st), first_inactive)}"
+            )
+            assert self._pending_buckets[bucket_slot][uid] is p
+        bucketed = {uid for bucket in self._pending_buckets.values() for uid in bucket}
+        assert bucketed == set(self._pending), "pending buckets out of sync with pending set"
+        assert set(self._pending_slot) == set(self._pending)

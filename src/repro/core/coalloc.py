@@ -23,11 +23,34 @@ wavelength among the returned resources) and commit later.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from .calendar import AvailabilityCalendar
 from .opcount import NULL_COUNTER, OpCounter
 from .types import Allocation, IdlePeriod, RangeQuery, Request
 
-__all__ = ["OnlineCoAllocator"]
+__all__ = ["OnlineCoAllocator", "ScheduleOutcome"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleOutcome:
+    """Full result of one scheduling call, success or not.
+
+    ``attempts`` is the number of Phase-1 searches actually performed —
+    a deadline or horizon early exit stops the retry loop before
+    ``R_max``, and the count reflects that (it may even be zero when the
+    very first candidate start is already out of range).
+    """
+
+    #: the committed allocation, or ``None`` when the request was rejected
+    allocation: Allocation | None
+    #: scheduling attempts actually made (``<= R_max``)
+    attempts: int
+    #: why the request failed: ``"deadline"`` (next start would miss the
+    #: deadline), ``"horizon"`` (next start beyond the schedulable
+    #: horizon), ``"exhausted"`` (all ``R_max`` attempts failed);
+    #: ``None`` on success
+    reason: str | None
 
 
 class OnlineCoAllocator:
@@ -71,20 +94,32 @@ class OnlineCoAllocator:
         earliest start lies in the past (e.g. replayed from a trace) is
         scheduled from the current time.
         """
-        base = max(request.sr, self.calendar.now)
+        return self.schedule_detailed(request).allocation
+
+    def schedule_detailed(self, request: Request) -> ScheduleOutcome:
+        """Like :meth:`schedule`, but always reports attempts and reason.
+
+        Callers tracking per-request effort (``job.attempts``, Table 2)
+        need the *actual* attempt count on failure: a deadline or horizon
+        early exit performs fewer than ``R_max`` attempts.
+        """
+        calendar = self.calendar
+        base = max(request.sr, calendar.now)
         latest = request.latest_start
         for k in range(self.r_max):
             start = base + k * self.delta_t
             if start > latest:
-                return None  # any later start would miss the deadline
-            if not self.calendar.in_horizon(start):
-                return None  # beyond the schedulable horizon
+                # any later start would miss the deadline
+                return ScheduleOutcome(None, k, "deadline")
+            if not calendar.in_horizon(start):
+                # beyond the schedulable horizon
+                return ScheduleOutcome(None, k, "horizon")
             self.counter.add("attempt")
             end = start + request.lr
-            feasible = self.calendar.find_feasible(start, end, request.nr)
+            feasible = calendar.find_feasible(start, end, request.nr)
             if feasible is not None:
-                reservations = self.calendar.allocate(feasible, start, end, rid=request.rid)
-                return Allocation(
+                reservations = calendar.allocate(feasible, start, end, rid=request.rid)
+                allocation = Allocation(
                     rid=request.rid,
                     start=start,
                     end=end,
@@ -92,7 +127,8 @@ class OnlineCoAllocator:
                     attempts=k + 1,
                     delay=start - request.sr,
                 )
-        return None
+                return ScheduleOutcome(allocation, k + 1, None)
+        return ScheduleOutcome(None, self.r_max, "exhausted")
 
     def range_search(self, query: RangeQuery) -> list[IdlePeriod]:
         """All idle periods covering ``[ta, tb)``; commits nothing.

@@ -47,6 +47,40 @@ class OpCounter:
     def add(self, name: str, n: int = 1) -> None:
         self.counts[name] += n
 
+    # Fused per-operation entry points for the slot-tree hot path: one
+    # call per tree operation instead of one per category.  Totals are
+    # identical to the equivalent sequence of :meth:`add` calls.
+
+    def add_insert(self, visits: int, probes: int) -> None:
+        """One primary-tree insertion: ``visits`` node visits, ``probes``
+        secondary binary-search steps."""
+        c = self.counts
+        c["insert"] += 1
+        if visits:
+            c["node_visit"] += visits
+            c["secondary_probe"] += probes
+
+    def add_remove(self, visits: int, probes: int) -> None:
+        """One primary-tree removal, counted like :meth:`add_insert`."""
+        c = self.counts
+        c["remove"] += 1
+        if visits:
+            c["node_visit"] += visits
+        if probes:
+            c["secondary_probe"] += probes
+
+    def add_search(self, visits: int, marks: int, probes: int, retrieved: int) -> None:
+        """One Phase-1 walk (+ optional Phase 2) over a slot tree."""
+        c = self.counts
+        if visits:
+            c["node_visit"] += visits
+        if marks:
+            c["mark"] += marks
+        if probes:
+            c["secondary_probe"] += probes
+        if retrieved:
+            c["retrieve"] += retrieved
+
     def total(self) -> int:
         """Total operations across every category."""
         return sum(self.counts.values())
@@ -75,6 +109,15 @@ class _NullCounter(OpCounter):
     __slots__ = ()
 
     def add(self, name: str, n: int = 1) -> None:  # noqa: D102 - interface
+        pass
+
+    def add_insert(self, visits: int, probes: int) -> None:  # noqa: D102
+        pass
+
+    def add_remove(self, visits: int, probes: int) -> None:  # noqa: D102
+        pass
+
+    def add_search(self, visits: int, marks: int, probes: int, retrieved: int) -> None:  # noqa: D102
         pass
 
 

@@ -23,15 +23,16 @@ Invariants (exercised by ``validate()`` and the property tests):
 * leaves appear in ascending ``(st, uid)`` order;
 * every internal node's key equals or exceeds every key in its left
   subtree and is strictly below every key in its right subtree;
-* every node's secondary index holds exactly the idle periods of the
-  leaves below it, sorted by ``(et, uid)``;
+* every node's secondary index holds exactly the ``(et, uid)`` keys of
+  the leaves below it, in ascending order (the periods themselves are
+  resolved through a per-tree uid map);
 * every internal node is α-weight-balanced (see ``ALPHA``).
 """
 
 from __future__ import annotations
 
 import math
-from bisect import bisect_left
+from bisect import bisect_left, insort_left
 from typing import Iterator
 
 from .opcount import NULL_COUNTER, OpCounter
@@ -54,11 +55,13 @@ _UID_HIGH = math.inf
 class _Node:
     """A primary-tree node; leaves carry an idle period, internal nodes a split key.
 
-    ``sec_keys``/``sec_periods`` are the secondary dimension: parallel
-    arrays of ``(et, uid)`` keys and their idle periods, ascending.
+    ``sec_keys`` is the secondary dimension: the ``(et, uid)`` keys of
+    every idle period below the node, ascending.  The periods themselves
+    are resolved through the owning tree's uid map — storing keys only
+    halves the per-ancestor update work and the rebuild merge volume.
     """
 
-    __slots__ = ("key", "size", "left", "right", "parent", "period", "sec_keys", "sec_periods")
+    __slots__ = ("key", "size", "left", "right", "parent", "period", "sec_keys")
 
     def __init__(self) -> None:
         self.key: tuple[float, float] = (0.0, 0.0)
@@ -68,7 +71,6 @@ class _Node:
         self.parent: _Node | None = None
         self.period: IdlePeriod | None = None
         self.sec_keys: list[tuple[float, int]] = []
-        self.sec_periods: list[IdlePeriod] = []
 
     @property
     def is_leaf(self) -> bool:
@@ -80,7 +82,6 @@ class _Node:
         node.key = (period.st, period.uid)
         node.period = period
         node.sec_keys = [(period.et, period.uid)]
-        node.sec_periods = [period]
         return node
 
 
@@ -89,16 +90,20 @@ def _collect(node: _Node) -> tuple[list[_Node], list[_Node]]:
     nodes of the subtree (recycled by rebuilds to avoid allocation)."""
     leaves: list[_Node] = []
     internals: list[_Node] = []
+    leaves_append = leaves.append
+    internals_append = internals.append
     stack = [node]
+    stack_append = stack.append
+    stack_pop = stack.pop
     while stack:
-        cur = stack.pop()
+        cur = stack_pop()
         if cur.period is not None:
-            leaves.append(cur)
+            leaves_append(cur)
         else:
-            internals.append(cur)
+            internals_append(cur)
             # push right first so left is processed first
-            stack.append(cur.right)  # type: ignore[arg-type]
-            stack.append(cur.left)  # type: ignore[arg-type]
+            stack_append(cur.right)  # type: ignore[arg-type]
+            stack_append(cur.left)  # type: ignore[arg-type]
     return leaves, internals
 
 
@@ -112,11 +117,13 @@ class TwoDimTree:
         operation counts; defaults to a do-nothing counter.
     """
 
-    __slots__ = ("_root", "_counter")
+    __slots__ = ("_root", "_counter", "_by_uid")
 
     def __init__(self, counter: OpCounter = NULL_COUNTER) -> None:
         self._root: _Node | None = None
         self._counter = counter
+        #: uid -> period for everything stored; resolves secondary keys
+        self._by_uid: dict[int, IdlePeriod] = {}
 
     # ------------------------------------------------------------------
     # basic protocol
@@ -126,7 +133,9 @@ class TwoDimTree:
         return self._root.size if self._root is not None else 0
 
     def __contains__(self, period: IdlePeriod) -> bool:
-        leaf = self._find_leaf(period)
+        leaf, visits = self._find_leaf(period)
+        if visits:
+            self._counter.add("node_visit", visits)
         return leaf is not None
 
     def periods(self) -> Iterator[IdlePeriod]:
@@ -141,33 +150,58 @@ class TwoDimTree:
 
     def insert(self, period: IdlePeriod) -> None:
         """Insert an idle period (O(log^2 N) amortized)."""
-        self._counter.add("insert")
-        new_leaf = _Node.leaf(period)
+        new_leaf = _Node()
+        key = (period.st, period.uid)
+        sec_key = (period.et, period.uid)
+        new_leaf.key = key
+        new_leaf.period = period
+        new_leaf.sec_keys = [sec_key]
+        self._by_uid[period.uid] = period
         if self._root is None:
             self._root = new_leaf
+            self._counter.add_insert(0, 0)
             return
-        # descend to the leaf position
+        # single fused descent: push the size increment and the secondary
+        # insertion into every node passed, and spot the highest
+        # α-unbalanced ancestor on the way down (the descent child's final
+        # size is its current size + 1 — for the split leaf too, which
+        # becomes an internal node of size 2 — so the post-update balance
+        # test can run before the update completes)
         node = self._root
-        path: list[_Node] = []
-        while not node.is_leaf:
-            self._counter.add("node_visit")
-            path.append(node)
-            node = node.left if new_leaf.key <= node.key else node.right  # type: ignore[assignment]
+        visits = 0
+        probes = 0
+        unbal: _Node | None = None
+        while node.period is None:
+            visits += 1
+            size = node.size + 1
+            node.size = size
+            insort_left(node.sec_keys, sec_key)
+            # len(sec_keys) == subtree size on every node, so the probe
+            # cost needs no len() call
+            probes += size.bit_length()
+            left = node.left
+            child = left if key <= node.key else node.right
+            if unbal is None:
+                limit = ALPHA * size
+                other = node.right if child is left else left
+                if child.size + 1 > limit or other.size > limit:  # type: ignore[union-attr]
+                    unbal = node
+            node = child  # type: ignore[assignment]
         # split the leaf into an internal node with two leaf children
         old_leaf = node
         internal = _Node()
-        if new_leaf.key < old_leaf.key:
+        if key < old_leaf.key:
             internal.left, internal.right = new_leaf, old_leaf
-            internal.key = new_leaf.key
+            internal.key = key
         else:
             internal.left, internal.right = old_leaf, new_leaf
             internal.key = old_leaf.key
         internal.size = 2
-        pair = sorted(
-            [(old_leaf.sec_keys[0], old_leaf.period), (new_leaf.sec_keys[0], new_leaf.period)]
-        )
-        internal.sec_keys = [k for k, _ in pair]
-        internal.sec_periods = [p for _, p in pair]  # type: ignore[misc]
+        old_sec = old_leaf.sec_keys[0]
+        if sec_key < old_sec:
+            internal.sec_keys = [sec_key, old_sec]
+        else:
+            internal.sec_keys = [old_sec, sec_key]
         new_leaf.parent = internal
         old_parent = old_leaf.parent
         old_leaf.parent = internal
@@ -178,12 +212,11 @@ class TwoDimTree:
             old_parent.left = internal
         else:
             old_parent.right = internal
-        # propagate size and secondary updates to ancestors
-        sec_key = (period.et, period.uid)
-        for anc in path:
-            anc.size += 1
-            self._sec_insert(anc, sec_key, period)
-        self._rebalance(path)
+        # batched accounting: totals are identical to counting each
+        # elementary step as it happens, at a fraction of the call overhead
+        self._counter.add_insert(visits, probes)
+        if unbal is not None:
+            self._rebuild(unbal)
 
     def bulk_load(self, periods: list[IdlePeriod]) -> None:
         """Replace the tree contents with ``periods`` in O(k log k).
@@ -192,6 +225,7 @@ class TwoDimTree:
         and at each horizon rollover — where item-by-item insertion would
         waste an O(log N) factor.
         """
+        self._by_uid = {p.uid: p for p in periods}
         if not periods:
             self._root = None
             return
@@ -202,13 +236,15 @@ class TwoDimTree:
 
     def remove(self, period: IdlePeriod) -> None:
         """Remove an idle period; raises ``KeyError`` if absent."""
-        self._counter.add("remove")
-        leaf = self._find_leaf(period)
+        leaf, visits = self._find_leaf(period)
         if leaf is None:
+            self._counter.add_remove(visits, 0)
             raise KeyError(f"idle period uid={period.uid} not in tree")
+        del self._by_uid[period.uid]
         parent = leaf.parent
         if parent is None:
             self._root = None
+            self._counter.add_remove(visits, 0)
             return
         sibling = parent.right if parent.left is leaf else parent.left
         assert sibling is not None
@@ -220,17 +256,28 @@ class TwoDimTree:
             grand.left = sibling
         else:
             grand.right = sibling
-        # propagate size and secondary removals to remaining ancestors
+        # single fused upward walk: sizes below the current ancestor are
+        # already final, so the balance test runs in the same pass; the
+        # *last* unbalanced node seen is the highest one, as the inlined
+        # _rebalance wants
         sec_key = (period.et, period.uid)
-        path: list[_Node] = []
+        probes = 0
+        unbal: _Node | None = None
         anc = grand
         while anc is not None:
-            anc.size -= 1
-            self._sec_remove(anc, sec_key)
-            path.append(anc)
+            size = anc.size - 1
+            anc.size = size
+            keys = anc.sec_keys
+            idx = bisect_left(keys, sec_key)
+            del keys[idx]
+            probes += (size + 1).bit_length()
+            limit = ALPHA * size
+            if anc.left.size > limit or anc.right.size > limit:  # type: ignore[union-attr]
+                unbal = anc
             anc = anc.parent
-        path.reverse()  # root first, as _rebalance expects
-        self._rebalance(path)
+        self._counter.add_remove(visits, probes)
+        if unbal is not None:
+            self._rebuild(unbal)
 
     # ------------------------------------------------------------------
     # searches (the two phases of Section 4.2)
@@ -247,23 +294,25 @@ class TwoDimTree:
         bound = (sr, _UID_HIGH)
         count = 0
         marks: list[_Node] = []
+        marks_append = marks.append
+        visits = 0
         node = self._root
         while node is not None:
-            self._counter.add("node_visit")
-            if node.is_leaf:
+            visits += 1
+            if node.period is not None:
                 if node.key <= bound:
-                    marks.append(node)
+                    marks_append(node)
                     count += node.size
-                    self._counter.add("mark")
                 break
             if node.key <= bound:
                 # every leaf in the left subtree starts at or before sr
-                marks.append(node.left)  # type: ignore[arg-type]
-                count += node.left.size  # type: ignore[union-attr]
-                self._counter.add("mark")
+                left = node.left
+                marks_append(left)  # type: ignore[arg-type]
+                count += left.size  # type: ignore[union-attr]
                 node = node.right
             else:
                 node = node.left
+        self._counter.add_search(visits, len(marks), 0, 0)
         return count, marks
 
     def phase2(
@@ -282,19 +331,27 @@ class TwoDimTree:
         """
         bound = (er, -1)
         chosen: list[IdlePeriod] = []
+        chosen_extend = chosen.extend
+        need_is_inf = need == math.inf
+        need_int = 0 if need_is_inf else int(need)
+        by_uid = self._by_uid
+        probes = 0
+        taken = 0
         for node in reversed(marks):
             keys = node.sec_keys
+            size = node.size  # == len(sec_keys)
             idx = bisect_left(keys, bound)
-            self._counter.add("secondary_probe", max(1, (len(keys)).bit_length()))
-            avail = len(keys) - idx
+            probes += size.bit_length()
+            avail = size - idx
             if avail <= 0:
                 continue
-            take = avail if need == math.inf else min(avail, int(need) - len(chosen))
-            chosen.extend(node.sec_periods[idx : idx + take])
-            self._counter.add("retrieve", take)
-            if need != math.inf and len(chosen) >= need:
-                return chosen
-        if need == math.inf or partial:
+            take = avail if need_is_inf else min(avail, need_int - taken)
+            chosen_extend([by_uid[k[1]] for k in keys[idx : idx + take]])
+            taken += take
+            if not need_is_inf and taken >= need_int:
+                break
+        self._counter.add_search(0, 0, probes, taken)
+        if need_is_inf or partial or taken >= need_int:
             return chosen
         return None
 
@@ -319,47 +376,31 @@ class TwoDimTree:
     # internals
     # ------------------------------------------------------------------
 
-    def _find_leaf(self, period: IdlePeriod) -> _Node | None:
+    def _find_leaf(self, period: IdlePeriod) -> tuple[_Node | None, int]:
+        """Locate the leaf holding ``period``; returns ``(leaf, visits)``
+        so the caller can fold the visit count into its own accounting."""
         key = (period.st, period.uid)
+        visits = 0
         node = self._root
-        while node is not None and not node.is_leaf:
-            self._counter.add("node_visit")
+        while node is not None and node.period is None:
+            visits += 1
             node = node.left if key <= node.key else node.right
-        if node is not None and node.period is not None and node.period.uid == period.uid:
-            return node
-        return None
-
-    def _sec_insert(self, node: _Node, sec_key: tuple[float, int], period: IdlePeriod) -> None:
-        idx = bisect_left(node.sec_keys, sec_key)
-        node.sec_keys.insert(idx, sec_key)
-        node.sec_periods.insert(idx, period)
-        self._counter.add("secondary_probe", max(1, len(node.sec_keys).bit_length()))
-
-    def _sec_remove(self, node: _Node, sec_key: tuple[float, int]) -> None:
-        idx = bisect_left(node.sec_keys, sec_key)
-        assert idx < len(node.sec_keys) and node.sec_keys[idx] == sec_key
-        node.sec_keys.pop(idx)
-        node.sec_periods.pop(idx)
-        self._counter.add("secondary_probe", max(1, (len(node.sec_keys) + 1).bit_length()))
-
-    def _rebalance(self, path_root_first: list[_Node]) -> None:
-        """Rebuild the highest α-unbalanced node on the update path, if any."""
-        for node in path_root_first:
-            if node.is_leaf:
-                continue
-            limit = ALPHA * node.size
-            if node.left.size > limit or node.right.size > limit:  # type: ignore[union-attr]
-                self._rebuild(node)
-                return
+        if node is not None and node.period.uid == period.uid:  # type: ignore[union-attr]
+            return node, visits
+        return None, visits
 
     def _rebuild(self, node: _Node) -> None:
         # capture the attachment point first: `node` itself enters the
         # recycling pool and may be rewired while the subtree is rebuilt
         parent = node.parent
         was_left = parent is not None and parent.left is node
+        # the rebuilt root covers the same leaf set, so its merged
+        # secondary array is the old root's, verbatim — _build never
+        # mutates a recycled node's old array, it only rebinds
+        top_keys = node.sec_keys
         leaves, pool = _collect(node)
         self._counter.add("rebuild", len(leaves))
-        fresh = self._build(leaves, 0, len(leaves), pool)
+        fresh = self._build(leaves, 0, len(leaves), pool, top_keys)
         fresh.parent = parent
         if parent is None:
             self._root = fresh
@@ -368,9 +409,18 @@ class TwoDimTree:
         else:
             parent.right = fresh
 
-    def _build(self, leaves: list[_Node], lo: int, hi: int, pool: list[_Node]) -> _Node:
+    def _build(
+        self,
+        leaves: list[_Node],
+        lo: int,
+        hi: int,
+        pool: list[_Node],
+        keys: list[tuple[float, int]] | None = None,
+    ) -> _Node:
         """Build a perfectly balanced subtree over ``leaves[lo:hi]`` (already
-        ordered), recycling internal nodes from ``pool`` when available."""
+        ordered), recycling internal nodes from ``pool`` when available.
+        ``keys``, when given, is the node's known merged secondary array
+        (the largest merge of a rebuild, skipped rather than recomputed)."""
         if hi - lo == 1:
             leaf = leaves[lo]
             leaf.left = leaf.right = None
@@ -378,18 +428,36 @@ class TwoDimTree:
         mid = (lo + hi + 1) // 2  # left gets the extra leaf; key = max of left
         node = pool.pop() if pool else _Node()
         node.period = None
-        left = self._build(leaves, lo, mid, pool)
-        right = self._build(leaves, mid, hi, pool)
+        # expand single-leaf children inline: over half of all recursive
+        # calls would otherwise be the trivial base case above
+        if mid - lo == 1:
+            left = leaves[lo]
+            left.left = left.right = None
+        else:
+            left = self._build(leaves, lo, mid, pool)
+        if hi - mid == 1:
+            right = leaves[mid]
+            right.left = right.right = None
+        else:
+            right = self._build(leaves, mid, hi, pool)
         node.left, node.right = left, right
         left.parent = right.parent = node
         node.key = leaves[mid - 1].key
         node.size = hi - lo
-        # merge the children's secondary arrays; the concatenation is two
-        # sorted runs, which timsort merges in linear time (keys are
-        # unique, so the tie-breaking period field is never compared)
-        pairs = sorted(zip(left.sec_keys + right.sec_keys, left.sec_periods + right.sec_periods))
-        node.sec_keys = [k for k, _ in pairs]
-        node.sec_periods = [p for _, p in pairs]
+        if keys is not None:
+            node.sec_keys = keys
+            return node
+        # merge the children's secondary arrays; when the runs do not
+        # interleave (frequent: later-starting periods tend to end later)
+        # a plain concatenation suffices, otherwise the concatenation is
+        # two sorted runs, which timsort merges in linear time
+        lk, rk = left.sec_keys, right.sec_keys
+        if lk[-1] < rk[0]:
+            node.sec_keys = lk + rk
+        elif rk[-1] < lk[0]:
+            node.sec_keys = rk + lk
+        else:
+            node.sec_keys = sorted(lk + rk)
         return node
 
     # ------------------------------------------------------------------
@@ -399,6 +467,7 @@ class TwoDimTree:
     def validate(self) -> None:
         """Check every structural invariant; raises ``AssertionError`` on violation."""
         if self._root is None:
+            assert not self._by_uid, "uid map retains entries of an empty tree"
             return
         assert self._root.parent is None
 
@@ -408,6 +477,7 @@ class TwoDimTree:
                 assert node.size == 1
                 assert node.key == (node.period.st, node.period.uid)  # type: ignore[union-attr]
                 assert node.sec_keys == [(node.period.et, node.period.uid)]  # type: ignore[union-attr]
+                assert self._by_uid.get(node.period.uid) is node.period  # type: ignore[union-attr]
                 return 1, node.key, node.key, list(node.sec_keys)
             assert node.left is not None and node.right is not None
             assert node.left.parent is node and node.right.parent is node
@@ -419,7 +489,7 @@ class TwoDimTree:
             assert ls <= limit and rs <= limit, "weight balance violated"
             merged = sorted(lsec + rsec)
             assert node.sec_keys == merged, "secondary index out of sync"
-            assert [(p.et, p.uid) for p in node.sec_periods] == node.sec_keys
             return node.size, lmin, rmax, merged
 
         check(self._root)
+        assert len(self._by_uid) == self._root.size, "uid map out of sync"

@@ -132,15 +132,19 @@ def avg_waiting_by_spatial(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Average waiting time (seconds, as in Figure 5) per spatial-size bin.
 
-    Returns ``(bin_lefts, mean_wait_seconds)``; bins without jobs carry NaN.
+    Bins follow the paper's ``(lo, hi]`` groups, as in
+    :func:`attempts_by_spatial_bin`: a job with ``n_r = bin_width`` falls
+    in the *first* bin, not the second.  Returns ``(bin_lefts,
+    mean_wait_seconds)`` where ``bin_lefts[i]`` is the exclusive lower
+    bound of bin ``i``; bins without jobs carry NaN.
     """
     acc = _accepted(records)
     if not acc:
         return np.array([]), np.array([])
     sizes = np.array([r.nr for r in acc])
     waits = np.array([r.waiting_time for r in acc])
-    n_bins = int(sizes.max() // bin_width) + 1
-    idx = sizes // bin_width
+    n_bins = int((sizes.max() - 1) // bin_width) + 1
+    idx = (sizes - 1) // bin_width
     sums = np.bincount(idx, weights=waits, minlength=n_bins)
     counts = np.bincount(idx, minlength=n_bins)
     with np.errstate(invalid="ignore"):

@@ -93,11 +93,14 @@ class OnlineScheduler(SchedulerBase):
             return
         self.calendar.advance(self.now)
         before = self.counter.total()
-        allocation = self.allocator.schedule(job.request)
+        outcome = self.allocator.schedule_detailed(job.request)
         job.ops = self.counter.total() - before
+        allocation = outcome.allocation
         if allocation is None:
             job.state = JobState.REJECTED
-            job.attempts = self.r_max
+            # actual attempts made: a deadline/horizon early exit stops
+            # the retry loop before R_max
+            job.attempts = outcome.attempts
             return
         job.state = JobState.DONE  # outcome fully determined at admission
         job.start_time = allocation.start

@@ -1,20 +1,65 @@
-"""Free-processor availability profile (backfilling support).
+"""Scheduler profiles: availability bookkeeping and runtime profiling.
 
-A step function ``t -> free processors`` over ``[now, ∞)``, the standard
-bookkeeping structure of backfilling batch schedulers: EASY uses it to
-compute the queue head's *shadow time*, conservative backfilling gives
-every queued job a reservation in it.
+Two distinct meanings of "profile" live here:
 
-Represented as a list of ``[time, free]`` breakpoints, ``free`` holding
-from its breakpoint until the next.  The list always starts at the
-current time and ends with a breakpoint whose ``free`` persists forever.
+* :class:`AvailabilityProfile` — a step function ``t -> free processors``
+  over ``[now, ∞)``, the standard bookkeeping structure of backfilling
+  batch schedulers: EASY uses it to compute the queue head's *shadow
+  time*, conservative backfilling gives every queued job a reservation in
+  it.  Represented as a list of ``[time, free]`` breakpoints, ``free``
+  holding from its breakpoint until the next; the list always starts at
+  the current time and ends with a breakpoint whose ``free`` persists
+  forever.
+
+* :func:`profile_call` / :class:`ProfileReport` — cProfile-based runtime
+  attribution for the scheduling hot path, behind ``repro profile`` and
+  ``benchmarks/bench_hotpath.py --profile``.  When a future change slows
+  replay down, the per-function cumulative times pin the regression to a
+  code path instead of a wall-clock delta.
 """
 
 from __future__ import annotations
 
+import cProfile
+import io
+import pstats
 from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Callable
 
-__all__ = ["AvailabilityProfile"]
+__all__ = ["AvailabilityProfile", "ProfileReport", "profile_call"]
+
+
+@dataclass(slots=True)
+class ProfileReport:
+    """Outcome of one profiled call."""
+
+    #: return value of the profiled function
+    result: Any
+    #: the raw profiler, for callers that want custom pstats queries
+    profiler: cProfile.Profile
+
+    def stats_text(self, sort: str = "cumulative", limit: int = 25) -> str:
+        """The top ``limit`` entries of the pstats table as text."""
+        buffer = io.StringIO()
+        stats = pstats.Stats(self.profiler, stream=buffer)
+        stats.strip_dirs().sort_stats(sort).print_stats(limit)
+        return buffer.getvalue()
+
+    def dump(self, path: str) -> None:
+        """Write the binary profile for ``snakeviz``/``pstats`` post-mortems."""
+        self.profiler.dump_stats(path)
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> ProfileReport:
+    """Run ``fn(*args, **kwargs)`` under cProfile and return both outcomes."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    return ProfileReport(result=result, profiler=profiler)
 
 
 class AvailabilityProfile:

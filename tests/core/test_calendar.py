@@ -222,6 +222,47 @@ class TestRelease:
             cal.release(0, 10.0, 10.0)
 
 
+class TestFractionalTauBoundaries:
+    """Slot boundaries with a fractional ``tau`` (regression).
+
+    Float modulo is the wrong boundary test: ``0.5 % 0.1`` is not 0, so
+    an end time sitting exactly on a slot edge used to be treated as
+    reaching *into* the next slot, indexing the period into a tree it
+    does not overlap.  The calendar now derives the last overlapping
+    slot from ``slot_of`` arithmetic alone.
+    """
+
+    def test_allocate_release_on_boundary_validates(self):
+        cal = make_calendar(n=2, tau=0.1, q=12)
+        found = cal.find_feasible(0.2, 0.5, 1)
+        assert found is not None
+        reservations = cal.allocate(found, 0.2, 0.5, rid=1)
+        cal.validate()
+        (res,) = reservations
+        cal.release(res.server, res.start, res.end)
+        cal.validate()
+
+    def test_boundary_end_stays_out_of_next_slot(self):
+        cal = make_calendar(n=1, tau=0.1, q=12)
+        cal.allocate(cal.find_feasible(0.0, 0.5, 1), 0.0, 0.5, rid=1)
+        cal.validate()
+        # the busy window [0, 0.5) must not shadow slot 5: the idle
+        # remnant starting at 0.5 covers [0.5, 0.9)
+        assert cal.find_feasible(0.5, 0.9, 1) is not None
+
+    def test_repeated_boundary_cycles_stay_consistent(self):
+        cal = make_calendar(n=2, tau=0.1, q=24)
+        for k in range(1, 8):
+            start, end = round(k * 0.1, 10), round((k + 2) * 0.1, 10)
+            found = cal.find_feasible(start, end, 2)
+            assert found is not None
+            reservations = cal.allocate(found, start, end, rid=k)
+            cal.validate()
+            for res in reservations:
+                cal.release(res.server, res.start, res.end)
+            cal.validate()
+
+
 class TestRangeSearch:
     def test_fresh_system_range_search(self):
         cal = make_calendar(n=4)

@@ -127,6 +127,54 @@ class TestDeadlines:
         assert a is not None and a.start == 20.0
 
 
+class TestScheduleOutcome:
+    """``schedule_detailed`` reports the *actual* attempt count on failure."""
+
+    def test_success_reports_attempts_and_no_reason(self):
+        alloc, _ = make_allocator(n=1, delta_t=10.0)
+        alloc.schedule(Request(qr=0.0, sr=0.0, lr=25.0, nr=1, rid=1))
+        outcome = alloc.schedule_detailed(Request(qr=0.0, sr=0.0, lr=10.0, nr=1, rid=2))
+        assert outcome.allocation is not None
+        assert outcome.reason is None
+        assert outcome.attempts == 4 == outcome.allocation.attempts
+
+    def test_deadline_exit_counts_only_real_attempts(self):
+        alloc, _ = make_allocator(n=1, delta_t=10.0, r_max=6)
+        alloc.schedule(Request(qr=0.0, sr=0.0, lr=35.0, nr=1, rid=1))
+        # latest admissible start is 20: starts 0, 10, 20 are attempted
+        # (server busy until 35), the fourth candidate (30) misses the
+        # deadline — 3 attempts, not R_max = 6
+        outcome = alloc.schedule_detailed(
+            Request(qr=0.0, sr=0.0, lr=10.0, nr=1, rid=2, deadline=30.0)
+        )
+        assert outcome.allocation is None
+        assert outcome.reason == "deadline"
+        assert outcome.attempts == 3
+
+    def test_horizon_exit_before_first_attempt(self):
+        alloc, _ = make_allocator(tau=10.0, q=12)  # horizon [0, 120)
+        outcome = alloc.schedule_detailed(Request(qr=0.0, sr=130.0, lr=10.0, nr=1, rid=1))
+        assert outcome.allocation is None
+        assert outcome.reason == "horizon"
+        assert outcome.attempts == 0
+
+    def test_exhausted_reports_r_max(self):
+        alloc, _ = make_allocator(n=1, delta_t=10.0, r_max=2)
+        alloc.schedule(Request(qr=0.0, sr=0.0, lr=45.0, nr=1, rid=1))
+        outcome = alloc.schedule_detailed(Request(qr=0.0, sr=0.0, lr=10.0, nr=1, rid=2))
+        assert outcome.allocation is None
+        assert outcome.reason == "exhausted"
+        assert outcome.attempts == 2
+
+    def test_schedule_matches_detailed_allocation(self):
+        alloc, _ = make_allocator()
+        req = Request(qr=0.0, sr=0.0, lr=30.0, nr=2, rid=7)
+        assert alloc.schedule(req) is not None
+        assert alloc.schedule_detailed(
+            Request(qr=0.0, sr=200.0, lr=10.0, nr=1, rid=8)
+        ).allocation is None
+
+
 class TestRangeSearchAndCommit:
     def test_range_search_then_commit(self):
         alloc, cal = make_allocator(n=4)

@@ -12,6 +12,13 @@ from repro.core.types import INF, IdlePeriod
 from ..conftest import make_periods
 
 
+def _subtree_periods(node):
+    """Every idle period stored at the leaves below ``node``."""
+    if node.period is not None:
+        return [node.period]
+    return _subtree_periods(node.left) + _subtree_periods(node.right)
+
+
 def naive_candidates(periods, sr):
     return [p for p in periods if p.st <= sr]
 
@@ -129,7 +136,7 @@ class TestPhase1:
         tree.bulk_load(periods)
         sr = 50.0
         _, marks = tree.phase1(sr)
-        marked = [p for node in marks for p in node.sec_periods]
+        marked = [p for node in marks for p in _subtree_periods(node)]
         assert sorted(p.uid for p in marked) == sorted(
             p.uid for p in naive_candidates(periods, sr)
         )

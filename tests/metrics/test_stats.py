@@ -119,6 +119,27 @@ class TestSpatialMetrics:
         assert means[0] == pytest.approx(2.0 * HOUR)  # nr 10 and 20
         assert means[1] == pytest.approx(10.0 * HOUR)  # nr 30
 
+    def test_avg_waiting_by_spatial_uses_half_open_bins(self):
+        # the paper's groups are (lo, hi]: a job of exactly bin_width
+        # servers belongs to the FIRST bin, one more to the second
+        records = [
+            rec(rid=0, wait_h=1.0, nr=25),  # boundary: (0, 25]
+            rec(rid=1, wait_h=3.0, nr=26),  # (25, 50]
+            rec(rid=2, wait_h=5.0, nr=50),  # boundary: (25, 50]
+        ]
+        lefts, means = avg_waiting_by_spatial(records, bin_width=25)
+        assert list(lefts) == [0, 25]
+        assert means[0] == pytest.approx(1.0 * HOUR)
+        assert means[1] == pytest.approx(4.0 * HOUR)
+
+    def test_avg_waiting_matches_attempts_grouping(self):
+        # both spatial metrics must agree on which bin a boundary job is in
+        records = [rec(rid=0, wait_h=2.0, nr=50, attempts=3)]
+        lefts, means = avg_waiting_by_spatial(records, bin_width=50)
+        table = attempts_by_spatial_bin(records, bin_width=50)
+        assert list(table.keys()) == [(0, 50)]
+        assert list(lefts) == [0] and means[0] == pytest.approx(2.0 * HOUR)
+
     def test_attempts_by_spatial_bin_matches_paper_grouping(self):
         records = [
             rec(rid=0, nr=10, attempts=2),

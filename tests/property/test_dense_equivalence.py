@@ -70,6 +70,100 @@ def lockstep(requests):
     tail.validate()
 
 
+@st.composite
+def op_streams(draw):
+    """Randomized allocate / release / advance sequences.
+
+    ``jump`` advances by half a horizon up to two whole horizons, forcing
+    slot-tree rollover to seed fresh slots from the pending buckets and
+    the unbounded-period index — the paths a pure arrival stream rarely
+    stresses.
+    """
+    n = draw(st.integers(min_value=5, max_value=25))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["alloc", "alloc", "alloc", "release", "advance", "jump"]))
+        if kind == "alloc":
+            lead = draw(st.sampled_from([0.0, 0.0, 15.0, 60.0, 150.0]))
+            lr = draw(st.floats(min_value=1.0, max_value=100.0, allow_nan=False, width=32))
+            nr = draw(st.integers(min_value=1, max_value=N))
+            ops.append(("alloc", lead, lr, nr))
+        elif kind == "release":
+            pick = draw(st.integers(min_value=0, max_value=10**6))
+            frac = draw(st.floats(min_value=0.0, max_value=0.875, allow_nan=False, width=32))
+            ops.append(("release", pick, frac))
+        elif kind == "advance":
+            dt = draw(st.floats(min_value=0.0, max_value=30.0, allow_nan=False, width=32))
+            ops.append(("advance", dt))
+        else:
+            dt = draw(st.floats(min_value=120.0, max_value=500.0, allow_nan=False, width=32))
+            ops.append(("jump", dt))
+    return ops
+
+
+def churn(ops):
+    """Drive both calendars through an op stream; yields after each op."""
+    dense = AvailabilityCalendar(N, TAU, Q, indexing="dense")
+    tail = AvailabilityCalendar(N, TAU, Q, indexing="tail")
+    alloc = OnlineCoAllocator(dense, delta_t=TAU, r_max=RMAX)
+    now = 0.0
+    live = []  # mirrored reservations not yet released
+    rid = 0
+    for op in ops:
+        kind = op[0]
+        if kind in ("advance", "jump"):
+            now += op[1]
+            dense.advance(now)
+            tail.advance(now)
+        elif kind == "alloc":
+            _, lead, lr, nr = op
+            req = Request(qr=now, sr=now + lead, lr=lr, nr=nr, rid=rid)
+            rid += 1
+            a = alloc.schedule(req)
+            if a is not None:
+                _mirror(tail, a)
+                live.extend((r.server, r.start, r.end) for r in a.reservations)
+        else:
+            _, pick, frac = op
+            if not live:
+                continue
+            server, start, end = live.pop(pick % len(live))
+            base = max(start, now)
+            cut = base + frac * (end - base)
+            if not now <= cut < end:
+                continue  # reservation already fully in the past
+            dense.release(server, cut, end)
+            tail.release(server, cut, end)
+        yield dense, tail, now
+
+
+class TestDenseEquivalenceUnderChurn:
+    @given(ops=op_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_feasibility_and_range_agree(self, ops):
+        for dense, tail, now in churn(ops):
+            for k in (0, 3, RMAX):
+                t = now + k * TAU
+                for nr in (1, N):
+                    d = dense.find_feasible(t, t + 35.0, nr)
+                    s = tail.find_feasible(t, t + 35.0, nr)
+                    assert (d is None) == (s is None), f"verdict differs at t={t}, nr={nr}"
+                    if d is not None:
+                        assert len(d) == len(s) == nr
+            window = (now + 5.0, now + 35.0)
+            if dense.in_horizon(window[0]):
+                a = {(p.server, p.st, p.et) for p in dense.range_search(*window)}
+                b = {(p.server, p.st, p.et) for p in tail.range_search(*window)}
+                assert a == b, f"range search differs at {window}"
+
+    @given(ops=op_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_after_every_operation(self, ops):
+        for dense, tail, _ in churn(ops):
+            dense.validate()
+            tail.validate()
+
+
 class TestDenseEquivalence:
     @given(requests=request_streams())
     @settings(max_examples=120, deadline=None)

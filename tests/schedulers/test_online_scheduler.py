@@ -37,6 +37,26 @@ class TestOnlineScheduler:
         assert by_rid[1].rejected
         assert result.rejected == 1
 
+    def test_deadline_rejection_reports_actual_attempts(self):
+        # server busy until t=35; deadline 30 admits starts 0, 10, 20 only,
+        # so exactly 3 attempts are made — not R_max
+        requests = [
+            req(0.0, 35.0, 1, 0),
+            Request(qr=0.0, sr=0.0, lr=10.0, nr=1, rid=1, deadline=30.0),
+        ]
+        result = run_simulation(make_online(n=1, r_max=6), requests)
+        by_rid = {r.rid: r for r in result.records}
+        assert by_rid[1].rejected
+        assert by_rid[1].attempts == 3
+
+    def test_exhausted_rejection_still_reports_r_max(self):
+        result = run_simulation(
+            make_online(n=1, r_max=2), [req(0.0, 45.0, 1, 0), req(0.0, 10.0, 1, 1)]
+        )
+        by_rid = {r.rid: r for r in result.records}
+        assert by_rid[1].rejected
+        assert by_rid[1].attempts == 2
+
     def test_oversized_rejected(self):
         result = run_simulation(make_online(n=4), [req(0.0, 10.0, 5, 0)])
         assert result.records[0].rejected

@@ -78,3 +78,22 @@ class TestExperimentCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "Table 1" in out and "CTC" in out
+
+
+class TestProfileCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.requests == 20_000 and args.servers == 512
+        assert args.sort == "cumulative" and args.dump is None
+
+    def test_profile_prints_hot_functions(self, tmp_path, capsys):
+        dump = tmp_path / "hotpath.prof"
+        rc = main(
+            ["profile", "--requests", "60", "--servers", "16",
+             "--limit", "5", "--dump", str(dump)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "replayed 60 requests on 16 servers" in out
+        assert "cumulative time" in out  # the pstats table made it out
+        assert dump.exists()
