@@ -1,0 +1,46 @@
+"""Domain-aware static analysis and structural invariant auditing.
+
+Two engines guard the correctness of the co-allocation hot path:
+
+* :mod:`repro.analysis.lint` — a custom AST lint pass (rules ``RA001`` …
+  ``RA008``) catching the bug classes that broke, or nearly broke, the
+  calendar fast path: accidental ``pop(0)`` scans, sorting inside loops,
+  float modulo / equality on time values, wall-clock or unseeded
+  randomness leaking into the simulator, and code reaching into slot-tree
+  internals or second-guessing :class:`~repro.core.coalloc.ScheduleOutcome`.
+
+* :mod:`repro.analysis.audit` — deep structural audits (checks ``RA101``
+  … ``RA115``) over :class:`~repro.core.slot_tree.TwoDimTree` and
+  :class:`~repro.core.calendar.AvailabilityCalendar`: size fields, split
+  keys, leaf ordering, secondary-index synchrony, uid-map bijection,
+  slot-coverage, pending-bucket bookkeeping, tail-index ordering, and
+  idle-time conservation across ``allocate``/``release``.
+
+Both are surfaced by the ``repro check`` CLI subcommand and documented in
+``docs/analysis.md``.  The audit engine also backs the ``validate()``
+methods of the core data structures and the ``REPRO_AUDIT`` replay mode.
+"""
+
+from .audit import (
+    AuditError,
+    AuditFinding,
+    MutationAuditor,
+    audit_calendar,
+    audit_tree,
+)
+from .lint import LintReport, lint_paths, lint_source
+from .rules import ALL_RULES, Rule, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "AuditError",
+    "AuditFinding",
+    "LintReport",
+    "MutationAuditor",
+    "Rule",
+    "Violation",
+    "audit_calendar",
+    "audit_tree",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,573 @@
+"""Deep structural invariant audits for the core data structures.
+
+This module is the machine-checked statement of what "correct" means for
+the calendar machinery — the enhanced red-black-tree literature's lesson
+is that reservation data structures live or die by exactly these checks.
+Every invariant carries a stable ID so tests (and humans reading a CI
+report) can tell a corrupted size field from a desynchronized secondary
+index:
+
+Per-tree (``audit_tree``):
+
+* ``RA101`` — every node's ``size`` equals the leaves below it;
+* ``RA102`` — every internal split key bounds its subtrees
+  (``max(left) <= key < min(right)``);
+* ``RA103`` — leaves appear in ascending ``(st, uid)`` order and each
+  leaf's key matches its period;
+* ``RA104`` — every secondary index (``sec_keys``) is sorted ascending;
+* ``RA105`` — the per-tree uid map is a bijection onto the stored
+  periods (same uids, identical objects, no strays);
+* ``RA106`` — every node's secondary key set equals the ``(et, uid)``
+  keys of the leaves below it (primary/secondary leaf-set equality);
+* ``RA107`` — parent/child pointers are mutually consistent and the
+  root has no parent;
+* ``RA108`` — every internal node is α-weight-balanced.
+
+Cross-calendar (``audit_calendar``, which also audits every slot tree):
+
+* ``RA111`` — per-server idle periods are sorted, pairwise disjoint,
+  carry the right server id, and the bisect key arrays mirror them;
+* ``RA112`` — every bounded period is indexed in exactly the slot trees
+  it overlaps (and unbounded ones never leak into trees in tail mode);
+* ``RA113`` — the pending set, its slot map, and its rollover buckets
+  agree, and every pending period really ends beyond the horizon;
+* ``RA115`` — the tail index is sorted, its parallel arrays agree, and
+  it holds exactly the live unbounded periods.
+
+Conservation (``RA114``) needs to know what was allocated, so it lives
+in :class:`MutationAuditor`: attach one to a calendar and every
+``allocate``/``release``/``advance`` is followed (every ``stride``-th
+mutation) by a full audit plus a ledger check that idle periods and
+committed reservations exactly tile each server's timeline — no idle
+time lost, none double-booked.
+
+The core ``validate()`` methods delegate here; :exc:`AuditError`
+subclasses :exc:`AssertionError` so existing callers keep working.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import TYPE_CHECKING, Callable
+
+from ..core.slot_tree import ALPHA
+from ..core.types import INF, IdlePeriod, Reservation
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep core import-light
+    from ..core.calendar import AvailabilityCalendar
+    from ..core.slot_tree import TwoDimTree, _Node
+
+__all__ = [
+    "AuditError",
+    "AuditFinding",
+    "MutationAuditor",
+    "audit_calendar",
+    "audit_tree",
+    "corrupt_secondary_key",
+    "corrupt_size_field",
+    "corrupt_uid_map",
+]
+
+
+class AuditFinding:
+    """One violated invariant, locatable and machine-readable."""
+
+    __slots__ = ("check_id", "location", "message")
+
+    def __init__(self, check_id: str, location: str, message: str) -> None:
+        self.check_id = check_id
+        self.location = location
+        self.message = message
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "check": self.check_id,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def __repr__(self) -> str:
+        return f"{self.check_id} @ {self.location}: {self.message}"
+
+
+class AuditError(AssertionError):
+    """Raised when an audit finds violated invariants.
+
+    Subclasses :exc:`AssertionError` so the pre-existing ``validate()``
+    contract (and every test written against it) is preserved.
+    """
+
+    def __init__(self, findings: list[AuditFinding]) -> None:
+        self.findings = findings
+        summary = "; ".join(repr(f) for f in findings[:5])
+        extra = f" (+{len(findings) - 5} more)" if len(findings) > 5 else ""
+        super().__init__(f"{len(findings)} invariant violation(s): {summary}{extra}")
+
+
+# ----------------------------------------------------------------------
+# per-tree audits
+# ----------------------------------------------------------------------
+
+
+def audit_tree(tree: "TwoDimTree", label: str = "tree") -> list[AuditFinding]:
+    """Audit one slot tree; returns findings (empty == every invariant holds)."""
+    findings: list[AuditFinding] = []
+    root = tree._root
+    by_uid = tree._by_uid
+    if root is None:
+        if by_uid:
+            findings.append(
+                AuditFinding(
+                    "RA105",
+                    label,
+                    f"uid map retains {len(by_uid)} entrie(s) for an empty tree",
+                )
+            )
+        return findings
+    if root.parent is not None:
+        findings.append(AuditFinding("RA107", label, "root has a parent pointer"))
+
+    leaves: list[_Node] = []
+
+    def check(node: "_Node") -> tuple[int, tuple[float, float], tuple[float, float]]:
+        """Returns (size, min_key, max_key) of the subtree; appends findings."""
+        where = f"{label}/node@key={node.key}"
+        if node.period is not None:  # leaf
+            leaves.append(node)
+            if node.size != 1:
+                findings.append(
+                    AuditFinding("RA101", where, f"leaf size {node.size} != 1")
+                )
+            expected_key = (node.period.st, node.period.uid)
+            if node.key != expected_key:
+                findings.append(
+                    AuditFinding(
+                        "RA103", where, f"leaf key {node.key} != period key {expected_key}"
+                    )
+                )
+            expected_sec = [(node.period.et, node.period.uid)]
+            if node.sec_keys != expected_sec:
+                findings.append(
+                    AuditFinding(
+                        "RA106",
+                        where,
+                        f"leaf sec_keys {node.sec_keys} != {expected_sec}",
+                    )
+                )
+            return 1, node.key, node.key
+        if node.left is None or node.right is None:
+            findings.append(AuditFinding("RA107", where, "internal node missing a child"))
+            return node.size, node.key, node.key
+        for child, side in ((node.left, "left"), (node.right, "right")):
+            if child.parent is not node:
+                findings.append(
+                    AuditFinding(
+                        "RA107", where, f"{side} child's parent pointer does not point back"
+                    )
+                )
+        ls, lmin, lmax = check(node.left)
+        rs, rmin, rmax = check(node.right)
+        if node.size != ls + rs:
+            findings.append(
+                AuditFinding(
+                    "RA101", where, f"size {node.size} != left {ls} + right {rs}"
+                )
+            )
+        if not (lmax <= node.key < rmin):
+            findings.append(
+                AuditFinding(
+                    "RA102",
+                    where,
+                    f"split key violates max(left)={lmax} <= key < min(right)={rmin}",
+                )
+            )
+        limit = ALPHA * (ls + rs)
+        if ls > limit or rs > limit:
+            findings.append(
+                AuditFinding(
+                    "RA108",
+                    where,
+                    f"weight balance violated: |left|={ls}, |right|={rs}, "
+                    f"alpha*size={limit:.1f}",
+                )
+            )
+        sec = node.sec_keys
+        if any(sec[i] > sec[i + 1] for i in range(len(sec) - 1)):
+            findings.append(AuditFinding("RA104", where, "sec_keys not sorted ascending"))
+        expected = sorted(node.left.sec_keys + node.right.sec_keys)
+        if sorted(sec) != expected:
+            findings.append(
+                AuditFinding(
+                    "RA106",
+                    where,
+                    "sec_keys do not hold exactly the children's (et, uid) keys",
+                )
+            )
+        return ls + rs, lmin, rmax
+
+    check(root)
+
+    # leaves were collected left-to-right; verify global ordering
+    for a, b in zip(leaves, leaves[1:]):
+        if a.key >= b.key:
+            findings.append(
+                AuditFinding(
+                    "RA103",
+                    label,
+                    f"leaves out of order: {a.key} before {b.key}",
+                )
+            )
+            break
+
+    # uid-map bijection
+    leaf_periods = {leaf.period.uid: leaf.period for leaf in leaves if leaf.period is not None}
+    for uid, period in leaf_periods.items():
+        mapped = by_uid.get(uid)
+        if mapped is None:
+            findings.append(
+                AuditFinding("RA105", label, f"uid {uid} stored in tree but absent from uid map")
+            )
+        elif mapped is not period:
+            findings.append(
+                AuditFinding(
+                    "RA105", label, f"uid map entry for {uid} is not the stored period object"
+                )
+            )
+    for uid in by_uid:
+        if uid not in leaf_periods:
+            findings.append(
+                AuditFinding("RA105", label, f"uid map holds stray uid {uid} with no leaf")
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# cross-calendar audits
+# ----------------------------------------------------------------------
+
+
+def audit_calendar(cal: "AvailabilityCalendar") -> list[AuditFinding]:
+    """Audit the whole calendar: every slot tree plus the cross-structure
+    invariants tying per-server lists, trees, tail index and pending set
+    together."""
+    findings: list[AuditFinding] = []
+
+    # RA111: authoritative per-server lists and their bisect key arrays
+    for server, periods in enumerate(cal._server_periods):
+        where = f"server {server}"
+        for a, b in zip(periods, periods[1:]):
+            if a.et > b.st:
+                findings.append(
+                    AuditFinding("RA111", where, f"idle periods overlap: {a} / {b}")
+                )
+        for p in periods:
+            if p.server != server:
+                findings.append(
+                    AuditFinding("RA111", where, f"period {p} carries server {p.server}")
+                )
+        if cal._server_keys[server] != [p.st for p in periods]:
+            findings.append(
+                AuditFinding("RA111", where, "key array out of sync with period list")
+            )
+
+    # per-tree structural audits + collect where every uid is indexed
+    indexed: dict[int, set[int]] = {}
+    for q, tree in cal._trees.items():
+        findings.extend(audit_tree(tree, label=f"slot {q}"))
+        lo, hi = q * cal.tau, (q + 1) * cal.tau
+        for p in tree.periods():
+            if not cal.dense and p.et == INF:
+                findings.append(
+                    AuditFinding(
+                        "RA112", f"slot {q}", f"unbounded period {p} leaked into a slot tree"
+                    )
+                )
+            if not p.overlaps(lo, hi):
+                findings.append(
+                    AuditFinding(
+                        "RA112", f"slot {q}", f"period {p} indexed in a non-overlapping slot"
+                    )
+                )
+            indexed.setdefault(p.uid, set()).add(q)
+
+    # RA115: the tail index over unbounded periods
+    if any(cal._inf_keys[i] > cal._inf_keys[i + 1] for i in range(len(cal._inf_keys) - 1)):
+        findings.append(AuditFinding("RA115", "tail index", "keys out of order"))
+    if [(p.st, p.uid) for p in cal._inf_periods] != list(cal._inf_keys):
+        findings.append(
+            AuditFinding("RA115", "tail index", "key array and period array disagree")
+        )
+    tail_uids = {p.uid for p in cal._inf_periods}
+    all_periods = {p.uid: p for periods in cal._server_periods for p in periods}
+    for uid in tail_uids:
+        if uid not in all_periods:
+            findings.append(
+                AuditFinding("RA115", "tail index", f"stale period uid {uid} not live anywhere")
+            )
+
+    # RA112 continued: every live period indexed in exactly its overlapping
+    # slots; RA115: every unbounded period present in the tail index
+    for p in all_periods.values():
+        if p.et == INF:
+            if p.uid not in tail_uids:
+                findings.append(
+                    AuditFinding(
+                        "RA115", f"server {p.server}", f"trailing period {p} missing from tail index"
+                    )
+                )
+            if not cal.dense:
+                continue
+        expected = set(cal._overlapping_slots(p))
+        got = indexed.get(p.uid, set())
+        if got != expected:
+            findings.append(
+                AuditFinding(
+                    "RA112",
+                    f"server {p.server}",
+                    f"period {p} indexed in slots {sorted(got)} but overlaps {sorted(expected)}",
+                )
+            )
+        if p.et != INF and p.et > cal.horizon_end and p.uid not in cal._pending:
+            findings.append(
+                AuditFinding(
+                    "RA113", f"server {p.server}", f"period {p} missing from the pending set"
+                )
+            )
+
+    # RA113: pending set / slot map / rollover buckets agree
+    first_inactive = cal._base_slot + cal.q_slots
+    for uid, p in cal._pending.items():
+        where = f"pending uid {uid}"
+        if p.et <= cal.horizon_end:
+            findings.append(
+                AuditFinding("RA113", where, f"pending period {p} ends inside the horizon")
+            )
+        if uid not in all_periods:
+            findings.append(AuditFinding("RA113", where, f"pending period {p} is not live"))
+        bucket_slot = cal._pending_slot.get(uid)
+        expected_slot = max(cal.slot_of(p.st), first_inactive)
+        if bucket_slot != expected_slot:
+            findings.append(
+                AuditFinding(
+                    "RA113",
+                    where,
+                    f"bucketed at slot {bucket_slot}, expected first-overlap slot {expected_slot}",
+                )
+            )
+        if bucket_slot is None or cal._pending_buckets.get(bucket_slot, {}).get(uid) is not p:
+            findings.append(
+                AuditFinding("RA113", where, "bucket membership does not match the pending set")
+            )
+    bucketed = {uid for bucket in cal._pending_buckets.values() for uid in bucket}
+    if bucketed != set(cal._pending):
+        findings.append(
+            AuditFinding("RA113", "pending buckets", "bucket contents out of sync with pending set")
+        )
+    if set(cal._pending_slot) != set(cal._pending):
+        findings.append(
+            AuditFinding("RA113", "pending slots", "slot map out of sync with pending set")
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# conservation auditing across mutations
+# ----------------------------------------------------------------------
+
+
+class MutationAuditor:
+    """Audits a calendar after every (``stride``-th) mutation.
+
+    Wraps the calendar's ``allocate``/``release``/``advance`` instance
+    methods; each committed reservation is recorded in a per-server busy
+    ledger so the conservation invariant (``RA114``) is checkable: after
+    every mutation, each server's idle periods and recorded busy
+    intervals must exactly tile its timeline from the horizon start to
+    infinity — idle time is neither lost nor double-booked by
+    ``allocate``/``release``.
+
+    Attach to a freshly built calendar (before any allocation) or the
+    ledger starts incomplete.  ``stride`` trades coverage for speed: 1
+    audits every mutation (the ``repro check --audit`` setting), larger
+    values sample (the ``REPRO_AUDIT=1`` replay default).  Audits raise
+    :exc:`AuditError` on the first violated invariant.
+    """
+
+    def __init__(
+        self,
+        calendar: "AvailabilityCalendar",
+        stride: int = 1,
+        conservation: bool = True,
+    ) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.calendar = calendar
+        self.stride = stride
+        self.conservation = conservation
+        self.mutations = 0
+        self.audits_run = 0
+        self._busy: list[list[tuple[float, float]]] = [
+            [] for _ in range(calendar.n_servers)
+        ]
+        self._orig_allocate = calendar.allocate
+        self._orig_release = calendar.release
+        self._orig_advance = calendar.advance
+        calendar.allocate = self._allocate  # type: ignore[method-assign]
+        calendar.release = self._release  # type: ignore[method-assign]
+        calendar.advance = self._advance  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        """Restore the calendar's unwrapped methods."""
+        cal = self.calendar
+        for name in ("allocate", "release", "advance"):
+            if name in cal.__dict__:
+                del cal.__dict__[name]
+
+    # -- wrapped mutations ---------------------------------------------
+
+    def _allocate(
+        self, periods: list[IdlePeriod], start: float, end: float, rid: int = 0
+    ) -> list[Reservation]:
+        reservations = self._orig_allocate(periods, start, end, rid=rid)
+        for res in reservations:
+            insort(self._busy[res.server], (res.start, res.end))
+        self._after_mutation()
+        return reservations
+
+    def _release(self, server: int, start: float, end: float) -> None:
+        self._orig_release(server, start, end)
+        self._subtract_busy(server, start, end)
+        self._after_mutation()
+
+    def _advance(self, to_time: float) -> None:
+        self._orig_advance(to_time)
+        self._after_mutation()
+
+    def _subtract_busy(self, server: int, start: float, end: float) -> None:
+        """Remove ``[start, end)`` from the recorded busy intervals."""
+        out: list[tuple[float, float]] = []
+        for lo, hi in self._busy[server]:
+            if hi <= start or lo >= end:  # disjoint
+                out.append((lo, hi))
+                continue
+            if lo < start:
+                out.append((lo, start))
+            if end < hi:
+                out.append((end, hi))
+        self._busy[server] = out
+
+    # -- auditing -------------------------------------------------------
+
+    def _after_mutation(self) -> None:
+        self.mutations += 1
+        if self.mutations % self.stride == 0:
+            self.audit_now()
+
+    def audit_now(self) -> None:
+        """Run the full structural + conservation audit; raise on findings."""
+        self.audits_run += 1
+        findings = audit_calendar(self.calendar)
+        if self.conservation:
+            findings.extend(self.conservation_findings())
+        if findings:
+            raise AuditError(findings)
+
+    def conservation_findings(self) -> list[AuditFinding]:
+        """RA114: idle periods + recorded busy intervals tile each server's
+        timeline exactly, from the trim cutoff (horizon start) to infinity."""
+        findings: list[AuditFinding] = []
+        cal = self.calendar
+        cutoff = cal.horizon_start
+        for server in range(cal.n_servers):
+            where = f"server {server}"
+            # prune intervals the calendar itself has trimmed away
+            busy = [iv for iv in self._busy[server] if iv[1] > cutoff]
+            self._busy[server] = busy
+            segments = [
+                (max(p.st, cutoff), p.et, "idle") for p in cal._server_periods[server] if p.et > cutoff
+            ] + [(max(lo, cutoff), hi, "busy") for lo, hi in busy]
+            segments.sort()
+            if not segments:
+                findings.append(
+                    AuditFinding("RA114", where, "timeline empty: no idle or busy coverage")
+                )
+                continue
+            for (alo, ahi, akind), (blo, bhi, bkind) in zip(segments, segments[1:]):
+                if ahi > blo:
+                    findings.append(
+                        AuditFinding(
+                            "RA114",
+                            where,
+                            f"{akind} [{alo}, {ahi}) overlaps {bkind} [{blo}, {bhi}) "
+                            "(idle time double-booked)",
+                        )
+                    )
+                elif ahi < blo:
+                    findings.append(
+                        AuditFinding(
+                            "RA114",
+                            where,
+                            f"gap [{ahi}, {blo}) between {akind} and {bkind} segments "
+                            "(idle time lost)",
+                        )
+                    )
+            if segments[-1][1] != INF:
+                findings.append(
+                    AuditFinding(
+                        "RA114",
+                        where,
+                        f"timeline ends at {segments[-1][1]}: the trailing idle "
+                        "period (et=inf) is missing",
+                    )
+                )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# deliberate corruption (self-tests and `repro check --inject`)
+# ----------------------------------------------------------------------
+
+
+def _pick_tree(
+    cal: "AvailabilityCalendar", want: Callable[["TwoDimTree"], bool]
+) -> "TwoDimTree":
+    for tree in cal._trees.values():
+        if want(tree):
+            return tree
+    raise LookupError("no slot tree in the calendar satisfies the corruption's needs")
+
+
+def corrupt_size_field(cal: "AvailabilityCalendar") -> str:
+    """Break a size field; the audit must report RA101."""
+    tree = _pick_tree(cal, lambda t: len(t) >= 2)
+    root = tree._root
+    assert root is not None
+    root.size += 1
+    return f"incremented root size to {root.size} in a tree of {len(root.sec_keys)} leaves"
+
+
+def corrupt_secondary_key(cal: "AvailabilityCalendar") -> str:
+    """Drift a secondary key; the audit must report RA106 (and usually RA104)."""
+    tree = _pick_tree(cal, lambda t: len(t) >= 2)
+    root = tree._root
+    assert root is not None and root.sec_keys
+    et, uid = root.sec_keys[0]
+    root.sec_keys[0] = (et + 1.0, uid)
+    return f"drifted secondary key of uid {uid} from et={et} to et={et + 1.0}"
+
+
+def corrupt_uid_map(cal: "AvailabilityCalendar") -> str:
+    """Drop a uid-map entry; the audit must report RA105."""
+    tree = _pick_tree(cal, lambda t: len(t) >= 1)
+    uid = next(iter(tree._by_uid))
+    del tree._by_uid[uid]
+    return f"removed uid {uid} from the tree's uid map"
+
+
+#: corruption kinds exposed by ``repro check --inject``, mapped to the
+#: audit check each one must trip
+CORRUPTIONS: dict[str, tuple[Callable[["AvailabilityCalendar"], str], str]] = {
+    "size": (corrupt_size_field, "RA101"),
+    "seckey": (corrupt_secondary_key, "RA106"),
+    "uidmap": (corrupt_uid_map, "RA105"),
+}

@@ -1,0 +1,36 @@
+"""The domain lint rules, RA001 … RA008.
+
+Every rule carries an ID, a fix hint, and a scope; ``docs/analysis.md``
+documents each one with its rationale and an example.  Suppress a
+finding per line with ``# repro: noqa`` (all rules) or
+``# repro: noqa RA001,RA003`` (specific rules).
+"""
+
+from __future__ import annotations
+
+from .base import LintContext, Rule, Violation, in_hot_path, in_simulation
+from .boundaries import OutcomeContractRule, SlotTreeInternalsRule
+from .determinism import UnseededRandomRule, WallClockRule
+from .performance import FrontOfListRule, SortInLoopRule
+from .time_arith import FloatTimeEqualityRule, FloatTimeModuloRule
+
+__all__ = [
+    "ALL_RULES",
+    "LintContext",
+    "Rule",
+    "Violation",
+    "in_hot_path",
+    "in_simulation",
+]
+
+#: registry, in ID order; the lint runner applies every applicable rule
+ALL_RULES: tuple[Rule, ...] = (
+    FrontOfListRule(),
+    SortInLoopRule(),
+    FloatTimeModuloRule(),
+    FloatTimeEqualityRule(),
+    WallClockRule(),
+    UnseededRandomRule(),
+    SlotTreeInternalsRule(),
+    OutcomeContractRule(),
+)

@@ -1,0 +1,139 @@
+"""Rules keeping the simulated world deterministic.
+
+Replays must be bit-identical across runs and machines: the benchmark
+harness compares outcome checksums across code revisions, and every
+experiment is seeded.  A wall-clock read or a draw from an unseeded RNG
+inside ``core/`` or ``sim/`` silently breaks both.  (``perf_counter`` is
+explicitly allowed — *measuring* wall time is the replay harness's job;
+*consuming* it in scheduling decisions is the bug.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import LintContext, Rule, Violation, in_simulation
+
+__all__ = ["WallClockRule", "UnseededRandomRule"]
+
+#: functions that read the host clock; resolved through import aliases
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the qualified names they were imported as."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def _qualified(node: ast.AST, table: dict[str, str]) -> str | None:
+    """Resolve a call target to a dotted name through the import table."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = table.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+class WallClockRule(Rule):
+    """RA005: wall-clock reads inside the simulated world."""
+
+    id = "RA005"
+    title = "wall clock read in simulation code"
+    hint = (
+        "use the simulated clock (engine.now / calendar.now); wall time may "
+        "only be *measured* (perf_counter) by the replay/benchmark harness"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return in_simulation(module)
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        table = _import_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = _qualified(node.func, table)
+            if qualified in _WALL_CLOCK:
+                yield self.violation(
+                    ctx, node, f"{qualified}() reads the host clock inside the simulator"
+                )
+
+
+class UnseededRandomRule(Rule):
+    """RA006: unseeded randomness inside the simulated world.
+
+    Draws from the module-level ``random`` functions (shared global
+    state) or from ``numpy.random``'s legacy global generator make
+    replays irreproducible; so do ``random.Random()`` and
+    ``numpy.random.default_rng()`` constructed without a seed.  Seeded
+    generator *instances* passed around explicitly are the supported
+    pattern.
+    """
+
+    id = "RA006"
+    title = "unseeded randomness in simulation code"
+    hint = (
+        "construct random.Random(seed) / numpy.random.default_rng(seed) "
+        "explicitly and thread the instance through"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return in_simulation(module)
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        table = _import_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = _qualified(node.func, table)
+            if qualified is None:
+                continue
+            if qualified in ("random.Random", "numpy.random.default_rng"):
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        ctx, node, f"{qualified}() constructed without a seed"
+                    )
+            elif qualified.startswith("random.") and qualified.count(".") == 1:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{qualified}() draws from the shared module-level RNG",
+                )
+            elif qualified.startswith("numpy.random.") and qualified not in (
+                "numpy.random.default_rng",
+                "numpy.random.Generator",
+                "numpy.random.SeedSequence",
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{qualified}() draws from numpy's legacy global RNG",
+                )

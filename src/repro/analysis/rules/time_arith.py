@@ -1,0 +1,116 @@
+"""Rules guarding float time arithmetic in slot geometry.
+
+The calendar maps times to slots with products and floor division
+(:meth:`AvailabilityCalendar.slot_of`) precisely because ``t % tau`` and
+``t == q * tau`` drift by an ulp for non-integral ``tau`` — the exact bug
+class a previous PR fixed on the slot boundaries.  ``RA003`` and
+``RA004`` keep that arithmetic from creeping back in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import LintContext, Rule, Violation, in_hot_path, is_time_expr
+
+__all__ = ["FloatTimeModuloRule", "FloatTimeEqualityRule"]
+
+
+def _is_inf(node: ast.AST) -> bool:
+    """`INF`, `math.inf`, or `float("inf")` — exact sentinels, safe to compare."""
+    if isinstance(node, ast.Name) and node.id in ("INF", "inf"):
+        return True
+    if isinstance(node, ast.Attribute) and node.attr == "inf":
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+    ):
+        return True
+    return False
+
+
+class FloatTimeModuloRule(Rule):
+    """RA003: ``%`` on time values drifts for non-integral ``tau``.
+
+    ``t % tau`` and ``t // tau * tau`` disagree by an ulp near slot
+    boundaries when ``tau`` has no exact binary representation; a time
+    sitting exactly on a boundary then lands in the wrong slot.  String
+    formatting with ``%`` is ignored.
+    """
+
+    id = "RA003"
+    title = "float modulo on time values"
+    hint = (
+        "derive slot indexes with floor division plus the boundary fix-up "
+        "loop of AvailabilityCalendar.slot_of, then compare against q*tau "
+        "products directly"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return in_hot_path(module)
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp) or not isinstance(node.op, ast.Mod):
+                continue
+            # old-style string formatting, not arithmetic
+            if isinstance(node.left, (ast.Constant, ast.JoinedStr)) and isinstance(
+                getattr(node.left, "value", None), str
+            ):
+                continue
+            if is_time_expr(node.left) or is_time_expr(node.right):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "modulo on a time value is not ulp-exact for non-integral tau",
+                )
+
+
+class FloatTimeEqualityRule(Rule):
+    """RA004: ``==``/``!=`` against a *derived* time value.
+
+    Comparing two stored floats for equality is fine (the calendar's
+    merge-adjacency checks rely on it: both sides are the same committed
+    float).  Comparing against a value *computed* by ``*``/``/``/``+``
+    arithmetic is not — the product ``q * tau`` is one ulp away from the
+    stored boundary often enough to corrupt slot attribution.
+    Comparisons with the ``INF`` sentinel are exact and exempt.
+    """
+
+    id = "RA004"
+    title = "float equality against derived time values"
+    hint = (
+        "use ordered comparisons against the same products the slot-overlap "
+        "tests use (q*tau <= t < (q+1)*tau), or compare stored floats only"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return in_hot_path(module)
+
+    @staticmethod
+    def _is_derived_time(node: ast.AST) -> bool:
+        """Arithmetic (not a bare name/attribute) over a time value."""
+        return isinstance(node, ast.BinOp) and is_time_expr(node)
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_inf(lhs) or _is_inf(rhs):
+                    continue
+                if self._is_derived_time(lhs) or self._is_derived_time(rhs):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "exact equality against a computed time value "
+                        "(products drift by an ulp)",
+                    )

@@ -18,6 +18,7 @@ the predictability property deadline-driven workflows need.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 
@@ -120,16 +121,19 @@ def topological_order(stages: list[Stage]) -> list[Stage]:
     for s in stages:
         for dep in s.depends_on:
             dependants[dep].append(s.name)
-    ready = sorted(name for name, deg in indegree.items() if deg == 0)
+    # a min-heap yields the lexicographically smallest ready stage each
+    # round — the same deterministic order as the old sorted-list front
+    # pop, without the O(N) shift and the re-sort per iteration
+    ready = [name for name, deg in indegree.items() if deg == 0]
+    heapq.heapify(ready)
     order: list[Stage] = []
     while ready:
-        name = ready.pop(0)
+        name = heapq.heappop(ready)
         order.append(by_name[name])
         for child in dependants[name]:
             indegree[child] -= 1
             if indegree[child] == 0:
-                ready.append(child)
-        ready.sort()  # deterministic order
+                heapq.heappush(ready, child)
     if len(order) != len(stages):
         cyclic = sorted(name for name, deg in indegree.items() if deg > 0)
         raise CycleError(f"stage graph has a cycle among {cyclic}")

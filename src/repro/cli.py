@@ -21,6 +21,13 @@ Installed as ``repro`` (see ``pyproject.toml``); also runnable as
 ``repro profile``
     Replay a heavy-traffic stress workload under cProfile and print the
     hot functions of the scheduling fast path.
+
+``repro check``
+    Domain-aware static analysis (AST lint rules ``RA001``…``RA008``)
+    over the source tree, and — with ``--audit`` — a stress replay with
+    deep structural invariant audits after every calendar mutation.
+    Exits non-zero on any finding; ``--format json`` emits the
+    machine-readable report CI uploads as an artifact.
 """
 
 from __future__ import annotations
@@ -89,6 +96,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument("--limit", type=int, default=25, help="rows of the pstats table")
     prof.add_argument("--dump", default=None, help="also write the binary profile here")
+
+    chk = sub.add_parser("check", help="static lint + structural invariant audit")
+    chk.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    chk.add_argument("--format", choices=("text", "json"), default="text")
+    chk.add_argument("--out", default=None, help="also write the JSON report to this path")
+    chk.add_argument("--no-lint", action="store_true", help="skip the static lint pass")
+    chk.add_argument(
+        "--audit",
+        action="store_true",
+        help="replay a stress workload auditing every calendar mutation",
+    )
+    chk.add_argument("--audit-requests", type=int, default=2000)
+    chk.add_argument("--audit-servers", type=int, default=64)
+    chk.add_argument("--audit-seed", type=int, default=7)
+    chk.add_argument("--audit-tau", type=float, default=900.0)
+    chk.add_argument("--audit-q-slots", type=int, default=96)
+    chk.add_argument(
+        "--audit-stride",
+        type=int,
+        default=1,
+        help="audit every k-th mutation (1 = every mutation)",
+    )
+    chk.add_argument(
+        "--inject",
+        choices=("size", "seckey", "uidmap"),
+        default=None,
+        help="self-test: corrupt the audited calendar before the final audit "
+        "and require the audit to catch it",
+    )
 
     return parser
 
@@ -243,6 +283,106 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    report: dict[str, object] = {}
+    failed = False
+    text_sections: list[str] = []
+
+    if not args.no_lint:
+        from .analysis.lint import lint_paths
+
+        paths = args.paths
+        if not paths:
+            # default: the installed package itself, wherever it lives
+            paths = [str(Path(__file__).resolve().parent)]
+        lint_report = lint_paths(paths)
+        report["lint"] = lint_report.to_json()
+        text_sections.append(lint_report.to_text())
+        failed = failed or not lint_report.ok
+
+    if args.audit:
+        audit_section, audit_text, audit_ok = _run_audit_replay(args)
+        report["audit"] = audit_section
+        text_sections.append(audit_text)
+        failed = failed or not audit_ok
+
+    report["ok"] = not failed
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print("\n\n".join(text_sections) if text_sections else "nothing to check")
+    return 1 if failed else 0
+
+
+def _run_audit_replay(args: argparse.Namespace) -> tuple[dict, str, bool]:
+    """Replay a stress workload with per-mutation audits; returns
+    ``(json_section, text, ok)``."""
+    from .analysis.audit import CORRUPTIONS, AuditError, audit_calendar
+    from .schedulers.online import OnlineScheduler
+    from .sim.replay import replay
+    from .workloads.stress import stress_workload
+
+    requests = stress_workload(
+        n_requests=args.audit_requests,
+        n_servers=args.audit_servers,
+        rho=0.3,
+        seed=args.audit_seed,
+        tau=args.audit_tau,
+    )
+    scheduler = OnlineScheduler(
+        n_servers=args.audit_servers, tau=args.audit_tau, q_slots=args.audit_q_slots
+    )
+    section: dict[str, object] = {
+        "requests": args.audit_requests,
+        "servers": args.audit_servers,
+        "stride": args.audit_stride,
+    }
+    try:
+        result = replay(
+            scheduler, requests, record_latencies=False, audit_stride=args.audit_stride
+        )
+    except AuditError as exc:
+        section["findings"] = [f.to_dict() for f in exc.findings]
+        text = "audit: FAILED during replay\n" + "\n".join(
+            f"  {f!r}" for f in exc.findings[:20]
+        )
+        return section, text, False
+    section["outcome_checksum"] = result.outcome_checksum
+    section["accepted"] = result.accepted
+
+    if args.inject is not None:
+        corrupt, expected_id = CORRUPTIONS[args.inject]
+        assert scheduler.calendar is not None
+        description = corrupt(scheduler.calendar)
+        findings = audit_calendar(scheduler.calendar)
+        section["injected"] = {"kind": args.inject, "description": description}
+        section["findings"] = [f.to_dict() for f in findings]
+        caught = any(f.check_id == expected_id for f in findings)
+        section["caught"] = caught
+        lines = [f"audit: injected corruption ({args.inject}): {description}"]
+        lines += [f"  {f!r}" for f in findings[:20]]
+        lines.append(
+            f"audit: corruption {'caught' if caught else 'MISSED'} "
+            f"(expected {expected_id})"
+        )
+        # an injected corruption must always fail the check; missing it
+        # entirely is itself a (worse) failure
+        return section, "\n".join(lines), False
+
+    section["findings"] = []
+    text = (
+        f"audit: clean — {args.audit_requests} requests on {args.audit_servers} "
+        f"servers, every {args.audit_stride} mutation(s) audited, "
+        f"checksum {result.outcome_checksum}"
+    )
+    return section, text, True
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
@@ -251,6 +391,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "swf-info": _cmd_swf_info,
         "profile": _cmd_profile,
+        "check": _cmd_check,
     }
     return commands[args.command](args)
 

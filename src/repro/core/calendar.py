@@ -106,8 +106,9 @@ class AvailabilityCalendar:
         # server), so membership and insertion points are a bisect instead
         # of a scan or a per-insert key-list rebuild
         self._server_keys: list[list[float]] = []
-        # tail index: unbounded periods, parallel arrays sorted by (st, uid)
-        self._inf_keys: list[tuple[float, int]] = []
+        # tail index: unbounded periods, parallel arrays sorted by (st, uid);
+        # keyed as float pairs so probes like ``(sr, _UID_HIGH)`` type-check
+        self._inf_keys: list[tuple[float, float]] = []
         self._inf_periods: list[IdlePeriod] = []
         # bounded periods ending beyond the horizon, keyed by uid, bucketed
         # by the first not-yet-active slot each overlaps so rollover seeds
@@ -199,7 +200,11 @@ class AvailabilityCalendar:
             bucket = self._pending_buckets.pop(new_slot, None)
             seeds = list(bucket.values()) if bucket else []
             if self.dense:
-                seeds.extend(self._inf_periods[: bisect_left(self._inf_keys, (new_end,))])
+                # (new_end, -1.0) sorts before any real (new_end, uid) key,
+                # matching the old 1-tuple probe while keeping key types uniform
+                seeds.extend(
+                    self._inf_periods[: bisect_left(self._inf_keys, (new_end, -1.0))]
+                )
             tree.bulk_load(seeds)
             self._trees[new_slot] = tree
             if bucket:
@@ -448,55 +453,16 @@ class AvailabilityCalendar:
     # ------------------------------------------------------------------
 
     def validate(self) -> None:
-        """Cross-check per-server lists, slot trees, tail index and pending set."""
-        for server, periods in enumerate(self._server_periods):
-            for a, b in zip(periods, periods[1:]):
-                assert a.et <= b.st, f"server {server}: overlapping idle periods {a} / {b}"
-            for p in periods:
-                assert p.server == server
-            assert self._server_keys[server] == [p.st for p in periods], (
-                f"server {server}: key array out of sync with period list"
-            )
-        indexed: dict[int, set[int]] = {}
-        for q, tree in self._trees.items():
-            tree.validate()
-            lo, hi = q * self.tau, (q + 1) * self.tau
-            for p in tree.periods():
-                if not self.dense:
-                    assert p.et != INF, f"unbounded period {p} leaked into slot tree {q}"
-                assert p.overlaps(lo, hi), f"period {p} indexed in non-overlapping slot {q}"
-                indexed.setdefault(p.uid, set()).add(q)
-        assert self._inf_keys == sorted(self._inf_keys), "tail index out of order"
-        assert [(p.st, p.uid) for p in self._inf_periods] == self._inf_keys
-        tail_uids = {p.uid for p in self._inf_periods}
-        for periods in self._server_periods:
-            for p in periods:
-                if p.et == INF:
-                    assert p.uid in tail_uids, f"trailing period {p} missing from tail index"
-                    if self.dense:
-                        expected = set(self._overlapping_slots(p))
-                        assert indexed.get(p.uid, set()) == expected, (
-                            f"dense trailing period {p} not in every remaining slot"
-                        )
-                    continue
-                expected = set(self._overlapping_slots(p))
-                assert indexed.get(p.uid, set()) == expected, (
-                    f"period {p} indexed in {indexed.get(p.uid)} but overlaps {expected}"
-                )
-                if p.et > self.horizon_end:
-                    assert p.uid in self._pending, f"period {p} missing from pending set"
-        all_uids = {p.uid for periods in self._server_periods for p in periods}
-        assert tail_uids <= all_uids, "tail index holds stale periods"
-        first_inactive = self._base_slot + self.q_slots
-        for uid, p in self._pending.items():
-            assert p.et > self.horizon_end, f"pending period {p} is inside the horizon"
-            assert uid in all_uids, f"pending set holds stale period {p}"
-            bucket_slot = self._pending_slot[uid]
-            assert bucket_slot == max(self.slot_of(p.st), first_inactive), (
-                f"pending period {p} bucketed at slot {bucket_slot}, expected "
-                f"{max(self.slot_of(p.st), first_inactive)}"
-            )
-            assert self._pending_buckets[bucket_slot][uid] is p
-        bucketed = {uid for bucket in self._pending_buckets.values() for uid in bucket}
-        assert bucketed == set(self._pending), "pending buckets out of sync with pending set"
-        assert set(self._pending_slot) == set(self._pending)
+        """Cross-check per-server lists, slot trees, tail index and pending set.
+
+        Delegates to :func:`repro.analysis.audit.audit_calendar`, which
+        audits every slot tree plus the cross-structure invariants (one
+        stable check ID each — see ``docs/analysis.md``).  The raised
+        :class:`~repro.analysis.audit.AuditError` subclasses
+        ``AssertionError``, preserving this method's contract.
+        """
+        from ..analysis.audit import AuditError, audit_calendar
+
+        findings = audit_calendar(self)
+        if findings:
+            raise AuditError(findings)

@@ -64,8 +64,15 @@ class LinearScanAllocator:
         self.now = to_time
         self.horizon_end = to_time + self.horizon
         for busy in self._busy:
-            while busy and busy[0][1] <= to_time:
-                busy.pop(0)
+            # count the expired prefix, then drop it with one sliced
+            # delete instead of an O(N) shift per expired interval
+            n = 0
+            for _, interval_end in busy:
+                if interval_end > to_time:
+                    break
+                n += 1
+            if n:
+                del busy[:n]
 
     def _fits(self, server: int, start: float, end: float) -> bool:
         """True when ``[start, end)`` overlaps no committed interval."""

@@ -465,31 +465,18 @@ class TwoDimTree:
     # ------------------------------------------------------------------
 
     def validate(self) -> None:
-        """Check every structural invariant; raises ``AssertionError`` on violation."""
-        if self._root is None:
-            assert not self._by_uid, "uid map retains entries of an empty tree"
-            return
-        assert self._root.parent is None
+        """Check every structural invariant; raises ``AssertionError`` on violation.
 
-        def check(node: _Node) -> tuple[int, tuple, tuple, list]:
-            """Returns (size, min_key, max_key, sorted sec keys) of subtree."""
-            if node.is_leaf:
-                assert node.size == 1
-                assert node.key == (node.period.st, node.period.uid)  # type: ignore[union-attr]
-                assert node.sec_keys == [(node.period.et, node.period.uid)]  # type: ignore[union-attr]
-                assert self._by_uid.get(node.period.uid) is node.period  # type: ignore[union-attr]
-                return 1, node.key, node.key, list(node.sec_keys)
-            assert node.left is not None and node.right is not None
-            assert node.left.parent is node and node.right.parent is node
-            ls, lmin, lmax, lsec = check(node.left)
-            rs, rmin, rmax, rsec = check(node.right)
-            assert node.size == ls + rs, "size mismatch"
-            assert lmax <= node.key < rmin, "split-key ordering violated"
-            limit = ALPHA * node.size
-            assert ls <= limit and rs <= limit, "weight balance violated"
-            merged = sorted(lsec + rsec)
-            assert node.sec_keys == merged, "secondary index out of sync"
-            return node.size, lmin, rmax, merged
+        Delegates to :func:`repro.analysis.audit.audit_tree` — the full
+        machine-checked invariant list (size fields, split keys, leaf and
+        secondary ordering, uid-map bijection, primary/secondary leaf-set
+        equality, parent links, weight balance) lives there, with one
+        stable check ID per invariant.  The raised
+        :class:`~repro.analysis.audit.AuditError` is an
+        ``AssertionError`` subclass, preserving this method's contract.
+        """
+        from ..analysis.audit import AuditError, audit_tree
 
-        check(self._root)
-        assert len(self._by_uid) == self._root.size, "uid map out of sync"
+        findings = audit_tree(self)
+        if findings:
+            raise AuditError(findings)

@@ -15,11 +15,22 @@ off).  Batch baselines need the event heap and are rejected.
 The :class:`ReplayResult` carries an ``outcome_checksum`` — a digest over
 every job's ``(rid, start, servers)`` outcome — so performance work on
 the calendar can assert that replays stay bit-identical across changes.
+
+Setting ``REPRO_AUDIT`` in the environment attaches a
+:class:`~repro.analysis.audit.MutationAuditor` to the scheduler's
+calendar for the whole replay: every ``stride``-th calendar mutation is
+followed by a full structural + conservation audit, and a final full
+audit runs after the last submission.  ``REPRO_AUDIT=all`` audits every
+mutation; ``REPRO_AUDIT=<k>`` audits every ``k``-th; ``REPRO_AUDIT=1``
+(or ``on``/``true``) uses the sampled default stride of 1000, cheap
+enough for the 100k-request benchmark workload.  Audits never mutate
+anything, so the outcome checksum is unchanged by auditing.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass
 from time import perf_counter, perf_counter_ns
 
@@ -28,6 +39,24 @@ from ..sim.engine import Engine
 from ..sim.job import Job, JobState
 
 __all__ = ["ReplayResult", "replay"]
+
+#: sampled audit stride used for ``REPRO_AUDIT=1``/``on``/``true``
+_DEFAULT_AUDIT_STRIDE = 1000
+
+
+def _audit_stride_from_env() -> int | None:
+    """Decode ``REPRO_AUDIT``: ``None`` (off), or the mutation stride."""
+    raw = os.environ.get("REPRO_AUDIT", "").strip().lower()
+    if raw in ("", "0", "off", "false", "no"):
+        return None
+    if raw in ("all", "every", "full"):
+        return 1
+    if raw in ("1", "on", "true", "yes"):
+        return _DEFAULT_AUDIT_STRIDE
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return _DEFAULT_AUDIT_STRIDE
 
 
 @dataclass(slots=True)
@@ -72,12 +101,23 @@ def _checksum(jobs: list[Job]) -> str:
     return digest.hexdigest()[:16]
 
 
-def replay(scheduler, requests: list[Request], record_latencies: bool = True) -> ReplayResult:
+def replay(
+    scheduler,
+    requests: list[Request],
+    record_latencies: bool = True,
+    audit_stride: int | None = None,
+) -> ReplayResult:
     """Replay ``requests`` through ``scheduler``, timing each submission.
 
     The scheduler must resolve every job inside ``submit`` (no pending
     internal events afterwards); the online scheduler satisfies this with
     ``reclaim_early`` off.
+
+    ``audit_stride`` attaches a mutation auditor to the scheduler's
+    calendar (see the module docstring); when ``None``, the
+    ``REPRO_AUDIT`` environment variable decides.  Auditing raises
+    :class:`~repro.analysis.audit.AuditError` on the first violated
+    invariant and leaves outcomes bit-identical otherwise.
     """
     if getattr(scheduler, "reclaim_early", False):
         raise ValueError("replay() cannot honour reclamation events; use run_simulation")
@@ -86,6 +126,15 @@ def replay(scheduler, requests: list[Request], record_latencies: bool = True) ->
         return ReplayResult(0, 0, 0.0, [], _checksum([]), 0.0, [])
     engine = Engine(start_time=ordered[0].qr)
     scheduler.bind(engine)
+    if audit_stride is None:
+        audit_stride = _audit_stride_from_env()
+    auditor = None
+    if audit_stride is not None:
+        calendar = getattr(scheduler, "calendar", None)
+        if calendar is not None:
+            from ..analysis.audit import MutationAuditor
+
+            auditor = MutationAuditor(calendar, stride=audit_stride)
     jobs = [Job(req) for req in ordered]
     latencies: list[float] = []
     submit = scheduler.submit
@@ -102,6 +151,9 @@ def replay(scheduler, requests: list[Request], record_latencies: bool = True) ->
             submit(job)
     elapsed = perf_counter() - t_begin
     assert engine.pending() == 0, "replayed scheduler left internal events pending"
+    if auditor is not None:
+        auditor.audit_now()  # final full audit of the end state
+        auditor.detach()
 
     done = [job for job in jobs if job.state == JobState.DONE]
     attempts = [job.attempts for job in done]

@@ -1,0 +1,5 @@
+"""Fixture: exactly one RA007 violation (slot-tree internals reached)."""
+
+
+def root_key(tree):
+    return tree._root.key

@@ -1,0 +1,8 @@
+"""Fixture: exactly one RA008 violation (outcome consumer reads r_max)."""
+
+
+def attempts_used(scheduler, request) -> int:
+    outcome = scheduler.schedule_detailed(request)
+    if outcome.allocation is not None:
+        return outcome.attempts
+    return scheduler.r_max

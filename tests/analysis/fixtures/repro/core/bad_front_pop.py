@@ -1,0 +1,8 @@
+"""Fixture: exactly one RA001 violation (front-of-list pop)."""
+
+
+def drain(queue: list[int]) -> list[int]:
+    drained = []
+    while queue:
+        drained.append(queue.pop(0))
+    return drained

@@ -1,0 +1,8 @@
+"""Fixture: exactly one RA002 violation (sorted() inside a loop)."""
+
+
+def tops(batches: list[list[int]]) -> list[int]:
+    best = []
+    for batch in batches:
+        best.append(sorted(batch)[-1])
+    return best

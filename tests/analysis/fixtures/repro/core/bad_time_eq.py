@@ -1,0 +1,5 @@
+"""Fixture: exactly one RA004 violation (equality against a derived time)."""
+
+
+def ends_exactly(st: float, lr: float, et: float) -> bool:
+    return st + lr == et

@@ -1,0 +1,5 @@
+"""Fixture: exactly one RA003 violation (float modulo on a time value)."""
+
+
+def slot_offset(st: float, tau: float) -> float:
+    return st % tau

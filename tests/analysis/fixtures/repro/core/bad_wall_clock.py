@@ -1,0 +1,7 @@
+"""Fixture: exactly one RA005 violation (wall-clock read in the simulator)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

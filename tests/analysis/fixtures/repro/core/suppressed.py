@@ -1,0 +1,7 @@
+"""Fixture: violations silenced by ``# repro: noqa`` pragmas."""
+
+
+def drain(queue: list[int], st: float, tau: float) -> float:
+    first = queue.pop(0)  # repro: noqa RA001 -- bounded: len(queue) <= 4
+    offset = st % tau  # repro: noqa
+    return first + offset

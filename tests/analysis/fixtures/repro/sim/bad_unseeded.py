@@ -1,0 +1,7 @@
+"""Fixture: exactly one RA006 violation (module-level RNG draw)."""
+
+import random
+
+
+def jitter(delay: float) -> float:
+    return delay * random.random()

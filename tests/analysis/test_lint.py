@@ -1,0 +1,80 @@
+"""Fixture-driven tests for the RAxxx lint rules.
+
+Each fixture under ``fixtures/repro/`` contains exactly one violation;
+the ``repro`` path component makes :func:`module_path` scope them as if
+they lived inside the package (``core/…``, ``sim/…``, ``apps/…``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.lint import module_path
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+#: (fixture, the one rule it must trip, the exact line)
+CASES = [
+    ("core/bad_front_pop.py", "RA001", 7),
+    ("core/bad_sort_loop.py", "RA002", 7),
+    ("core/bad_time_mod.py", "RA003", 5),
+    ("core/bad_time_eq.py", "RA004", 5),
+    ("core/bad_wall_clock.py", "RA005", 7),
+    ("sim/bad_unseeded.py", "RA006", 7),
+    ("apps/bad_internals.py", "RA007", 5),
+    ("apps/bad_outcome.py", "RA008", 8),
+]
+
+
+@pytest.mark.parametrize("rel,rule_id,line", CASES)
+def test_fixture_trips_exactly_its_rule(rel, rule_id, line):
+    report = lint_paths([FIXTURES / rel])
+    assert [(v.rule_id, v.line) for v in report.violations] == [(rule_id, line)]
+    assert not report.ok
+    assert report.violations[0].hint  # every rule ships a fix hint
+
+
+def test_clean_fixture_passes_every_rule():
+    report = lint_paths([FIXTURES / "core" / "clean.py"])
+    assert report.ok
+    assert report.files_checked == 1
+
+
+def test_noqa_fixture_fully_suppressed():
+    report = lint_paths([FIXTURES / "core" / "suppressed.py"])
+    assert report.ok
+
+
+def test_noqa_listing_other_rule_does_not_suppress():
+    source = "def f(queue, st, tau):\n    return queue.pop(0) + st % tau  # repro: noqa RA003\n"
+    violations = lint_source(source, module="core/x.py")
+    assert [v.rule_id for v in violations] == ["RA001"]
+
+
+def test_bare_noqa_suppresses_everything_on_the_line():
+    source = "def f(queue, st, tau):\n    return queue.pop(0) + st % tau  # repro: noqa\n"
+    assert lint_source(source, module="core/x.py") == []
+
+
+def test_hot_path_rules_silent_outside_scope():
+    source = "def f(items):\n    for batch in items:\n        batch.sort()\n"
+    assert lint_source(source, module="apps/x.py") == []
+    assert [v.rule_id for v in lint_source(source, module="core/x.py")] == ["RA002"]
+
+
+def test_syntax_error_reported_as_ra000():
+    violations = lint_source("def f(:\n", path="broken.py")
+    assert [v.rule_id for v in violations] == ["RA000"]
+
+
+def test_module_path_strips_through_repro():
+    assert module_path("src/repro/core/calendar.py") == "core/calendar.py"
+    assert module_path("/x/site-packages/repro/sim/replay.py") == "sim/replay.py"
+    assert module_path("scripts/helper.py") == "helper.py"
+
+
+def test_shipped_package_is_lint_clean():
+    report = lint_paths([Path(repro.__file__).parent])
+    assert report.ok, report.to_text()
