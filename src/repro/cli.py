@@ -5,7 +5,13 @@ Installed as ``repro`` (see ``pyproject.toml``); also runnable as
 
 ``repro experiment <artifact>``
     Regenerate one paper artifact (``table1``, ``table2``, ``fig3`` …
-    ``fig7``) or ``all``, at a chosen scale.
+    ``fig7``) or ``all``/``--all``, at a chosen scale.  ``--parallel N``
+    fans the distinct simulations out over worker processes;
+    ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) persists results across
+    runs in the content-addressed store.
+
+``repro cache info|clear``
+    Inspect or empty the on-disk result store.
 
 ``repro simulate``
     Replay one workload through one scheduler and print the summary —
@@ -52,8 +58,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    exp.add_argument("artifact", choices=_ARTIFACTS)
+    exp.add_argument("artifact", nargs="?", choices=_ARTIFACTS, default=None)
+    exp.add_argument(
+        "--all",
+        action="store_true",
+        dest="all_artifacts",
+        help="regenerate every artifact (same as the 'all' positional)",
+    )
     exp.add_argument("--scale", choices=("smoke", "default", "full"), default="default")
+    exp.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan the distinct simulations out over N worker processes "
+        "(0 = sequential in-process execution)",
+    )
+    exp.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist simulation results here (defaults to $REPRO_CACHE_DIR; "
+        "unset = in-memory cache only)",
+    )
 
     sim = sub.add_parser("simulate", help="replay a workload through a scheduler")
     sim.add_argument("--workload", choices=_WORKLOADS, default="KTH")
@@ -97,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--limit", type=int, default=25, help="rows of the pstats table")
     prof.add_argument("--dump", default=None, help="also write the binary profile here")
 
+    cache = sub.add_parser("cache", help="inspect or clear the result store")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="store location (defaults to $REPRO_CACHE_DIR)",
+    )
+
     chk = sub.add_parser("check", help="static lint + structural invariant audit")
     chk.add_argument(
         "paths",
@@ -134,23 +168,52 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from .experiments import SCALES, run_all
-    from .experiments import fig3, fig4, fig5, fig6, fig7, table1, table2
+    from .experiments import SCALES, configure_default_store, run_all
+    from .experiments.parallel import ARTIFACTS, enumerate_runs, warm_store
 
+    artifact = args.artifact or ("all" if args.all_artifacts else None)
+    if artifact is None:
+        print("experiment: name an artifact or pass --all", file=sys.stderr)
+        return 2
     config = SCALES[args.scale]
-    modules = {
-        "table1": table1,
-        "fig3": fig3,
-        "fig4": fig4,
-        "fig5": fig5,
-        "table2": table2,
-        "fig6": fig6,
-        "fig7": fig7,
-    }
-    if args.artifact == "all":
+    store = configure_default_store(args.cache_dir) if args.cache_dir else None
+
+    wanted = list(ARTIFACTS) if artifact == "all" else [artifact]
+    if args.parallel > 0:
+        # warm the store for every distinct run first; rendering below
+        # then consumes cached results only
+        report = warm_store(
+            enumerate_runs(wanted, config),
+            workers=args.parallel,
+            store=store,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        for failure in report.failures:
+            print(f"run failed: {failure.label}: {failure.error}", file=sys.stderr)
+        if report.failures:
+            return 1
+
+    if artifact == "all":
         print(run_all(config))
     else:
-        print(modules[args.artifact].run(config))
+        print(ARTIFACTS[artifact].run(config))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments.store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "info":
+        print(json.dumps(store.info(), indent=2))
+        return 0
+    if store.cache_dir is None:
+        print("cache: no cache dir configured (set --cache-dir or $REPRO_CACHE_DIR)")
+        return 0
+    removed = store.clear()
+    print(f"cache: removed {removed} entries from {store.cache_dir}")
     return 0
 
 
@@ -392,6 +455,7 @@ def main(argv: list[str] | None = None) -> int:
         "swf-info": _cmd_swf_info,
         "profile": _cmd_profile,
         "check": _cmd_check,
+        "cache": _cmd_cache,
     }
     return commands[args.command](args)
 

@@ -7,15 +7,21 @@ repro.experiments`` prints the full set.
 """
 
 from . import deadlines, fig3, fig4, fig5, fig6, fig7, loadsweep, table1, table2
+from . import parallel, store
 from .config import DEFAULT_CONFIG, SCALES, ExperimentConfig
 from .runner import clear_cache, get_result, make_scheduler
+from .store import ResultStore, RunSpec, configure_default_store, default_store
 
 __all__ = [
     "DEFAULT_CONFIG",
     "SCALES",
     "ExperimentConfig",
+    "ResultStore",
+    "RunSpec",
     "clear_cache",
+    "configure_default_store",
     "deadlines",
+    "default_store",
     "fig3",
     "fig4",
     "fig5",
@@ -24,7 +30,9 @@ __all__ = [
     "get_result",
     "loadsweep",
     "make_scheduler",
+    "parallel",
     "run_all",
+    "store",
     "table1",
     "table2",
 ]

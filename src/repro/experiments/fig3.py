@@ -17,10 +17,19 @@ from ..metrics.report import format_series
 from ..metrics.stats import temporal_penalty_by_duration
 from .config import DEFAULT_CONFIG, ExperimentConfig
 from .runner import get_result
+from .store import RunSpec
 
-__all__ = ["run", "series", "small_job_penalty_ratio"]
+__all__ = ["required_runs", "run", "series", "small_job_penalty_ratio"]
 
 WORKLOAD = "KTH"
+
+
+def required_runs(config: ExperimentConfig = DEFAULT_CONFIG) -> list[RunSpec]:
+    """The simulations this figure consumes (for the parallel harness)."""
+    return [
+        RunSpec.normalized(WORKLOAD, "online", config),
+        RunSpec.normalized(WORKLOAD, "batch", config),
+    ]
 
 
 def series(

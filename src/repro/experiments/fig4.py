@@ -17,10 +17,26 @@ from ..metrics.report import format_series
 from ..metrics.stats import HOUR, duration_histogram, waiting_time_histogram
 from .config import DEFAULT_CONFIG, ExperimentConfig
 from .runner import get_result
+from .store import RunSpec
 
-__all__ = ["run", "waiting_distributions", "duration_distributions", "max_waits"]
+__all__ = [
+    "duration_distributions",
+    "max_waits",
+    "required_runs",
+    "run",
+    "waiting_distributions",
+]
 
 WORKLOADS = ("CTC", "KTH")
+
+
+def required_runs(config: ExperimentConfig = DEFAULT_CONFIG) -> list[RunSpec]:
+    """The simulations this figure consumes (for the parallel harness)."""
+    return [
+        RunSpec.normalized(workload, sched, config)
+        for workload in WORKLOADS
+        for sched in ("online", "batch")
+    ]
 
 
 def waiting_distributions(

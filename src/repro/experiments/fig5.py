@@ -14,8 +14,20 @@ from ..metrics.report import format_series
 from ..metrics.stats import avg_waiting_by_spatial
 from .config import DEFAULT_CONFIG, ExperimentConfig
 from .runner import get_result
+from .store import RunSpec
 
-__all__ = ["run", "series"]
+__all__ = ["required_runs", "run", "series"]
+
+WORKLOADS = ("CTC", "KTH")
+
+
+def required_runs(config: ExperimentConfig = DEFAULT_CONFIG) -> list[RunSpec]:
+    """The simulations this figure consumes (for the parallel harness)."""
+    return [
+        RunSpec.normalized(workload, sched, config)
+        for workload in WORKLOADS
+        for sched in ("online", "batch")
+    ]
 
 
 def series(

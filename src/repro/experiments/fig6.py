@@ -20,10 +20,24 @@ from ..metrics.report import format_series
 from ..metrics.stats import waiting_time_histogram
 from .config import DEFAULT_CONFIG, ExperimentConfig
 from .runner import get_result
+from .store import RunSpec
 
-__all__ = ["run", "series", "RHOS"]
+__all__ = ["RHOS", "required_runs", "run", "series"]
 
 RHOS = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+WORKLOADS = ("CTC", "KTH")
+
+
+def required_runs(config: ExperimentConfig = DEFAULT_CONFIG) -> list[RunSpec]:
+    """The simulations this figure consumes (for the parallel harness)."""
+    specs = [
+        RunSpec.normalized(workload, "online", config, rho=rho)
+        for workload in WORKLOADS
+        for rho in RHOS
+    ]
+    specs.extend(RunSpec.normalized(workload, "batch", config) for workload in WORKLOADS)
+    return specs
 
 
 def series(

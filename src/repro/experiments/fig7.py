@@ -18,11 +18,21 @@ import numpy as np
 from ..metrics.report import format_series
 from .config import DEFAULT_CONFIG, ExperimentConfig
 from .runner import get_result
+from .store import RunSpec
 
-__all__ = ["run", "waiting_series", "ops_series", "RHOS"]
+__all__ = ["RHOS", "ops_series", "required_runs", "run", "waiting_series"]
 
 RHOS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
 WORKLOADS = ("CTC", "KTH", "HPC2N")
+
+
+def required_runs(config: ExperimentConfig = DEFAULT_CONFIG) -> list[RunSpec]:
+    """The simulations this figure consumes (for the parallel harness)."""
+    return [
+        RunSpec.normalized(workload, "online", config, rho=rho)
+        for workload in WORKLOADS
+        for rho in RHOS
+    ]
 
 
 def waiting_series(

@@ -1,0 +1,223 @@
+"""Parallel experiment execution: enumerate, dedupe, fan out, render.
+
+A full-scale sequential pass over every table and figure takes on the
+order of an hour, yet each underlying ``(workload, scheduler, ρ)``
+simulation is independent of every other — the classic
+embarrassingly-parallel sweep.  This module:
+
+1. asks each artifact module which runs it needs (``required_runs``),
+2. deduplicates shared runs by content address (Figures 3/4/5 and
+   Table 2 all reuse the CTC/KTH online and batch simulations),
+3. executes the missing ones on a ``ProcessPoolExecutor`` with per-run
+   failure isolation — one crashed simulation is reported and the rest
+   of the sweep continues — and per-run progress lines,
+4. renders the artifacts from the warmed store, exactly as the
+   sequential path would.
+
+Workers return the *serialized* payload (the store's disk format), so
+every parallel result passes through the same versioned round-trip the
+disk tier uses; record checksums are carried in the report to prove the
+worker path reproduces in-process simulation bit for bit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable
+
+from . import fig3, fig4, fig5, fig6, fig7, table1, table2
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .store import ResultStore, RunSpec, compute_result, default_store
+
+__all__ = [
+    "ARTIFACTS",
+    "RunReport",
+    "WarmReport",
+    "enumerate_runs",
+    "render_artifacts",
+    "warm_store",
+]
+
+#: artifact name -> module, in the paper's presentation order
+ARTIFACTS = {
+    "table1": table1,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "table2": table2,
+    "fig6": fig6,
+    "fig7": fig7,
+}
+
+Progress = Callable[[str], None]
+
+
+@dataclass(slots=True)
+class RunReport:
+    """Outcome of one deduplicated run in a warm-up sweep."""
+
+    label: str
+    key: str
+    status: str  # "cached" | "computed" | "failed"
+    elapsed_sec: float = 0.0
+    checksum: str | None = None
+    error: str | None = None
+
+
+@dataclass(slots=True)
+class WarmReport:
+    """Everything a warm-up sweep did, for benchmarks and CI assertions."""
+
+    runs: list[RunReport] = field(default_factory=list)
+    elapsed_sec: float = 0.0
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for r in self.runs if r.status == "cached")
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for r in self.runs if r.status == "computed")
+
+    @property
+    def failures(self) -> list[RunReport]:
+        return [r for r in self.runs if r.status == "failed"]
+
+    @property
+    def checksums(self) -> dict[str, str]:
+        """label -> record checksum for every run that produced a result."""
+        return {r.label: r.checksum for r in self.runs if r.checksum is not None}
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "elapsed_sec": round(self.elapsed_sec, 4),
+            "cached": self.cached,
+            "computed": self.computed,
+            "failed": len(self.failures),
+            "runs": [
+                {
+                    "label": r.label,
+                    "key": r.key,
+                    "status": r.status,
+                    "elapsed_sec": round(r.elapsed_sec, 4),
+                    "checksum": r.checksum,
+                    "error": r.error,
+                }
+                for r in self.runs
+            ],
+        }
+
+
+def enumerate_runs(
+    artifacts: list[str] | tuple[str, ...],
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[RunSpec]:
+    """Distinct simulations the named artifacts need, in first-use order.
+
+    Deduplication is by content address, so the CTC/KTH online and batch
+    runs shared by Figures 3/4/5 and Table 2 appear exactly once.
+    """
+    seen: dict[str, RunSpec] = {}
+    for name in artifacts:
+        try:
+            module = ARTIFACTS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown artifact {name!r}; choose from {', '.join(ARTIFACTS)}"
+            ) from None
+        for spec in module.required_runs(config):
+            seen.setdefault(spec.key, spec)
+    return list(seen.values())
+
+
+def _worker(spec: RunSpec) -> tuple[dict[str, Any], float]:
+    """Executed in a worker process: simulate and serialize one run."""
+    start = perf_counter()
+    result = compute_result(spec)
+    return result.to_payload(), perf_counter() - start
+
+
+def warm_store(
+    specs: list[RunSpec],
+    workers: int = 1,
+    store: ResultStore | None = None,
+    progress: Progress | None = None,
+) -> WarmReport:
+    """Ensure every spec has a result in ``store``; fan out the misses.
+
+    ``workers <= 1`` computes inline (no process pool); failures are
+    isolated per run either way — a crashed simulation yields a
+    ``failed`` entry in the report, not an aborted sweep.
+    """
+    if store is None:
+        store = default_store()
+    say = progress or (lambda _line: None)
+    report = WarmReport()
+    sweep_start = perf_counter()
+
+    todo: list[RunSpec] = []
+    for spec in specs:
+        cached = store.get(spec)
+        if cached is not None:
+            report.runs.append(
+                RunReport(spec.label, spec.key, "cached", checksum=cached.record_checksum())
+            )
+            say(f"[cache] {spec.label}")
+        else:
+            todo.append(spec)
+
+    done_count = len(report.runs)
+    total = len(specs)
+
+    def note(spec: RunSpec, entry: RunReport) -> None:
+        nonlocal done_count
+        done_count += 1
+        report.runs.append(entry)
+        if entry.status == "failed":
+            say(f"[{done_count}/{total}] {spec.label} FAILED: {entry.error}")
+        else:
+            say(f"[{done_count}/{total}] {spec.label} done in {entry.elapsed_sec:.1f}s")
+
+    if workers <= 1 or len(todo) <= 1:
+        for spec in todo:
+            start = perf_counter()
+            try:
+                result = store.get_or_compute(spec)
+            except Exception as exc:  # isolate: report, keep sweeping
+                note(spec, RunReport(spec.label, spec.key, "failed",
+                                     perf_counter() - start, error=repr(exc)))
+                continue
+            note(spec, RunReport(spec.label, spec.key, "computed",
+                                 perf_counter() - start,
+                                 checksum=result.record_checksum()))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: dict[Future, RunSpec] = {pool.submit(_worker, s): s for s in todo}
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec = futures[future]
+                    try:
+                        payload, elapsed = future.result()
+                        result = store.put_payload(spec, payload)
+                    except Exception as exc:  # worker crash or bad payload
+                        note(spec, RunReport(spec.label, spec.key, "failed",
+                                             error=repr(exc)))
+                        continue
+                    note(spec, RunReport(spec.label, spec.key, "computed", elapsed,
+                                         checksum=result.record_checksum()))
+
+    report.elapsed_sec = perf_counter() - sweep_start
+    return report
+
+
+def render_artifacts(
+    artifacts: list[str] | tuple[str, ...],
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> str:
+    """Render the named artifacts (from a warmed store, ideally)."""
+    parts = [ARTIFACTS[name].run(config) for name in artifacts]
+    return "\n\n".join(parts)

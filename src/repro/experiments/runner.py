@@ -1,9 +1,14 @@
-"""Shared simulation runner with per-process memoization.
+"""Shared simulation runner, backed by the content-addressed store.
 
 Several experiments consume the *same* simulation (e.g. Figures 3, 4, 5
 and Table 2 all analyze the CTC/KTH online and batch runs), so results
-are cached on ``(workload, scheduler, ρ, config)``.  Runs are fully
-deterministic given the config seed, which makes the cache safe.
+are cached.  Historically this module kept its own memo dict keyed on a
+hand-picked tuple that omitted ``config.delta_t`` — two configs
+differing only in the retry increment collided and the second caller got
+stale results.  ``get_result`` is now a thin shim over
+:mod:`repro.experiments.store`, which keys on a hash of **every** config
+field plus a code-version fingerprint; runs are fully deterministic
+given the config seed, which makes the cache safe.
 """
 
 from __future__ import annotations
@@ -15,10 +20,10 @@ from ..schedulers import (
     OnlineScheduler,
 )
 from ..schedulers.base import SchedulerBase
-from ..sim.driver import SimResult, run_simulation
-from ..workloads.archive import WORKLOADS, generate_workload
-from ..workloads.reservations import with_advance_reservations
+from ..sim.driver import SimResult
+from ..workloads.archive import WORKLOADS
 from .config import DEFAULT_CONFIG, ExperimentConfig
+from .store import RunSpec, default_store
 
 __all__ = ["get_result", "make_scheduler", "clear_cache"]
 
@@ -28,12 +33,15 @@ _BATCH_FACTORIES = {
     "conservative": ConservativeBackfillScheduler,
 }
 
-_cache: dict[tuple, SimResult] = {}
-
 
 def clear_cache() -> None:
-    """Drop memoized simulation results (tests use this for isolation)."""
-    _cache.clear()
+    """Drop in-process memoized results (tests use this for isolation).
+
+    Disk-tier entries, when a cache dir is configured, stay — they are
+    content-addressed and survive restarts by design; use ``repro cache
+    clear`` (or :meth:`ResultStore.clear`) to drop those too.
+    """
+    default_store().clear_memory()
 
 
 def make_scheduler(
@@ -67,16 +75,9 @@ def get_result(
 
     ``scheduler`` is ``"online"``, ``"fcfs"``, ``"easy"``,
     ``"conservative"`` or ``"batch"`` (an alias for the config's batch
-    comparator).  Results are memoized per process.
+    comparator).  Results come from the process-wide
+    :class:`~repro.experiments.store.ResultStore`: memoized per process,
+    and persisted across processes when a cache dir is configured.
     """
-    if scheduler == "batch":
-        scheduler = config.batch_scheduler
-    key = (workload, scheduler, rho, config.n_jobs, config.seed, config.tau, config.q_slots)
-    if key in _cache:
-        return _cache[key]
-    requests = generate_workload(workload, n_jobs=config.n_jobs, seed=config.seed)
-    if rho > 0.0:
-        requests = with_advance_reservations(requests, rho, seed=config.seed)
-    result = run_simulation(make_scheduler(scheduler, workload, config), requests)
-    _cache[key] = result
-    return result
+    spec = RunSpec.normalized(workload, scheduler, config, rho)
+    return default_store().get_or_compute(spec)

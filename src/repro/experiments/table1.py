@@ -20,8 +20,14 @@ from __future__ import annotations
 from ..metrics.report import format_table
 from ..workloads.archive import workload_table
 from .config import DEFAULT_CONFIG, ExperimentConfig
+from .store import RunSpec
 
-__all__ = ["run", "rows"]
+__all__ = ["required_runs", "run", "rows"]
+
+
+def required_runs(config: ExperimentConfig = DEFAULT_CONFIG) -> list[RunSpec]:
+    """Table 1 measures the workloads themselves — no simulations."""
+    return []
 
 PAPER_ROWS = {
     "CTC": (512, 39734, 5.82),

@@ -17,11 +17,17 @@ from ..metrics.report import format_table
 from ..metrics.stats import attempts_by_spatial_bin
 from .config import DEFAULT_CONFIG, ExperimentConfig
 from .runner import get_result
+from .store import RunSpec
 
-__all__ = ["run", "rows"]
+__all__ = ["required_runs", "run", "rows"]
 
 WORKLOADS = ("CTC", "KTH")
 BIN = 50
+
+
+def required_runs(config: ExperimentConfig = DEFAULT_CONFIG) -> list[RunSpec]:
+    """The simulations this table consumes (for the parallel harness)."""
+    return [RunSpec.normalized(workload, "online", config) for workload in WORKLOADS]
 
 
 def rows(

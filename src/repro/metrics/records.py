@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["JobRecord"]
+__all__ = ["JobRecord", "RECORD_ROW_FIELDS"]
+
+#: row layout version for :meth:`JobRecord.to_row`; bump on field changes
+RECORD_ROW_FIELDS = ("rid", "qr", "sr", "lr", "nr", "start", "attempts", "ops")
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,6 +31,32 @@ class JobRecord:
     @property
     def rejected(self) -> bool:
         return self.start is None
+
+    def to_row(self) -> list:
+        """Compact list form for the result store (scheduler factored out).
+
+        The layout is :data:`RECORD_ROW_FIELDS`; ``scheduler`` is stored
+        once per run by :meth:`repro.sim.driver.SimResult.to_payload`
+        rather than repeated on every row.
+        """
+        return [self.rid, self.qr, self.sr, self.lr, self.nr, self.start,
+                self.attempts, self.ops]
+
+    @classmethod
+    def from_row(cls, row: list, scheduler: str) -> "JobRecord":
+        """Inverse of :meth:`to_row`; raises on malformed rows."""
+        rid, qr, sr, lr, nr, start, attempts, ops = row
+        return cls(
+            rid=int(rid),
+            qr=float(qr),
+            sr=float(sr),
+            lr=float(lr),
+            nr=int(nr),
+            start=None if start is None else float(start),
+            attempts=int(attempts),
+            ops=int(ops),
+            scheduler=scheduler,
+        )
 
     @property
     def waiting_time(self) -> float:

@@ -87,7 +87,11 @@ def waiting_time_histogram(
         return np.array([]), np.array([])
     waits = np.array([r.waiting_time for r in acc]) / HOUR
     edges = np.arange(0.0, max_hours + bin_hours, bin_hours)
-    clipped = np.minimum(waits, max_hours - bin_hours / 2)
+    # clip into the *last bin's* interior — its midpoint — not relative to
+    # max_hours: when max_hours is not a multiple of bin_hours the last
+    # edge overshoots max_hours and a max_hours-relative clip target
+    # lands in the second-to-last bin
+    clipped = np.minimum(waits, (edges[-2] + edges[-1]) / 2)
     counts, _ = np.histogram(clipped, bins=edges)
     return edges[:-1], counts / len(acc)
 
@@ -100,7 +104,9 @@ def duration_histogram(
         return np.array([]), np.array([])
     durs = np.array([r.lr for r in records]) / HOUR
     edges = np.arange(0.0, max_hours + bin_hours, bin_hours)
-    clipped = np.minimum(durs, max_hours - bin_hours / 2)
+    # last-bin midpoint, as in waiting_time_histogram: keeps the tail in
+    # the final bin for any (bin_hours, max_hours) combination
+    clipped = np.minimum(durs, (edges[-2] + edges[-1]) / 2)
     counts, _ = np.histogram(clipped, bins=edges)
     return edges[:-1], counts / len(records)
 

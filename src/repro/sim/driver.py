@@ -8,8 +8,9 @@ submission time ``q_r``, drains the event heap, and returns the per-job
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..core.types import Request
 from ..metrics.records import JobRecord
@@ -19,7 +20,12 @@ from .job import Job, JobState
 if TYPE_CHECKING:  # pragma: no cover
     from ..schedulers.base import SchedulerBase
 
-__all__ = ["SimResult", "run_simulation"]
+__all__ = ["RESULT_FORMAT", "SimResult", "run_simulation"]
+
+#: (de)serialization layout version for :meth:`SimResult.to_payload`.
+#: Bump whenever the payload shape or the record row layout changes; the
+#: result store treats entries with any other version as misses.
+RESULT_FORMAT = 1
 
 
 @dataclass(slots=True)
@@ -44,6 +50,60 @@ class SimResult:
         if not self.records:
             return 1.0
         return 1.0 - self.rejected / len(self.records)
+
+    def to_payload(self) -> dict[str, Any]:
+        """Versioned, JSON-able form (the result store's disk format).
+
+        Floats survive JSON exactly (``repr`` round-trips IEEE doubles),
+        so ``from_payload(to_payload(r))`` reproduces ``r`` bit for bit.
+        """
+        return {
+            "format": RESULT_FORMAT,
+            "scheduler": self.scheduler,
+            "utilization": self.utilization,
+            "makespan": self.makespan,
+            "rejected": self.rejected,
+            "unfinished": self.unfinished,
+            "total_ops": self.total_ops,
+            "records": [r.to_row() for r in self.records],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "SimResult":
+        """Inverse of :meth:`to_payload`; raises ``ValueError`` on any
+        other format version (callers treat that as a cache miss)."""
+        version = payload.get("format")
+        if version != RESULT_FORMAT:
+            raise ValueError(f"unsupported SimResult format {version!r}")
+        scheduler = payload["scheduler"]
+        return cls(
+            scheduler=scheduler,
+            records=[JobRecord.from_row(row, scheduler) for row in payload["records"]],
+            utilization=float(payload["utilization"]),
+            makespan=float(payload["makespan"]),
+            rejected=int(payload["rejected"]),
+            unfinished=int(payload["unfinished"]),
+            total_ops=int(payload["total_ops"]),
+        )
+
+    def record_checksum(self) -> str:
+        """Digest over every per-job outcome plus the summary fields.
+
+        Equal checksums mean identical results: the parallel harness and
+        the benchmark use this to prove worker-process and disk-cache
+        paths reproduce the in-process simulation exactly.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            f"{self.scheduler}:{self.utilization!r}:{self.makespan!r}:"
+            f"{self.rejected}:{self.unfinished}:{self.total_ops}\n".encode()
+        )
+        for r in self.records:
+            digest.update(
+                f"{r.rid}:{r.qr!r}:{r.sr!r}:{r.lr!r}:{r.nr}:"
+                f"{r.start!r}:{r.attempts}:{r.ops}\n".encode()
+            )
+        return digest.hexdigest()[:16]
 
 
 def run_simulation(scheduler: "SchedulerBase", requests: list[Request]) -> SimResult:

@@ -28,34 +28,60 @@ __all__ = ["Engine", "EventHandle"]
 class EventHandle:
     """Cancellation token for a scheduled event."""
 
-    __slots__ = ("time", "seq", "cancelled")
+    __slots__ = ("time", "seq", "cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int) -> None:
+    def __init__(self, time: float, seq: int, engine: "Engine | None" = None) -> None:
         self.time = time
         self.seq = seq
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from firing (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancelled()
+
+
+#: never compact heaps smaller than this — the rebuild isn't worth it
+_COMPACT_MIN_HEAP = 64
 
 
 class Engine:
-    """Event-heap simulator with a deterministic tie-break order."""
+    """Event-heap simulator with a deterministic tie-break order.
+
+    Cancelled events are discarded lazily on pop, but the engine also
+    *compacts* the heap whenever cancelled entries outnumber live ones
+    (cancel-heavy workloads — backfilling re-plans, early-completion
+    reclamation — would otherwise grow the heap without bound).  A live
+    counter keeps :meth:`pending` O(1).
+    """
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.now = float(start_time)
         self._heap: list[tuple[float, int, EventHandle, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._running = False
+        self._cancelled = 0  # cancelled entries still sitting in _heap
 
     def at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to fire when the clock reaches ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < now {self.now})")
-        handle = EventHandle(time, next(self._seq))
+        handle = EventHandle(time, next(self._seq), self)
         heapq.heappush(self._heap, (time, handle.seq, handle, callback))
         return handle
+
+    def _note_cancelled(self) -> None:
+        """Account one newly-cancelled queued event; compact if it tips
+        the heap past half-dead."""
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._heap) and len(self._heap) >= _COMPACT_MIN_HEAP:
+            self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
@@ -67,6 +93,7 @@ class Engine:
         """Time of the next pending event, or ``None`` when idle."""
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
@@ -74,7 +101,10 @@ class Engine:
         while self._heap:
             time, _seq, handle, callback = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
+            # the entry left the heap: a late cancel() must not be counted
+            handle._engine = None
             self.now = time
             callback()
             return True
@@ -104,5 +134,5 @@ class Engine:
             self._running = False
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, _, h, _ in self._heap if not h.cancelled)
+        """Number of live (non-cancelled) events still queued — O(1)."""
+        return len(self._heap) - self._cancelled

@@ -67,6 +67,15 @@ class TestWaitingHistogram:
         assert freq[-1] == pytest.approx(1.0)
         assert lefts[-1] == 9.0
 
+    def test_tail_lands_in_last_bin_non_multiple_max(self):
+        # max_hours=14 is not a multiple of bin_hours=1.5: the last edge
+        # overshoots (edges end at 15.0) and the old max_hours-relative
+        # clip dropped the tail into the second-to-last bin
+        records = [rec(wait_h=500.0)]
+        lefts, freq = waiting_time_histogram(records, bin_hours=1.5, max_hours=14.0)
+        assert freq[-1] == pytest.approx(1.0)
+        assert freq[:-1].sum() == pytest.approx(0.0)
+
     def test_zero_wait_in_first_bin(self):
         _, freq = waiting_time_histogram([rec(wait_h=0.0)], bin_hours=1.0, max_hours=4.0)
         assert freq[0] == pytest.approx(1.0)
@@ -87,6 +96,11 @@ class TestDurationHistogram:
         # Figure 4(b) describes the workload, not the outcome
         _, freq = duration_histogram([rec(rejected=True, lr_h=1.0)])
         assert freq.sum() == pytest.approx(1.0)
+
+    def test_tail_lands_in_last_bin_non_multiple_max(self):
+        _, freq = duration_histogram([rec(lr_h=999.0)], bin_hours=1.5, max_hours=14.0)
+        assert freq[-1] == pytest.approx(1.0)
+        assert freq[:-1].sum() == pytest.approx(0.0)
 
 
 class TestTemporalPenalty:

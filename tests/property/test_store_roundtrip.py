@@ -1,0 +1,71 @@
+"""Property tests: the result store's serialization is exact.
+
+The store's correctness claim is that caching is invisible — a result
+read back from a worker process or from disk is indistinguishable from
+the in-process original.  That reduces to round-trip identity of the
+(de)serialization over arbitrary records, including the awkward floats
+(sub-second times, huge makespans, denormal waits) real traces produce.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.records import JobRecord
+from repro.sim.driver import SimResult
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+times = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+
+
+@st.composite
+def job_records(draw, scheduler="prop"):
+    return JobRecord(
+        rid=draw(st.integers(min_value=0, max_value=10**9)),
+        qr=draw(times),
+        sr=draw(times),
+        lr=draw(st.floats(min_value=1e-3, max_value=1e9, allow_nan=False)),
+        nr=draw(st.integers(min_value=1, max_value=10**6)),
+        start=draw(st.none() | times),
+        attempts=draw(st.integers(min_value=0, max_value=10**4)),
+        ops=draw(st.integers(min_value=0, max_value=10**9)),
+        scheduler=scheduler,
+    )
+
+
+@st.composite
+def sim_results(draw):
+    records = draw(st.lists(job_records(), max_size=12))
+    return SimResult(
+        scheduler="prop",
+        records=records,
+        utilization=draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+        makespan=draw(times),
+        rejected=sum(1 for r in records if r.rejected),
+        unfinished=draw(st.integers(min_value=0, max_value=5)),
+        total_ops=draw(st.integers(min_value=0, max_value=10**12)),
+    )
+
+
+class TestRoundTrip:
+    @given(record=job_records())
+    @settings(max_examples=200)
+    def test_record_row_round_trip(self, record):
+        assert JobRecord.from_row(record.to_row(), record.scheduler) == record
+
+    @given(result=sim_results())
+    @settings(max_examples=100)
+    def test_payload_round_trip_is_identity(self, result):
+        assert SimResult.from_payload(result.to_payload()) == result
+
+    @given(result=sim_results())
+    @settings(max_examples=100)
+    def test_json_text_round_trip_is_identity(self, result):
+        # the disk tier's actual path: payload -> JSON text -> payload.
+        # float repr round-trips IEEE doubles exactly, so even awkward
+        # values survive bit for bit
+        text = json.dumps(result.to_payload())
+        clone = SimResult.from_payload(json.loads(text))
+        assert clone == result
+        assert clone.record_checksum() == result.record_checksum()

@@ -78,6 +78,54 @@ class TestCancellation:
         h.cancel()
         assert eng.pending() == 1
 
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        eng = Engine()
+        h = eng.at(1.0, lambda: None)
+        eng.at(2.0, lambda: None)
+        eng.step()  # fires h
+        h.cancel()  # late cancel of an already-fired event: a no-op
+        assert eng.pending() == 1
+        eng.run()
+
+
+class TestHeapCompaction:
+    def test_cancel_heavy_workload_keeps_heap_bounded(self):
+        # 10k cancel/reschedule cycles (a backfilling re-plan pattern):
+        # without compaction the heap retains every cancelled entry
+        eng = Engine()
+        keeper = eng.at(1e9, lambda: None)  # one live event throughout
+        handle = eng.at(1.0, lambda: None)
+        for i in range(10_000):
+            handle.cancel()
+            handle = eng.at(float(i + 2), lambda: None)
+            assert eng.pending() == 2
+        assert len(eng._heap) < 200  # bounded, not ~10k
+        keeper.cancel()
+        eng.run()
+        assert eng.pending() == 0
+
+    def test_compaction_preserves_fire_order(self):
+        eng = Engine()
+        fired = []
+        live = [eng.at(float(t), lambda t=t: fired.append(t)) for t in range(1, 201)]
+        # cancel most of them to force several compactions
+        for h in live[::2]:
+            h.cancel()
+        for h in live[1::4]:
+            h.cancel()
+        expected = sorted(h.time for h in live if not h.cancelled)
+        eng.run()
+        assert fired == expected
+
+    def test_small_heaps_are_not_compacted(self):
+        eng = Engine()
+        handles = [eng.at(float(t), lambda: None) for t in range(1, 11)]
+        for h in handles:
+            h.cancel()
+        # all dead, below the compaction threshold: lazily discarded
+        assert eng.pending() == 0
+        assert eng.peek() is None
+
 
 class TestRunUntil:
     def test_run_until_stops_clock_exactly(self):

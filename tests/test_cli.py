@@ -79,6 +79,60 @@ class TestExperimentCommand:
         assert rc == 0
         assert "Table 1" in out and "CTC" in out
 
+    def test_artifact_or_all_required(self, capsys):
+        rc = main(["experiment"])
+        assert rc == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_all_flag_accepted(self):
+        args = build_parser().parse_args(["experiment", "--all", "--parallel", "4"])
+        assert args.all_artifacts and args.artifact is None
+        assert args.parallel == 4
+
+    def test_parallel_with_cache_dir(self, tmp_path, capsys):
+        import repro.experiments.store as store_mod
+
+        old = store_mod._default_store
+        try:
+            rc = main(
+                ["experiment", "table2", "--scale", "smoke", "--parallel", "2",
+                 "--cache-dir", str(tmp_path)]
+            )
+        finally:
+            store_mod._default_store = old
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "Table 2" in captured.out
+        assert "done in" in captured.err  # progress lines on stderr
+        assert list(tmp_path.glob("*.json.gz"))  # disk tier populated
+
+
+class TestCacheCommand:
+    def test_info_empty_dir(self, tmp_path, capsys):
+        rc = main(["cache", "info", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert '"disk_entries": 0' in out and str(tmp_path) in out
+
+    def test_clear_round_trip(self, tmp_path, capsys):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.store import ResultStore, RunSpec
+
+        store = ResultStore(tmp_path)
+        store.get_or_compute(
+            RunSpec.normalized("KTH", "online", ExperimentConfig(n_jobs=100, seed=3))
+        )
+        rc = main(["cache", "clear", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0 and "removed 1 entries" in out
+        assert not list(tmp_path.glob("*.json.gz"))
+
+    def test_clear_without_dir_is_noop(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        rc = main(["cache", "clear"])
+        assert rc == 0
+        assert "no cache dir configured" in capsys.readouterr().out
+
 
 class TestProfileCommand:
     def test_defaults(self):
