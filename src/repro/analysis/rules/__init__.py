@@ -1,4 +1,4 @@
-"""The domain lint rules, RA001 … RA008.
+"""The domain lint rules, RA001 … RA009.
 
 Every rule carries an ID, a fix hint, and a scope; ``docs/analysis.md``
 documents each one with its rationale and an example.  Suppress a
@@ -12,6 +12,7 @@ from .base import LintContext, Rule, Violation, in_hot_path, in_simulation
 from .boundaries import OutcomeContractRule, SlotTreeInternalsRule
 from .determinism import UnseededRandomRule, WallClockRule
 from .performance import FrontOfListRule, SortInLoopRule
+from .service import ActorBoundaryRule
 from .time_arith import FloatTimeEqualityRule, FloatTimeModuloRule
 
 __all__ = [
@@ -33,4 +34,5 @@ ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     SlotTreeInternalsRule(),
     OutcomeContractRule(),
+    ActorBoundaryRule(),
 )

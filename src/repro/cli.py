@@ -29,11 +29,30 @@ Installed as ``repro`` (see ``pyproject.toml``); also runnable as
     hot functions of the scheduling fast path.
 
 ``repro check``
-    Domain-aware static analysis (AST lint rules ``RA001``…``RA008``)
+    Domain-aware static analysis (AST lint rules ``RA001``…``RA009``)
     over the source tree, and — with ``--audit`` — a stress replay with
     deep structural invariant audits after every calendar mutation.
     Exits non-zero on any finding; ``--format json`` emits the
     machine-readable report CI uploads as an artifact.
+
+``repro serve``
+    Run the online co-allocation server: a live calendar behind a
+    single-writer asyncio actor, speaking NDJSON over TCP (``reserve``,
+    ``probe``, ``cancel``, ``status``, ``snapshot``, ``shutdown``) with
+    bounded admission, micro-batching, and checksummed snapshot/restore.
+    See ``docs/service.md``.
+
+``repro loadgen``
+    Replay an SWF-derived trace against a running server at a target
+    open-loop rate, re-verify every accepted reservation in a
+    client-side shadow ledger, and write a ``BENCH_service.json``
+    latency/throughput report.  Exits non-zero on ledger violations.
+
+``repro reserve``
+    One-shot client: submit a single reservation to a running server.
+    Exit codes are the shared :class:`repro.errors.ErrorCode` enum — 0
+    granted, 2 malformed request, 3 rejected after the ``R_max`` retry
+    policy, 6 load-shed (``BUSY``).
 """
 
 from __future__ import annotations
@@ -42,6 +61,8 @@ import argparse
 import sys
 
 import numpy as np
+
+from .errors import ErrorCode
 
 __all__ = ["main", "build_parser"]
 
@@ -164,6 +185,71 @@ def build_parser() -> argparse.ArgumentParser:
         "and require the audit to catch it",
     )
 
+    srv = sub.add_parser("serve", help="run the online co-allocation server")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0, help="TCP port (0 = ephemeral)")
+    srv.add_argument("--servers", type=int, default=64, help="system size N")
+    srv.add_argument("--tau", type=float, default=900.0, help="slot length τ (s)")
+    srv.add_argument("--q-slots", type=int, default=96, help="slots Q in the horizon")
+    srv.add_argument("--delta-t", type=float, default=None, help="retry increment Δt")
+    srv.add_argument("--r-max", type=int, default=None, help="max scheduling attempts")
+    srv.add_argument(
+        "--snapshot-path",
+        default=None,
+        help="snapshot file; restored at boot if present, written on shutdown",
+    )
+    srv.add_argument(
+        "--max-queue", type=int, default=1024, help="admission queue depth bound"
+    )
+    srv.add_argument(
+        "--max-delay",
+        type=float,
+        default=5.0,
+        help="admission delay budget (s): shed once expected queue wait exceeds it",
+    )
+    srv.add_argument(
+        "--max-batch", type=int, default=64, help="actor micro-batch size bound"
+    )
+    srv.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="log a JSON metrics line to stderr this often (0 = off)",
+    )
+
+    lg = sub.add_parser("loadgen", help="replay a trace against a running server")
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, required=True)
+    lg.add_argument("--swf", default=None, help="replay this SWF log")
+    lg.add_argument("--workload", choices=_WORKLOADS, default="KTH")
+    lg.add_argument("--jobs", type=int, default=2000)
+    lg.add_argument("--seed", type=int, default=42)
+    lg.add_argument("--rho", type=float, default=0.0, help="advance-reservation fraction")
+    lg.add_argument(
+        "--rate", type=float, default=0.0, help="open-loop sends/sec (0 = flat out)"
+    )
+    lg.add_argument(
+        "--window", type=int, default=0, help="max unacknowledged in flight (0 = unbounded)"
+    )
+    lg.add_argument("--offset", type=int, default=0, help="skip this many requests")
+    lg.add_argument("--limit", type=int, default=None, help="send at most this many")
+    lg.add_argument("--ledger-in", default=None, help="preload this shadow ledger")
+    lg.add_argument("--ledger-out", default=None, help="dump the final shadow ledger here")
+    lg.add_argument("--out", default="BENCH_service.json", help="report JSON path")
+    lg.add_argument(
+        "--shutdown", action="store_true", help="send a shutdown op after the replay"
+    )
+
+    rsv = sub.add_parser("reserve", help="submit one reservation to a running server")
+    rsv.add_argument("--host", default="127.0.0.1")
+    rsv.add_argument("--port", type=int, required=True)
+    rsv.add_argument("--rid", type=int, default=0)
+    rsv.add_argument("--start", type=float, required=True, help="earliest start s_r")
+    rsv.add_argument("--duration", type=float, required=True, help="temporal size l_r")
+    rsv.add_argument("--nodes", type=int, required=True, help="spatial size n_r")
+    rsv.add_argument("--deadline", type=float, default=None)
+
     return parser
 
 
@@ -174,7 +260,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     artifact = args.artifact or ("all" if args.all_artifacts else None)
     if artifact is None:
         print("experiment: name an artifact or pass --all", file=sys.stderr)
-        return 2
+        return int(ErrorCode.MALFORMED)
     config = SCALES[args.scale]
     store = configure_default_store(args.cache_dir) if args.cache_dir else None
 
@@ -446,6 +532,112 @@ def _run_audit_replay(args: argparse.Namespace) -> tuple[dict, str, bool]:
     return section, text, True
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.server import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        n_servers=args.servers,
+        tau=args.tau,
+        q_slots=args.q_slots,
+        delta_t=args.delta_t,
+        r_max=args.r_max,
+        snapshot_path=args.snapshot_path,
+        max_queue=args.max_queue,
+        max_delay=args.max_delay,
+        max_batch=args.max_batch,
+        metrics_interval=args.metrics_interval,
+    )
+    try:
+        asyncio.run(serve_forever(config))
+    except KeyboardInterrupt:
+        # the serve_forever cancellation path already snapshots on the
+        # graceful stop, so ^C is a clean exit
+        pass
+    return int(ErrorCode.OK)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        swf=args.swf,
+        workload=args.workload,
+        jobs=args.jobs,
+        seed=args.seed,
+        rho=args.rho,
+        rate=args.rate,
+        window=args.window,
+        offset=args.offset,
+        limit=args.limit,
+        ledger_in=args.ledger_in,
+        ledger_out=args.ledger_out,
+        out=args.out,
+        shutdown=args.shutdown,
+    )
+    report = asyncio.run(run_loadgen(config))
+    lat = report["latency_ms"]
+    print(
+        f"loadgen: {report['completed']}/{report['requests']} answered "
+        f"({report['accepted']} accepted, {report['rejected']} rejected, "
+        f"{report['busy']} busy) in {report['wall_s']}s "
+        f"({report['throughput_rps']} req/s); "
+        f"latency p50 {lat['p50_ms']}ms p95 {lat['p95_ms']}ms p99 {lat['p99_ms']}ms"
+    )
+    print(f"loadgen: accepted checksum {report['accepted_checksum']}; report -> {args.out}")
+    if report["violations_total"]:
+        print(
+            f"loadgen: {report['violations_total']} SHADOW-LEDGER VIOLATION(S)",
+            file=sys.stderr,
+        )
+        for violation in report["violations"]:
+            print(f"  {violation}", file=sys.stderr)
+        return int(ErrorCode.INTERNAL)
+    return int(ErrorCode.OK)
+
+
+def _cmd_reserve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .service.loadgen import _rpc
+
+    if args.duration <= 0 or args.nodes <= 0:
+        print(
+            f"reserve: malformed request (duration {args.duration}, nodes {args.nodes})",
+            file=sys.stderr,
+        )
+        return int(ErrorCode.MALFORMED)
+
+    async def _one_shot() -> dict:
+        reader, writer = await asyncio.open_connection(args.host, args.port)
+        message = {
+            "op": "reserve",
+            "rid": args.rid,
+            "sr": args.start,
+            "lr": args.duration,
+            "nr": args.nodes,
+        }
+        if args.deadline is not None:
+            message["deadline"] = args.deadline
+        response = await _rpc(reader, writer, message)
+        writer.close()
+        return response
+
+    response = asyncio.run(_one_shot())
+    print(json.dumps(response, indent=2, sort_keys=True))
+    if response.get("ok"):
+        return int(ErrorCode.OK)
+    return int((response.get("error") or {}).get("exit_code", ErrorCode.INTERNAL))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
@@ -456,6 +648,9 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "check": _cmd_check,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
+        "reserve": _cmd_reserve,
     }
     return commands[args.command](args)
 

@@ -39,7 +39,7 @@ from bisect import bisect_left, bisect_right
 
 from .opcount import NULL_COUNTER, OpCounter
 from .slot_tree import TwoDimTree
-from .types import INF, IdlePeriod, Reservation
+from .types import INF, IdlePeriod, Reservation, ensure_uid_floor
 
 __all__ = ["AvailabilityCalendar"]
 
@@ -447,6 +447,89 @@ class AvailabilityCalendar:
     def idle_periods(self, server: int) -> list[IdlePeriod]:
         """A copy of the authoritative idle-period list for one server."""
         return list(self._server_periods[server])
+
+    # ------------------------------------------------------------------
+    # serializable state (snapshot/restore support)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict[str, object]:
+        """The calendar's authoritative state as JSON-serializable data.
+
+        Only the *authoritative* per-server idle-period lists are
+        exported; every derived index (slot trees, tail index, pending
+        buckets) is rebuilt by :meth:`from_state`.  ``math.inf`` ending
+        times serialize as ``None`` (JSON has no ``Infinity``).  Period
+        ``uid``\\ s ride along because uid order is the slot trees'
+        tie-break among equal keys — restoring them keeps a restored
+        calendar's selection order bit-identical to the original's.
+
+        The export is deterministic: periods appear in their sorted
+        per-server order, so ``export → restore → export`` round-trips
+        byte-identically once serialized with sorted keys.
+        """
+        return {
+            "n_servers": self.n_servers,
+            "tau": self.tau,
+            "q_slots": self.q_slots,
+            "now": self.now,
+            "indexing": "dense" if self.dense else "tail",
+            "periods": [
+                [[p.st, None if p.et == INF else p.et, p.uid] for p in periods]
+                for periods in self._server_periods
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict[str, object], counter: OpCounter = NULL_COUNTER
+    ) -> "AvailabilityCalendar":
+        """Rebuild a calendar from :meth:`export_state` output.
+
+        The restored instance is behaviorally identical to the exported
+        one: same clock, same horizon geometry, same idle periods *with
+        their original uids* (the tie-break order inside the trees), and
+        all slot-tree/tail/pending indexes reconstructed from scratch.
+        The global uid counter is advanced past every restored uid so
+        fresh periods never collide.
+        """
+        n_servers = int(state["n_servers"])  # type: ignore[arg-type]
+        now = float(state["now"])  # type: ignore[arg-type]
+        periods = state["periods"]
+        if not isinstance(periods, list) or len(periods) != n_servers:
+            raise ValueError(
+                f"calendar state lists {len(periods) if isinstance(periods, list) else '?'} "
+                f"servers, header says {n_servers}"
+            )
+        calendar = cls(
+            n_servers=n_servers,
+            tau=float(state["tau"]),  # type: ignore[arg-type]
+            q_slots=int(state["q_slots"]),  # type: ignore[arg-type]
+            start_time=now,
+            counter=counter,
+            indexing=str(state.get("indexing", "tail")),
+        )
+        # drop the constructor's synthetic everyone-idle-from-now periods,
+        # then register the recorded ones through the normal indexing path
+        for server in range(n_servers):
+            for period in list(calendar._server_periods[server]):
+                calendar._drop_period(period)
+        max_uid = -1
+        for server, server_periods in enumerate(periods):
+            last_end = -INF
+            for st_et_uid in server_periods:
+                st = float(st_et_uid[0])
+                et = INF if st_et_uid[1] is None else float(st_et_uid[1])
+                uid = int(st_et_uid[2])
+                if st < last_end:
+                    raise ValueError(
+                        f"calendar state for server {server} is not sorted/disjoint "
+                        f"around [{st}, {et})"
+                    )
+                last_end = et
+                max_uid = max(max_uid, uid)
+                calendar._add_period(IdlePeriod(server=server, st=st, et=et, uid=uid))
+        ensure_uid_floor(max_uid + 1)
+        return calendar
 
     # ------------------------------------------------------------------
     # verification (test support)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, insort_left
+from heapq import heapify, heappop, heapreplace
 from typing import Iterator
 
 from .opcount import NULL_COUNTER, OpCounter
@@ -287,9 +288,10 @@ class TwoDimTree:
         """Locate every *candidate* idle period (``st <= sr``).
 
         Returns the candidate count and the marked subtree roots in
-        marking order (ascending start ranges).  Searching them in
-        *reverse* order — as Phase 2 does — considers the latest-starting
-        candidates first, exactly as in the paper.
+        marking order (ascending start ranges).  Phase 2 merges their
+        secondary indexes into one canonical feasibility order, so the
+        partition produced here is an implementation detail — only the
+        union of the marked leaves matters.
         """
         bound = (sr, _UID_HIGH)
         count = 0
@@ -320,40 +322,66 @@ class TwoDimTree:
     ) -> list[IdlePeriod] | None:
         """Among the marked candidates, find ``need`` periods with ``et >= er``.
 
-        Marked subtrees are inspected in reverse marking order; within a
-        subtree the earliest-ending feasible periods are preferred (the
-        paper's in-order traversal of the secondary tree).  Returns the
-        chosen periods, or ``None`` when fewer than ``need`` are feasible —
-        unless ``partial`` is set, in which case whatever was found is
-        returned (the calendar tops the result up from its tail index).
-        ``need`` may be ``math.inf`` to retrieve every feasible period
-        (range searches).
+        Selection is *canonical*: the globally earliest-ending feasible
+        periods win, ties broken by uid (a k-way merge over the marked
+        subtrees' secondary indexes).  The paper instead walks the marked
+        subtrees in reverse marking order and takes each subtree's
+        earliest-ending members — but that partition is an artifact of
+        the tree's internal shape, i.e. of operation *history* rather
+        than content, so two trees holding identical periods can pick
+        different (equally feasible) subsets.  The canonical merge makes
+        the choice a pure function of the stored periods: a calendar
+        rebuilt from a snapshot selects byte-identical servers, which is
+        the reservation service's restart guarantee.  The bound is
+        unchanged — ``O(log N)`` bisects of ``O(log N)`` marks plus
+        ``O(need · log log N)`` heap pops.
+
+        Returns the chosen periods, or ``None`` when fewer than ``need``
+        are feasible — unless ``partial`` is set, in which case whatever
+        was found is returned (the calendar tops the result up from its
+        tail index).  ``need`` may be ``math.inf`` to retrieve every
+        feasible period (range searches), in ascending ``(et, uid)``
+        order.
         """
         bound = (er, -1)
-        chosen: list[IdlePeriod] = []
-        chosen_extend = chosen.extend
-        need_is_inf = need == math.inf
-        need_int = 0 if need_is_inf else int(need)
         by_uid = self._by_uid
         probes = 0
-        taken = 0
-        for node in reversed(marks):
+        avail = 0
+        heap: list[tuple[float, int, int, list[tuple[float, int]]]] = []
+        for node in marks:
             keys = node.sec_keys
-            size = node.size  # == len(sec_keys)
             idx = bisect_left(keys, bound)
-            probes += size.bit_length()
-            avail = size - idx
-            if avail <= 0:
-                continue
-            take = avail if need_is_inf else min(avail, need_int - taken)
-            chosen_extend([by_uid[k[1]] for k in keys[idx : idx + take]])
-            taken += take
-            if not need_is_inf and taken >= need_int:
-                break
+            probes += node.size.bit_length()
+            if idx < len(keys):
+                avail += len(keys) - idx
+                et, uid = keys[idx]
+                heap.append((et, uid, idx, keys))
+        need_int = avail if need == math.inf else int(need)
+        if avail < need_int and not partial:
+            self._counter.add_search(0, 0, probes, 0)
+            return None
+        if len(heap) == 1:
+            # one feasible run — already in (et, uid) order, no merge needed
+            _, _, idx, keys = heap[0]
+            run = [by_uid[k[1]] for k in keys[idx : idx + need_int]]
+            self._counter.add_search(0, 0, probes, len(run))
+            return run
+        heapify(heap)
+        chosen: list[IdlePeriod] = []
+        chosen_append = chosen.append
+        taken = 0
+        while heap and taken < need_int:
+            et, uid, idx, keys = heap[0]
+            chosen_append(by_uid[uid])
+            taken += 1
+            idx += 1
+            if idx < len(keys):
+                net, nuid = keys[idx]
+                heapreplace(heap, (net, nuid, idx, keys))
+            else:
+                heappop(heap)
         self._counter.add_search(0, 0, probes, taken)
-        if need_is_inf or partial or taken >= need_int:
-            return chosen
-        return None
+        return chosen
 
     def find_feasible(self, sr: float, er: float, nr: int) -> list[IdlePeriod] | None:
         """Run both phases for a request occupying ``[sr, er)`` on ``nr`` servers."""

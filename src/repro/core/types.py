@@ -26,11 +26,26 @@ __all__ = [
     "Reservation",
     "Allocation",
     "RangeQuery",
+    "ensure_uid_floor",
 ]
 
 INF = math.inf
 
 _period_uids = itertools.count()
+
+
+def ensure_uid_floor(floor: int) -> None:
+    """Advance the global period-uid counter to at least ``floor``.
+
+    Snapshot restore re-creates idle periods with their *persisted* uids
+    (uid order is the tree tie-break, so reusing it keeps a restored
+    calendar's selection order bit-identical to the original's).  The
+    counter must then skip past every restored uid so freshly created
+    periods never collide.
+    """
+    global _period_uids
+    current = next(_period_uids)
+    _period_uids = itertools.count(max(current, floor))
 
 
 @dataclass(frozen=True, slots=True)

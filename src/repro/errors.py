@@ -1,0 +1,156 @@
+"""Typed error vocabulary shared by the facade, the CLI and the service.
+
+One enum, three consumers:
+
+* the **CLI** uses :class:`ErrorCode` values as process exit codes, so
+  "rejected after ``R_max`` retries" (:data:`ErrorCode.REJECTED`, 3) is
+  distinguishable from "malformed request" (:data:`ErrorCode.MALFORMED`,
+  2) in shell scripts — previously both surfaced as a generic failure;
+* the **service** (`repro serve`) puts the same codes on the wire: every
+  error response carries ``{"code": "<NAME>", "exit_code": <int>}`` so a
+  client can ``sys.exit(error["exit_code"])`` and behave exactly like
+  the local CLI would;
+* the **facade** raises the exception types below instead of bare
+  ``ValueError``/``KeyError``.  Each typed exception subclasses the
+  exception its untyped predecessor raised (``MalformedRequestError`` is
+  a ``ValueError``, ``NotFoundError`` a ``KeyError``, …), so existing
+  callers keep working while new callers can branch on ``exc.code``.
+
+Exit code 1 stays reserved for unexpected internal failures (tracebacks,
+lint findings, benchmark regressions), matching the rest of the CLI.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+__all__ = [
+    "ErrorCode",
+    "ReproError",
+    "MalformedRequestError",
+    "RejectedError",
+    "ConflictError",
+    "NotFoundError",
+    "BusyError",
+    "ShuttingDownError",
+    "error_payload",
+]
+
+
+class ErrorCode(enum.IntEnum):
+    """Stable error/exit codes, shared between CLI and wire protocol."""
+
+    #: success
+    OK = 0
+    #: unexpected internal failure (also the generic CLI failure code)
+    INTERNAL = 1
+    #: the request itself is invalid (bad fields, bad JSON, bad usage)
+    MALFORMED = 2
+    #: a well-formed request was rejected after the R_max retry policy
+    REJECTED = 3
+    #: a commit raced a conflicting commit (range-searched period is gone)
+    CONFLICT = 4
+    #: the referenced reservation does not exist (cancel/release)
+    NOT_FOUND = 5
+    #: load-shed by admission control; retry after the advertised delay
+    BUSY = 6
+    #: the server is draining and accepts no new work
+    SHUTTING_DOWN = 7
+
+    @property
+    def wire(self) -> str:
+        """The symbolic name used on the wire (``"REJECTED"``, …)."""
+        return self.name
+
+
+class ReproError(Exception):
+    """Base class for typed errors; carries an :class:`ErrorCode`."""
+
+    code: ErrorCode = ErrorCode.INTERNAL
+
+    def payload(self) -> dict[str, Any]:
+        """Wire-serializable description (merged into error responses)."""
+        return {
+            "code": self.code.wire,
+            "exit_code": int(self.code),
+            "message": str(self),
+        }
+
+
+class MalformedRequestError(ReproError, ValueError):
+    """The request is structurally invalid and can never succeed."""
+
+    code = ErrorCode.MALFORMED
+
+
+class RejectedError(ReproError):
+    """The scheduler exhausted its retry policy without an allocation."""
+
+    code = ErrorCode.REJECTED
+
+    def __init__(self, message: str, reason: str | None = None, attempts: int = 0) -> None:
+        super().__init__(message)
+        #: ``"exhausted"``, ``"deadline"`` or ``"horizon"`` (see
+        #: :class:`~repro.core.coalloc.ScheduleOutcome`)
+        self.reason = reason
+        self.attempts = attempts
+
+    def payload(self) -> dict[str, Any]:
+        out = super().payload()
+        out["reason"] = self.reason
+        out["attempts"] = self.attempts
+        return out
+
+
+class ConflictError(ReproError, ValueError):
+    """A two-phase commit lost the race for its range-searched periods."""
+
+    code = ErrorCode.CONFLICT
+
+
+class NotFoundError(ReproError, KeyError):
+    """No active reservation with the given id."""
+
+    code = ErrorCode.NOT_FOUND
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes its argument; keep the plain message
+        return str(self.args[0]) if self.args else ""
+
+
+class BusyError(ReproError):
+    """Admission control shed the request; retry after ``retry_after``."""
+
+    code = ErrorCode.BUSY
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        #: suggested client back-off, seconds (wall clock)
+        self.retry_after = retry_after
+
+    def payload(self) -> dict[str, Any]:
+        out = super().payload()
+        out["retry_after"] = self.retry_after
+        return out
+
+
+class ShuttingDownError(ReproError):
+    """The server is draining; reconnect once it is restarted."""
+
+    code = ErrorCode.SHUTTING_DOWN
+
+
+def error_payload(exc: BaseException) -> dict[str, Any]:
+    """Wire payload for any exception, typed or not.
+
+    Typed errors report their own code; anything else is ``INTERNAL``
+    (the message is included — the service never hides failures).
+    """
+    if isinstance(exc, ReproError):
+        return exc.payload()
+    return {
+        "code": ErrorCode.INTERNAL.wire,
+        "exit_code": int(ErrorCode.INTERNAL),
+        "message": f"{type(exc).__name__}: {exc}",
+    }

@@ -17,11 +17,43 @@ or a MapReduce master) would use:
 from __future__ import annotations
 
 from .core.calendar import AvailabilityCalendar
-from .core.coalloc import OnlineCoAllocator
+from .core.coalloc import OnlineCoAllocator, ScheduleOutcome
 from .core.opcount import OpCounter
-from .core.types import Allocation, IdlePeriod, RangeQuery, Request
+from .core.types import Allocation, IdlePeriod, RangeQuery, Request, Reservation
+from .errors import ConflictError, NotFoundError, RejectedError
 
-__all__ = ["CoAllocationScheduler"]
+__all__ = ["CoAllocationScheduler", "allocation_to_dict", "allocation_from_dict"]
+
+#: facade/scheduler state-dict schema version (see :meth:`export_state`)
+STATE_VERSION = 1
+
+
+def allocation_to_dict(allocation: Allocation) -> dict:
+    """JSON-serializable form of an :class:`Allocation` (snapshot support)."""
+    return {
+        "rid": allocation.rid,
+        "start": allocation.start,
+        "end": allocation.end,
+        "attempts": allocation.attempts,
+        "delay": allocation.delay,
+        "reservations": [[r.server, r.start, r.end] for r in allocation.reservations],
+    }
+
+
+def allocation_from_dict(data: dict) -> Allocation:
+    """Inverse of :func:`allocation_to_dict`."""
+    rid = int(data["rid"])
+    return Allocation(
+        rid=rid,
+        start=float(data["start"]),
+        end=float(data["end"]),
+        reservations=tuple(
+            Reservation(rid=rid, server=int(s), start=float(st), end=float(et))
+            for s, st, et in data["reservations"]
+        ),
+        attempts=int(data["attempts"]),
+        delay=float(data["delay"]),
+    )
 
 
 class CoAllocationScheduler:
@@ -84,10 +116,34 @@ class CoAllocationScheduler:
 
     def schedule(self, request: Request) -> Allocation | None:
         """Schedule a request; remembers the allocation for later cancel."""
-        allocation = self.allocator.schedule(request)
-        if allocation is not None:
-            self._allocations[allocation.rid] = allocation
-        return allocation
+        return self.schedule_detailed(request).allocation
+
+    def schedule_detailed(self, request: Request) -> ScheduleOutcome:
+        """Schedule a request, always reporting attempts and failure reason."""
+        outcome = self.allocator.schedule_detailed(request)
+        if outcome.allocation is not None:
+            self._allocations[outcome.allocation.rid] = outcome.allocation
+        return outcome
+
+    def schedule_or_raise(self, request: Request) -> Allocation:
+        """Schedule a request; raise a typed error instead of returning ``None``.
+
+        Raises :class:`~repro.errors.RejectedError` carrying the retry
+        policy's verdict (``reason``/``attempts``), so callers — the CLI
+        and the service — can distinguish "rejected after ``R_max``
+        retries" from a malformed request (which raises
+        :class:`~repro.errors.MalformedRequestError` at
+        :class:`~repro.core.types.Request` construction time).
+        """
+        outcome = self.schedule_detailed(request)
+        if outcome.allocation is None:
+            raise RejectedError(
+                f"request {request.rid} rejected after {outcome.attempts} attempt(s) "
+                f"({outcome.reason})",
+                reason=outcome.reason,
+                attempts=outcome.attempts,
+            )
+        return outcome.allocation
 
     def range_search(self, ta: float, tb: float) -> list[IdlePeriod]:
         """All idle periods covering ``[ta, tb)``; commits nothing."""
@@ -96,8 +152,16 @@ class CoAllocationScheduler:
     def commit(
         self, periods: list[IdlePeriod], start: float, end: float, rid: int = 0
     ) -> Allocation:
-        """Commit periods previously returned by :meth:`range_search`."""
-        allocation = self.allocator.commit(periods, start, end, rid=rid)
+        """Commit periods previously returned by :meth:`range_search`.
+
+        Raises :class:`~repro.errors.ConflictError` (a ``ValueError``)
+        when a period can no longer host the window — someone else
+        committed it between the range search and this commit.
+        """
+        try:
+            allocation = self.allocator.commit(periods, start, end, rid=rid)
+        except ValueError as exc:
+            raise ConflictError(str(exc)) from exc
         self._allocations[rid] = allocation
         return allocation
 
@@ -125,10 +189,14 @@ class CoAllocationScheduler:
     # -- giving resources back -----------------------------------------
 
     def cancel(self, rid: int) -> None:
-        """Cancel a previously granted allocation, freeing all its servers."""
+        """Cancel a previously granted allocation, freeing all its servers.
+
+        Raises :class:`~repro.errors.NotFoundError` (a ``KeyError``) when
+        no active allocation carries ``rid``.
+        """
         allocation = self._allocations.pop(rid, None)
         if allocation is None:
-            raise KeyError(f"no active allocation with rid={rid}")
+            raise NotFoundError(f"no active allocation with rid={rid}")
         for res in allocation.reservations:
             lo = max(res.start, self.calendar.now)
             if lo < res.end:
@@ -143,7 +211,7 @@ class CoAllocationScheduler:
         """
         allocation = self._allocations.pop(rid, None)
         if allocation is None:
-            raise KeyError(f"no active allocation with rid={rid}")
+            raise NotFoundError(f"no active allocation with rid={rid}")
         if not allocation.start <= at_time < allocation.end:
             raise ValueError(
                 f"early release at {at_time} outside allocation window "
@@ -151,6 +219,55 @@ class CoAllocationScheduler:
             )
         for res in allocation.reservations:
             self.calendar.release(res.server, at_time, res.end)
+
+    # -- serializable state (snapshot/restore) ---------------------------
+
+    def export_state(self) -> dict:
+        """Full scheduler state as JSON-serializable data.
+
+        Bundles the calendar's authoritative state (see
+        :meth:`AvailabilityCalendar.export_state`) with the retry-policy
+        parameters and the active allocations, so a restored scheduler
+        can keep serving ``cancel``/``release_early`` for reservations
+        granted before the snapshot.
+        """
+        return {
+            "version": STATE_VERSION,
+            "calendar": self.calendar.export_state(),
+            "delta_t": self.allocator.delta_t,
+            "r_max": self.allocator.r_max,
+            "allocations": [
+                allocation_to_dict(self._allocations[rid])
+                for rid in sorted(self._allocations)
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> CoAllocationScheduler:
+        """Rebuild a scheduler from :meth:`export_state` output."""
+        version = state.get("version")
+        if version != STATE_VERSION:
+            raise ValueError(
+                f"unsupported scheduler state version {version!r} "
+                f"(this build reads version {STATE_VERSION})"
+            )
+        calendar_state = state["calendar"]
+        scheduler = cls(
+            n_servers=int(calendar_state["n_servers"]),
+            tau=float(calendar_state["tau"]),
+            q_slots=int(calendar_state["q_slots"]),
+            delta_t=float(state["delta_t"]),
+            r_max=int(state["r_max"]),
+            start_time=float(calendar_state["now"]),
+        )
+        scheduler.calendar = AvailabilityCalendar.from_state(
+            calendar_state, counter=scheduler.counter
+        )
+        scheduler.allocator.calendar = scheduler.calendar
+        scheduler._allocations = {
+            int(a["rid"]): allocation_from_dict(a) for a in state["allocations"]
+        }
+        return scheduler
 
     # -- introspection ---------------------------------------------------
 

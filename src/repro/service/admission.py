@@ -1,0 +1,99 @@
+"""Bounded admission with load-shedding backpressure.
+
+The actor queue must stay bounded: an overloaded server that keeps
+enqueueing only converts overload into unbounded memory growth and
+unbounded latency.  :class:`AdmissionController` sheds instead, on either
+of two triggers:
+
+* **depth** — more than ``max_depth`` operations already queued;
+* **delay budget** — the *expected* queue wait (queued depth × EWMA
+  service time) exceeds ``max_delay``: even if the queue has room, work
+  admitted now would be answered too late to be useful.
+
+A shed request receives a typed ``BUSY`` error carrying ``retry_after``,
+the controller's estimate of when the backlog will have drained — an
+open-loop client can convert it straight into a back-off sleep.
+
+The controller is event-loop-confined (no locks): `admit`/`release` are
+called from connection handlers and the actor, all on one thread.
+"""
+
+from __future__ import annotations
+
+from ..errors import BusyError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Depth- and delay-bounded admission for the single-writer actor."""
+
+    def __init__(
+        self,
+        max_depth: int = 1024,
+        max_delay: float = 5.0,
+        ewma_alpha: float = 0.05,
+        initial_service: float = 0.0005,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"queue bound must be at least 1, got {max_depth}")
+        if max_delay <= 0:
+            raise ValueError(f"delay budget must be positive, got {max_delay}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"EWMA weight must be in (0, 1], got {ewma_alpha}")
+        self.max_depth = max_depth
+        self.max_delay = max_delay
+        self._alpha = ewma_alpha
+        #: EWMA of per-operation actor service time, seconds
+        self.service_ewma = initial_service
+        #: operations admitted but not yet completed by the actor
+        self.depth = 0
+        #: total operations shed since start
+        self.shed = 0
+
+    # -- admission ------------------------------------------------------
+
+    def expected_wait(self) -> float:
+        """Estimated queue wait for work admitted right now, seconds."""
+        return self.depth * self.service_ewma
+
+    def retry_after(self) -> float:
+        """Suggested client back-off: time to drain the current backlog."""
+        return max(0.01, round(self.expected_wait(), 4))
+
+    def admit(self) -> None:
+        """Claim one queue slot or raise :class:`~repro.errors.BusyError`."""
+        if self.depth >= self.max_depth:
+            self.shed += 1
+            raise BusyError(
+                f"admission queue full ({self.depth}/{self.max_depth})",
+                retry_after=self.retry_after(),
+            )
+        if self.expected_wait() > self.max_delay:
+            self.shed += 1
+            raise BusyError(
+                f"expected queue wait {self.expected_wait():.3f}s exceeds the "
+                f"{self.max_delay:.3f}s delay budget",
+                retry_after=self.retry_after(),
+            )
+        self.depth += 1
+
+    def release(self, service_seconds: float | None = None) -> None:
+        """One admitted operation finished; fold its service time into the EWMA."""
+        if self.depth <= 0:
+            raise RuntimeError("release() without a matching admit()")
+        self.depth -= 1
+        if service_seconds is not None:
+            self.service_ewma += self._alpha * (service_seconds - self.service_ewma)
+
+    # -- reporting ------------------------------------------------------
+
+    def summary(self) -> dict[str, float | int]:
+        return {
+            "depth": self.depth,
+            "max_depth": self.max_depth,
+            "max_delay": self.max_delay,
+            "service_ewma_ms": round(self.service_ewma * 1000.0, 4),
+            "expected_wait_ms": round(self.expected_wait() * 1000.0, 4),
+            "shed": self.shed,
+        }

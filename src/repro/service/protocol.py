@@ -1,0 +1,137 @@
+"""Wire protocol: newline-delimited JSON over TCP.
+
+Each message is one JSON object on one line (UTF-8, ``\\n`` terminated).
+Requests carry an ``op`` plus op-specific fields; responses echo the
+``op`` (and ``rid``/``seq`` when present) with either the op's result or
+a typed error object reusing :class:`~repro.errors.ErrorCode`::
+
+    -> {"op": "reserve", "rid": 7, "qr": 0.0, "sr": 0.0, "lr": 3600, "nr": 4}
+    <- {"ok": true, "op": "reserve", "rid": 7, "start": 0.0, "end": 3600.0,
+        "servers": [0, 1, 2, 3], "attempts": 1, "delay": 0.0}
+    -> {"op": "reserve", "rid": 8, "sr": 0.0, "lr": -1, "nr": 4}
+    <- {"ok": false, "op": "reserve", "rid": 8,
+        "error": {"code": "MALFORMED", "exit_code": 2, "message": "..."}}
+
+Responses on one connection come back in request order, so pipelining
+clients may correlate FIFO; ``rid`` (reserve/cancel) and the optional
+pass-through ``seq`` field support out-of-band bookkeeping.
+
+Validation here is *structural* (field presence and types).  Domain
+validation — ``l_r > 0``, ``s_r >= q_r``, feasible deadlines — happens in
+:class:`~repro.core.types.Request`, whose ``ValueError`` the server maps
+to the same ``MALFORMED`` error code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.types import Request
+from ..errors import MalformedRequestError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ProtocolError",
+    "decode_line",
+    "encode",
+    "request_from_payload",
+]
+
+#: bumped on any incompatible wire change; ``status`` reports it
+PROTOCOL_VERSION = 1
+
+#: hard cap on one NDJSON line; longer lines are a framing attack/bug
+MAX_LINE_BYTES = 1 << 20
+
+#: every operation the server understands
+OPS = ("reserve", "probe", "cancel", "status", "snapshot", "shutdown")
+
+#: required fields per op (beyond "op"), with the accepted types
+_NUMBER = (int, float)
+_REQUIRED: dict[str, tuple[tuple[str, tuple[type, ...]], ...]] = {
+    "reserve": (("rid", (int,)), ("sr", _NUMBER), ("lr", _NUMBER), ("nr", (int,))),
+    "probe": (("ta", _NUMBER), ("tb", _NUMBER)),
+    "cancel": (("rid", (int,)),),
+    "status": (),
+    "snapshot": (),
+    "shutdown": (),
+}
+
+_OPTIONAL: dict[str, tuple[tuple[str, tuple[type, ...]], ...]] = {
+    "reserve": (("qr", _NUMBER), ("deadline", _NUMBER)),
+    "probe": (("limit", (int,)),),
+    "snapshot": (("path", (str,)),),
+}
+
+
+class ProtocolError(MalformedRequestError):
+    """The line is not a valid protocol message (framing or fields)."""
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One message as an NDJSON line (compact separators, sorted keys)."""
+    return (
+        json.dumps(message, separators=(",", ":"), sort_keys=True, allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(raw: bytes) -> dict[str, Any]:
+    """Parse and structurally validate one request line.
+
+    Returns the message dict (with ``op`` guaranteed present and known,
+    required fields present with the right JSON types).  Raises
+    :class:`ProtocolError` otherwise — the server answers ``MALFORMED``
+    and keeps the connection alive (framing is line-based, so one bad
+    line does not poison the stream).
+    """
+    if len(raw) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(message).__name__}")
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {', '.join(OPS)})")
+    for name, types in _REQUIRED[op]:
+        if name not in message:
+            raise ProtocolError(f"{op}: missing required field {name!r}")
+        if not isinstance(message[name], types) or isinstance(message[name], bool):
+            raise ProtocolError(
+                f"{op}: field {name!r} must be {' or '.join(t.__name__ for t in types)}"
+            )
+    for name, types in _OPTIONAL.get(op, ()):
+        if name in message and message[name] is not None:
+            if not isinstance(message[name], types) or isinstance(message[name], bool):
+                raise ProtocolError(
+                    f"{op}: field {name!r} must be {' or '.join(t.__name__ for t in types)}"
+                )
+    return message
+
+
+def request_from_payload(message: dict[str, Any]) -> Request:
+    """Build the domain :class:`Request` from a validated ``reserve`` message.
+
+    ``qr`` defaults to ``sr`` (an immediate request); domain-invalid
+    combinations (``qr > sr``, non-positive duration, infeasible
+    deadline, …) surface as :class:`~repro.errors.MalformedRequestError`.
+    """
+    sr = float(message["sr"])
+    qr = float(message.get("qr", sr) if message.get("qr") is not None else sr)
+    deadline = message.get("deadline")
+    try:
+        return Request(
+            qr=qr,
+            sr=sr,
+            lr=float(message["lr"]),
+            nr=int(message["nr"]),
+            rid=int(message["rid"]),
+            deadline=None if deadline is None else float(deadline),
+        )
+    except ValueError as exc:
+        raise MalformedRequestError(str(exc)) from exc

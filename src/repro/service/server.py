@@ -1,0 +1,539 @@
+"""The asyncio reservation server behind ``repro serve``.
+
+Architecture: **single-writer actor**.  One task — :meth:`_actor_loop` —
+owns the :class:`~repro.facade.CoAllocationScheduler` and is the only
+code that ever mutates (or even reads) the calendar.  Connection
+handlers parse lines, run admission control, and enqueue
+``(message, future)`` pairs; the actor drains the queue in micro-batches
+(:func:`~repro.service.batching.drain_batch`), applies each operation
+back-to-back without yielding, and resolves the futures.  Responses are
+written back per connection in request order, so pipelined clients
+correlate FIFO.  Lint rule ``RA009`` enforces the actor boundary
+statically: no ``async def`` outside the actor may call the blocking
+commit path.
+
+**Virtual clock.** The calendar's clock advances from request-carried
+submission times (``advance(max(now, q_r))``), never from the wall
+clock.  Replaying the same request stream therefore yields bit-identical
+accept/reject decisions regardless of pacing, batching boundaries, or a
+kill/restart from snapshot in the middle — the property
+``benchmarks/bench_service.py`` certifies.
+
+**Exactly-once.** Every ``reserve`` verdict is recorded in a decision
+log keyed by ``rid``; a resent rid (an at-least-once client retrying
+after a connection loss) is answered with the recorded verdict instead
+of being scheduled twice.  The log rides inside snapshots, so the
+guarantee spans restarts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Any
+
+from ..errors import (
+    ErrorCode,
+    MalformedRequestError,
+    NotFoundError,
+    ReproError,
+    ShuttingDownError,
+    error_payload,
+)
+from ..facade import CoAllocationScheduler
+from .admission import AdmissionController
+from .batching import drain_batch
+from .metrics import ServiceMetrics
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode,
+    request_from_payload,
+)
+from .snapshot import read_snapshot, write_snapshot
+
+__all__ = ["ServiceConfig", "ReservationService", "accepted_checksum", "serve_forever"]
+
+#: ops that pass through admission control; introspection and lifecycle
+#: ops are always admitted so operators can reach an overloaded server
+_CONTROLLED_OPS = frozenset({"reserve", "probe", "cancel"})
+
+
+@dataclass(slots=True)
+class ServiceConfig:
+    """Operational knobs for one server instance (see ``docs/service.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the chosen port is printed/exposed
+    n_servers: int = 64
+    tau: float = 900.0
+    q_slots: int = 96
+    delta_t: float | None = None
+    r_max: int | None = None
+    snapshot_path: str | None = None
+    max_queue: int = 1024
+    max_delay: float = 5.0
+    max_batch: int = 64
+    metrics_interval: float = 0.0  # seconds; 0 disables the periodic log line
+    probe_limit: int = 64  # max idle periods returned per probe
+
+
+def accepted_checksum(decided: dict[int, dict[str, Any]]) -> str:
+    """Digest over every accepted reservation, in rid order.
+
+    Two servers that granted the same reservations — e.g. an
+    uninterrupted run vs. a kill/restart-from-snapshot run over the same
+    trace — produce equal checksums.
+    """
+    digest = hashlib.sha256()
+    for rid in sorted(decided):
+        entry = decided[rid]
+        if entry.get("ok"):
+            digest.update(
+                f"{rid}:{entry['start']}:{entry['end']}:{entry['servers']}\n".encode()
+            )
+    return digest.hexdigest()[:16]
+
+
+class ReservationService:
+    """One server instance: scheduler, actor, admission, telemetry."""
+
+    def __init__(self, config: ServiceConfig, state: dict[str, Any] | None = None) -> None:
+        self.config = config
+        self.restored = state is not None
+        if state is not None:
+            self.scheduler = CoAllocationScheduler.from_state(state["scheduler"])
+            self._decided: dict[int, dict[str, Any]] = {
+                int(rid): entry for rid, entry in state.get("decided", {}).items()
+            }
+        else:
+            self.scheduler = CoAllocationScheduler(
+                n_servers=config.n_servers,
+                tau=config.tau,
+                q_slots=config.q_slots,
+                delta_t=config.delta_t,
+                r_max=config.r_max,
+            )
+            self._decided = {}
+        self.admission = AdmissionController(
+            max_depth=config.max_queue, max_delay=config.max_delay
+        )
+        self.metrics = ServiceMetrics()
+        self._queue: asyncio.Queue[tuple[dict[str, Any], float, asyncio.Future]] = (
+            asyncio.Queue()
+        )
+        self._stopping = False
+        self._started = perf_counter()
+        self._server: asyncio.base_events.Server | None = None
+        self._actor_task: asyncio.Task | None = None
+        self._metrics_task: asyncio.Task | None = None
+        self._stopped: asyncio.Event = asyncio.Event()
+        self._writers: set[asyncio.StreamWriter] = set()
+        #: responses enqueued to connection writers but not yet flushed;
+        #: shutdown waits for this to reach zero before closing sockets
+        self._pending_responses = 0
+
+    @classmethod
+    def create(cls, config: ServiceConfig) -> "ReservationService":
+        """Build a service, restoring from ``config.snapshot_path`` if present."""
+        if config.snapshot_path and Path(config.snapshot_path).exists():
+            state = read_snapshot(config.snapshot_path)
+            return cls(config, state=state)
+        return cls(config)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        assert self._server is not None, "service not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the socket and launch the actor (and metrics) tasks."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self._actor_task = asyncio.create_task(self._actor_loop(), name="repro-actor")
+        if self.config.metrics_interval > 0:
+            self._metrics_task = asyncio.create_task(
+                self._metrics_loop(), name="repro-metrics"
+            )
+
+    async def wait_stopped(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`stop`) completes."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """External graceful stop: snapshot (if configured) and shut down."""
+        if not self._stopping:
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            await self._queue.put(({"op": "shutdown"}, perf_counter(), future))
+            await future
+        await self.wait_stopped()
+
+    async def _finalize(self) -> None:
+        """Close the listener and connections once the actor has drained."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+        # let the connection writers flush already-resolved responses —
+        # notably the shutdown acknowledgement itself — before the
+        # sockets close; bounded so a client that stopped reading cannot
+        # hold shutdown hostage
+        deadline = asyncio.get_running_loop().time() + 2.0
+        while self._pending_responses > 0:
+            if asyncio.get_running_loop().time() >= deadline:
+                break
+            await asyncio.sleep(0)
+        for writer in list(self._writers):
+            with _suppress_connection_errors():
+                writer.close()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # connection handling (no calendar access here — actor only)
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        responses: asyncio.Queue[asyncio.Future | None] = asyncio.Queue()
+        self._writers.add(writer)
+        writer_task = asyncio.create_task(self._connection_writer(writer, responses))
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (ValueError, asyncio.IncompleteReadError):
+                    # over-long line: unrecoverable framing, close the stream
+                    future = loop.create_future()
+                    future.set_result(
+                        _error_response(
+                            {}, ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+                        )
+                    )
+                    self._pending_responses += 1
+                    await responses.put(future)
+                    self.metrics.malformed += 1
+                    break
+                if not raw:
+                    break  # EOF
+                if not raw.strip():
+                    continue
+                future = loop.create_future()
+                self._ingest(raw, future)
+                self._pending_responses += 1
+                await responses.put(future)
+        finally:
+            await responses.put(None)
+            await writer_task
+            self._writers.discard(writer)
+
+    def _ingest(self, raw: bytes, future: asyncio.Future) -> None:
+        """Parse, admit and enqueue one request line (or fail it fast)."""
+        try:
+            message = decode_line(raw)
+        except ProtocolError as exc:
+            self.metrics.malformed += 1
+            future.set_result(_error_response({}, exc))
+            return
+        if self._stopping:
+            future.set_result(
+                _error_response(message, ShuttingDownError("server is shutting down"))
+            )
+            return
+        if message["op"] in _CONTROLLED_OPS:
+            try:
+                self.admission.admit()
+            except ReproError as exc:  # BusyError
+                self.metrics.shed += 1
+                future.set_result(_error_response(message, exc))
+                return
+            self._queue.put_nowait((message, perf_counter(), future))
+        else:
+            # lifecycle/introspection ops bypass admission but still run
+            # on the actor so every calendar read is single-threaded
+            self._queue.put_nowait((message, perf_counter(), future))
+
+    async def _connection_writer(
+        self, writer: asyncio.StreamWriter, responses: asyncio.Queue
+    ) -> None:
+        """Write responses in request order; tolerate a vanished client."""
+        alive = True
+        while True:
+            future = await responses.get()
+            if future is None:
+                break
+            response = await _result_of(future)
+            try:
+                if not alive:
+                    continue  # keep consuming futures so the actor never blocks
+                try:
+                    writer.write(encode(response))
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    alive = False
+            finally:
+                self._pending_responses -= 1
+        with _suppress_connection_errors():
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # the single-writer actor
+    # ------------------------------------------------------------------
+
+    async def _actor_loop(self) -> None:
+        """Sole owner of the scheduler; drains the queue in micro-batches."""
+        while not self._stopping:
+            batch = await drain_batch(self._queue, self.config.max_batch)
+            self.metrics.record_batch(len(batch))
+            # no awaits inside this loop: the batch is applied atomically
+            # with respect to every other coroutine
+            for message, enqueued_at, future in batch:
+                started = perf_counter()
+                if self._stopping:
+                    response = _error_response(
+                        message, ShuttingDownError("server is shutting down")
+                    )
+                else:
+                    response = self._apply(message)
+                service_time = perf_counter() - started
+                self.metrics.record_op(
+                    message["op"], started - enqueued_at, service_time
+                )
+                if message["op"] in _CONTROLLED_OPS:
+                    self.admission.release(service_time)
+                if not future.done():
+                    future.set_result(response)
+        # drain stragglers, then tear down
+        while not self._queue.empty():
+            message, _, future = self._queue.get_nowait()
+            if message["op"] in _CONTROLLED_OPS:
+                self.admission.release()
+            if not future.done():
+                future.set_result(
+                    _error_response(message, ShuttingDownError("server is shutting down"))
+                )
+        await self._finalize()
+
+    async def _metrics_loop(self) -> None:
+        interval = self.config.metrics_interval
+        while True:
+            await asyncio.sleep(interval)
+            line = json.dumps(
+                {
+                    "uptime_s": round(perf_counter() - self._started, 1),
+                    "admission": self.admission.summary(),
+                    **self.metrics.summary(),
+                },
+                sort_keys=True,
+            )
+            print(f"repro serve metrics: {line}", file=sys.stderr, flush=True)
+
+    # ------------------------------------------------------------------
+    # operation application (synchronous, actor-confined)
+    # ------------------------------------------------------------------
+
+    def _apply(self, message: dict[str, Any]) -> dict[str, Any]:
+        op = message["op"]
+        try:
+            handler = getattr(self, f"_apply_{op}")
+            response = handler(message)
+        except ReproError as exc:
+            response = _error_response(message, exc)
+        except Exception as exc:  # never kill the actor on one bad op
+            self.metrics.errors += 1
+            response = _error_response(message, exc)
+        if "seq" in message:
+            response["seq"] = message["seq"]
+        return response
+
+    def _apply_reserve(self, message: dict[str, Any]) -> dict[str, Any]:
+        rid = int(message["rid"])
+        recorded = self._decided.get(rid)
+        if recorded is not None:
+            # at-least-once client, exactly-once decision: replay the verdict
+            self.metrics.replayed += 1
+            response = dict(recorded)
+            response.update(op="reserve", rid=rid, replayed=True)
+            return response
+        try:
+            request = request_from_payload(message)
+        except MalformedRequestError as exc:
+            entry = {"ok": False, "error": exc.payload()}
+            self._decided[rid] = entry
+            self.metrics.malformed += 1
+            return {"ok": False, "op": "reserve", "rid": rid, "error": exc.payload()}
+        # the virtual clock: simulated time only ever advances from
+        # request-carried submission times, keeping replays deterministic
+        self.scheduler.advance(max(self.scheduler.now, request.qr))
+        outcome = self.scheduler.schedule_detailed(request)
+        if outcome.allocation is None:
+            error = {
+                "code": ErrorCode.REJECTED.wire,
+                "exit_code": int(ErrorCode.REJECTED),
+                "message": (
+                    f"rejected after {outcome.attempts} attempt(s) ({outcome.reason})"
+                ),
+                "reason": outcome.reason,
+                "attempts": outcome.attempts,
+            }
+            self._decided[rid] = {"ok": False, "error": error}
+            self.metrics.record_reject(outcome.reason, outcome.attempts)
+            return {"ok": False, "op": "reserve", "rid": rid, "error": error}
+        allocation = outcome.allocation
+        entry = {
+            "ok": True,
+            "start": allocation.start,
+            "end": allocation.end,
+            "servers": sorted(allocation.servers),
+            "attempts": allocation.attempts,
+            "delay": allocation.delay,
+        }
+        self._decided[rid] = entry
+        self.metrics.record_accept(allocation.attempts)
+        return {"op": "reserve", "rid": rid, **entry}
+
+    def _apply_probe(self, message: dict[str, Any]) -> dict[str, Any]:
+        ta, tb = float(message["ta"]), float(message["tb"])
+        if not ta < tb:
+            raise MalformedRequestError(f"probe window [{ta}, {tb}) is empty")
+        limit = int(message.get("limit") or self.config.probe_limit)
+        periods = self.scheduler.range_search(ta, tb)
+        return {
+            "ok": True,
+            "op": "probe",
+            "count": len(periods),
+            "periods": [
+                [p.server, p.st, None if p.et == float("inf") else p.et]
+                for p in periods[:limit]
+            ],
+        }
+
+    def _apply_cancel(self, message: dict[str, Any]) -> dict[str, Any]:
+        rid = int(message["rid"])
+        try:
+            self.scheduler.cancel(rid)
+        except NotFoundError as exc:
+            return {"ok": False, "op": "cancel", "rid": rid, "error": exc.payload()}
+        return {"ok": True, "op": "cancel", "rid": rid}
+
+    def _apply_status(self, message: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "op": "status",
+            "protocol": PROTOCOL_VERSION,
+            "now": self.scheduler.now,
+            "n_servers": self.scheduler.n_servers,
+            "tau": self.scheduler.calendar.tau,
+            "q_slots": self.scheduler.calendar.q_slots,
+            "uptime_s": round(perf_counter() - self._started, 3),
+            "restored": self.restored,
+            "stopping": self._stopping,
+            "decided": len(self._decided),
+            "active_allocations": len(self.scheduler._allocations),
+            "accepted_checksum": accepted_checksum(self._decided),
+            "admission": self.admission.summary(),
+            "metrics": self.metrics.summary(),
+        }
+
+    def _apply_snapshot(self, message: dict[str, Any]) -> dict[str, Any]:
+        path = message.get("path") or self.config.snapshot_path
+        if not path:
+            raise MalformedRequestError(
+                "no snapshot path: pass \"path\" or start the server with --snapshot-path"
+            )
+        meta = write_snapshot(path, self._state())
+        self.metrics.snapshots += 1
+        return {"ok": True, "op": "snapshot", **meta}
+
+    def _apply_shutdown(self, message: dict[str, Any]) -> dict[str, Any]:
+        self._stopping = True
+        meta = None
+        if self.config.snapshot_path:
+            meta = write_snapshot(self.config.snapshot_path, self._state())
+            self.metrics.snapshots += 1
+        return {
+            "ok": True,
+            "op": "shutdown",
+            "snapshot": meta,
+            "accepted_checksum": accepted_checksum(self._decided),
+        }
+
+    def _state(self) -> dict[str, Any]:
+        return {
+            "scheduler": self.scheduler.export_state(),
+            "decided": {str(rid): self._decided[rid] for rid in sorted(self._decided)},
+        }
+
+
+def _error_response(message: dict[str, Any], exc: BaseException) -> dict[str, Any]:
+    response: dict[str, Any] = {
+        "ok": False,
+        "op": message.get("op"),
+        "error": error_payload(exc),
+    }
+    if "rid" in message:
+        response["rid"] = message["rid"]
+    if "seq" in message:
+        response["seq"] = message["seq"]
+    return response
+
+
+async def _result_of(future: asyncio.Future) -> dict[str, Any]:
+    try:
+        return await future
+    except Exception as exc:  # defensive: a failed future still gets answered
+        return _error_response({}, exc)
+
+
+class _suppress_connection_errors:
+    """``contextlib.suppress`` for the write-side teardown races."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type: type | None, exc: BaseException | None, tb: Any) -> bool:
+        return exc_type is not None and issubclass(
+            exc_type, (ConnectionError, RuntimeError, OSError)
+        )
+
+
+async def serve_forever(config: ServiceConfig, ready_line: bool = True) -> None:
+    """Boot a service and run until a ``shutdown`` op stops it.
+
+    Prints a parseable ``listening on HOST:PORT`` line to stdout once
+    bound (``repro loadgen`` and the CI smoke job read it to discover an
+    ephemeral port).
+    """
+    service = ReservationService.create(config)
+    await service.start()
+    if ready_line:
+        extra = " (restored from snapshot)" if service.restored else ""
+        print(
+            f"repro serve: listening on {config.host}:{service.port} "
+            f"(N={service.scheduler.n_servers}, tau={service.scheduler.calendar.tau:g}, "
+            f"Q={service.scheduler.calendar.q_slots}){extra}",
+            flush=True,
+        )
+    try:
+        await service.wait_stopped()
+    except asyncio.CancelledError:
+        await service.stop()
+        raise

@@ -1,0 +1,7 @@
+"""Fixture: a connection handler committing directly — exactly one RA009."""
+
+
+async def handle_connection(scheduler, request, writer):
+    allocation = scheduler.commit(request)
+    writer.write(repr(allocation).encode())
+    await writer.drain()

@@ -25,6 +25,7 @@ CASES = [
     ("sim/bad_unseeded.py", "RA006", 7),
     ("apps/bad_internals.py", "RA007", 5),
     ("apps/bad_outcome.py", "RA008", 8),
+    ("service/bad_actor_call.py", "RA009", 5),
 ]
 
 
@@ -62,6 +63,19 @@ def test_hot_path_rules_silent_outside_scope():
     source = "def f(items):\n    for batch in items:\n        batch.sort()\n"
     assert lint_source(source, module="apps/x.py") == []
     assert [v.rule_id for v in lint_source(source, module="core/x.py")] == ["RA002"]
+
+
+def test_ra009_exempts_actor_and_non_service_modules():
+    actor = "async def _actor_loop(self):\n    self.scheduler.commit(None)\n"
+    assert lint_source(actor, module="service/server.py") == []
+    handler = "async def ingest(self):\n    self.scheduler.commit(None)\n"
+    assert [v.rule_id for v in lint_source(handler, module="service/server.py")] == ["RA009"]
+    assert lint_source(handler, module="apps/server.py") == []
+
+
+def test_ra009_ignores_sync_helpers():
+    source = "def _apply_reserve(self, payload):\n    return self.scheduler.commit(payload)\n"
+    assert lint_source(source, module="service/server.py") == []
 
 
 def test_syntax_error_reported_as_ra000():

@@ -213,30 +213,52 @@ class TestPhase2:
         assert tree.find_feasible(0.0, 50.0, 1) is not None
         assert tree.find_feasible(0.0, 50.001, 1) is None
 
-    def test_prefers_latest_starting_candidates(self):
-        # the paper searches marked subtrees in reverse marking order:
-        # latest-starting feasible periods are picked first
+    def test_prefers_globally_earliest_ending(self):
+        # canonical selection: among every feasible candidate the
+        # earliest-ending periods win (best fit — long periods stay free
+        # for long requests), regardless of how phase 1 happened to
+        # partition the candidates into marked subtrees
+        periods = [IdlePeriod(server=i, st=0.0, et=60.0 + i * 10.0) for i in range(8)]
+        tree = TwoDimTree()
+        tree.bulk_load(periods)
+        found = tree.find_feasible(0.0, 55.0, 3)
+        assert found is not None
+        assert [p.et for p in found] == [60.0, 70.0, 80.0]
+
+    def test_equal_endings_tie_break_on_uid(self):
+        # ... and ties on ending time fall back to uid (creation order),
+        # the persisted tie-break that makes a snapshot-restored calendar
+        # choose byte-identical servers
         early = IdlePeriod(server=0, st=0.0, et=100.0)
         late = IdlePeriod(server=1, st=40.0, et=100.0)
         tree = TwoDimTree()
         tree.insert(early)
         tree.insert(late)
         found = tree.find_feasible(50.0, 90.0, 1)
-        assert found is not None and found[0].uid == late.uid
+        assert found is not None and found[0].uid == early.uid
 
-    def test_prefers_earliest_ending_within_subtree(self):
-        # marked subtrees are searched in reverse marking order (latest
-        # starts first); *within* one subtree, the in-order traversal of
-        # the secondary tree yields earliest-ending feasible periods first.
-        # With 8 equal-start periods the canonical marks have sizes
-        # [4, 2, 1, 1]; asking for 3 takes both single leaves, then the
-        # earliest-ending member of the pair subtree.
-        periods = [IdlePeriod(server=i, st=0.0, et=60.0 + i * 10.0) for i in range(8)]
-        tree = TwoDimTree()
-        tree.bulk_load(periods)
-        found = tree.find_feasible(0.0, 55.0, 3)
-        assert found is not None
-        assert [p.et for p in found] == [130.0, 120.0, 100.0]
+    def test_selection_is_independent_of_tree_shape(self):
+        # the load-bearing property behind the service's kill/restart
+        # checksum identity: a tree grown by interleaved inserts/removes
+        # and a bulk-loaded tree over the same periods choose the same
+        # servers, even though their internal partitions differ
+        periods = [
+            IdlePeriod(server=i, st=float(i % 5), et=50.0 + 7.0 * ((i * 3) % 11))
+            for i in range(40)
+        ]
+        evolved = TwoDimTree()
+        for p in periods:
+            evolved.insert(p)
+        for p in periods[::3]:
+            evolved.remove(p)
+        survivors = [p for i, p in enumerate(periods) if i % 3 != 0]
+        rebuilt = TwoDimTree()
+        rebuilt.bulk_load(sorted(survivors, key=lambda p: (p.st, p.uid)))
+        for sr, er, nr in [(4.0, 60.0, 3), (2.0, 90.0, 5), (4.0, 110.0, 2)]:
+            a = evolved.find_feasible(sr, er, nr)
+            b = rebuilt.find_feasible(sr, er, nr)
+            assert a is not None and b is not None
+            assert [p.uid for p in a] == [p.uid for p in b]
 
 
 class TestRangeSearch:

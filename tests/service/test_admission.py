@@ -1,0 +1,128 @@
+"""Backpressure: bounded admission, BUSY + retry_after, overload bursts."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import BusyError
+from repro.service.admission import AdmissionController
+from repro.service.protocol import encode
+
+from .harness import reserve_msg, start_service
+
+
+class TestAdmissionController:
+    def test_depth_bound_sheds(self):
+        ctrl = AdmissionController(max_depth=3, max_delay=1e9)
+        for _ in range(3):
+            ctrl.admit()
+        with pytest.raises(BusyError) as excinfo:
+            ctrl.admit()
+        assert ctrl.depth == 3 and ctrl.shed == 1
+        assert excinfo.value.payload()["retry_after"] > 0
+
+    def test_delay_budget_sheds_before_depth(self):
+        # 1ms EWMA x 3 queued = 3ms expected wait > 2ms budget
+        ctrl = AdmissionController(max_depth=1000, max_delay=0.002, initial_service=0.001)
+        for _ in range(3):
+            ctrl.admit()
+        with pytest.raises(BusyError, match="delay budget") as excinfo:
+            ctrl.admit()
+        assert excinfo.value.retry_after >= ctrl.expected_wait() - 1e-9
+
+    def test_release_folds_service_time_into_ewma(self):
+        ctrl = AdmissionController(max_depth=10, ewma_alpha=0.5, initial_service=0.0)
+        ctrl.admit()
+        ctrl.release(0.010)
+        assert ctrl.service_ewma == pytest.approx(0.005)
+        ctrl.admit()
+        ctrl.release(0.010)
+        assert ctrl.service_ewma == pytest.approx(0.0075)
+
+    def test_release_without_admit_is_a_bug(self):
+        with pytest.raises(RuntimeError):
+            AdmissionController().release()
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_depth": 0}, {"max_delay": 0.0}, {"ewma_alpha": 1.5}]
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(**kwargs)
+
+
+def test_slow_consumer_burst_sheds_and_bounds_queue():
+    """10x overload against a stalled actor: depth stays at the bound,
+    everything beyond it gets a typed BUSY with retry_after."""
+    bound = 8
+    burst = 10 * bound
+
+    async def scenario():
+        service = await start_service(max_queue=bound, max_delay=1e9)
+        # the slowest possible consumer: stop the actor entirely
+        service._actor_task.cancel()
+        try:
+            await service._actor_task
+        except asyncio.CancelledError:
+            pass
+
+        loop = asyncio.get_running_loop()
+        futures = [loop.create_future() for _ in range(burst)]
+        for i, future in enumerate(futures):
+            service._ingest(encode(reserve_msg(i, 0.0, 5.0, 1)), future)
+
+        # the queue never exceeds its configured bound
+        assert service._queue.qsize() == bound
+        assert service.admission.depth == bound
+
+        shed = [f for f in futures if f.done()]
+        assert len(shed) == burst - bound
+        for future in shed:
+            response = future.result()
+            error = response["error"]
+            assert response["ok"] is False
+            assert error["code"] == "BUSY" and error["exit_code"] == 6
+            assert error["retry_after"] > 0
+        assert service.admission.shed == burst - bound
+        assert service.metrics.shed == burst - bound
+
+        # restart the consumer: the admitted prefix is served FIFO
+        service._actor_task = asyncio.create_task(service._actor_loop())
+        served = await asyncio.gather(*futures[:bound])
+        assert [r["rid"] for r in served] == list(range(bound))
+        assert all(r["ok"] for r in served)
+        assert service.admission.depth == 0
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_busy_over_tcp_when_delay_budget_is_exhausted():
+    """End to end: a server whose delay budget is already blown sheds on
+    the wire.  A 40-request pipelined burst lands in the stream buffer,
+    so ingestion outruns the actor and the tail must get BUSY."""
+
+    async def scenario():
+        service = await start_service(max_queue=4, max_delay=1e-9)
+        reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+        n = 40
+        for i in range(n):
+            writer.write(encode(reserve_msg(i, 0.0, 1.0, 1)))
+        await writer.drain()
+        responses = []
+        for _ in range(n):
+            raw = await reader.readline()
+            assert raw
+            responses.append(json.loads(raw))
+        writer.close()
+
+        busy = [r for r in responses if (r.get("error") or {}).get("code") == "BUSY"]
+        answered = sum(1 for r in responses if r.get("ok") is not None)
+        assert answered == n  # every request gets exactly one response
+        assert busy, "an exhausted delay budget must shed part of a pipelined burst"
+        for response in busy:
+            assert response["error"]["retry_after"] > 0
+        await service.stop()
+
+    asyncio.run(scenario())

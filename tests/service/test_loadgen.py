@@ -1,0 +1,151 @@
+"""Loadgen: shadow-ledger validation and an in-process end-to-end replay."""
+
+import asyncio
+
+import pytest
+
+from repro.service.loadgen import (
+    LoadgenConfig,
+    ShadowLedger,
+    request_source,
+    run_loadgen,
+)
+from repro.service.server import accepted_checksum
+
+from .harness import start_service
+
+
+class TestShadowLedger:
+    def test_clean_bookings_pass(self):
+        ledger = ShadowLedger()
+        ledger.record(1, 0.0, 0.0, 10.0, [0, 1])
+        ledger.record(2, 0.0, 10.0, 20.0, [0, 1])  # back-to-back is legal
+        ledger.record(3, 0.0, 0.0, 10.0, [2])
+        assert ledger.violations == []
+
+    def test_double_booking_detected(self):
+        ledger = ShadowLedger()
+        ledger.record(1, 0.0, 0.0, 10.0, [0])
+        ledger.record(2, 0.0, 5.0, 15.0, [0])
+        assert [v["kind"] for v in ledger.violations] == ["double_booking"]
+        assert "rid 1" in ledger.violations[0]["detail"]
+
+    def test_overlap_on_any_server_is_flagged(self):
+        ledger = ShadowLedger()
+        ledger.record(1, 0.0, 0.0, 10.0, [0, 3])
+        ledger.record(2, 0.0, 2.0, 4.0, [1, 3])  # clashes only on server 3
+        assert [v["kind"] for v in ledger.violations] == ["double_booking"]
+
+    def test_early_start_detected(self):
+        ledger = ShadowLedger()
+        ledger.record(1, sr=50.0, start=40.0, end=60.0, servers=[0])
+        assert [v["kind"] for v in ledger.violations] == ["early_start"]
+
+    def test_duplicate_accept_detected(self):
+        ledger = ShadowLedger()
+        ledger.record(1, 0.0, 0.0, 10.0, [0])
+        ledger.record(1, 0.0, 20.0, 30.0, [1])
+        assert [v["kind"] for v in ledger.violations] == ["duplicate_accept"]
+
+    def test_checksum_matches_server_side_format(self):
+        ledger = ShadowLedger()
+        ledger.record(3, 0.0, 0.0, 10.0, [2, 0])
+        ledger.record(1, 5.0, 5.0, 8.0, [1])
+        decided = {
+            1: {"ok": True, "start": 5.0, "end": 8.0, "servers": [1]},
+            2: {"ok": False, "error": {"code": "REJECTED"}},  # rejects don't count
+            3: {"ok": True, "start": 0.0, "end": 10.0, "servers": [0, 2]},
+        }
+        assert ledger.checksum() == accepted_checksum(decided)
+
+    def test_dump_load_round_trip(self, tmp_path):
+        ledger = ShadowLedger()
+        ledger.record(1, 0.0, 0.0, 10.0, [0, 1])
+        ledger.record(2, 0.0, 10.0, 20.0, [0])
+        path = tmp_path / "ledger.json"
+        ledger.dump(str(path))
+        reloaded = ShadowLedger.load(str(path))
+        assert reloaded.checksum() == ledger.checksum()
+        # the reloaded book still detects conflicts with preloaded entries
+        reloaded.record(3, 0.0, 5.0, 15.0, [1])
+        assert [v["kind"] for v in reloaded.violations] == ["double_booking"]
+
+
+class TestRequestSource:
+    def test_offset_and_limit_slice_the_stream(self):
+        base = LoadgenConfig(workload="KTH", jobs=50, seed=7)
+        full = [r.rid for r in request_source(base)]
+        assert len(full) == 50
+        sliced = LoadgenConfig(workload="KTH", jobs=50, seed=7, offset=10, limit=5)
+        assert [r.rid for r in request_source(sliced)] == full[10:15]
+
+    def test_same_seed_same_stream(self):
+        a = [(r.rid, r.qr, r.lr, r.nr) for r in request_source(LoadgenConfig(jobs=30))]
+        b = [(r.rid, r.qr, r.lr, r.nr) for r in request_source(LoadgenConfig(jobs=30))]
+        assert a == b
+
+    def test_swf_source(self, tmp_path):
+        from repro.cli import main
+
+        swf = tmp_path / "w.swf"
+        assert main(["generate", "--jobs", "40", "--out", str(swf)]) == 0
+        config = LoadgenConfig(swf=str(swf), limit=25)
+        requests = list(request_source(config))
+        assert len(requests) == 25
+
+
+def test_replay_end_to_end_with_zero_violations(tmp_path):
+    """150 synthetic requests over real TCP: every response validated
+    against the shadow ledger, client and server checksums agree."""
+    out = tmp_path / "report.json"
+
+    async def scenario():
+        service = await start_service(n_servers=64, tau=900.0, q_slots=96)
+        config = LoadgenConfig(
+            port=service.port,
+            workload="KTH",
+            jobs=150,
+            seed=1,
+            window=16,
+            out=str(out),
+            shutdown=True,
+        )
+        report = await run_loadgen(config)
+        await service.wait_stopped()  # the shutdown op stopped the server
+        return report
+
+    report = asyncio.run(scenario())
+    assert report["completed"] == report["requests"] == 150
+    assert report["violations_total"] == 0
+    assert report["accepted"] > 0
+    assert report["accepted"] + report["rejected"] == 150
+    assert report["server_status"]["accepted_checksum"] == report["accepted_checksum"]
+    assert report["server_shutdown"]["accepted_checksum"] == report["accepted_checksum"]
+    assert report["latency_ms"]["count"] == 150
+    assert out.exists()
+
+
+def test_replay_flags_a_corrupted_server(monkeypatch):
+    """If the server lies (hands out an overlapping window), the shadow
+    ledger catches it — the validation is not trusting server state."""
+    from repro.service.server import ReservationService
+
+    original = ReservationService._apply_reserve
+
+    def corrupted(self, message):
+        response = original(self, message)
+        if response.get("ok") and message["rid"] % 2 == 1:
+            response = dict(response, servers=[0])  # herd everyone onto server 0
+        return response
+
+    async def scenario():
+        monkeypatch.setattr(ReservationService, "_apply_reserve", corrupted)
+        service = await start_service(n_servers=8, tau=900.0, q_slots=96)
+        config = LoadgenConfig(port=service.port, workload="KTH", jobs=40, seed=3)
+        report = await run_loadgen(config)
+        await service.stop()
+        return report
+
+    report = asyncio.run(scenario())
+    assert report["violations_total"] > 0
+    assert any(v["kind"] == "double_booking" for v in report["violations"])

@@ -1,0 +1,119 @@
+"""Wire-protocol validation: framing, field checks, request mapping."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.types import Request
+from repro.errors import MalformedRequestError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    ProtocolError,
+    decode_line,
+    encode,
+    request_from_payload,
+)
+
+
+def line(message: dict) -> bytes:
+    return (json.dumps(message) + "\n").encode()
+
+
+class TestDecodeLine:
+    def test_valid_reserve_round_trips(self):
+        message = {"op": "reserve", "rid": 7, "sr": 0.0, "lr": 3600, "nr": 4}
+        assert decode_line(line(message)) == message
+
+    def test_every_op_is_decodable(self):
+        minimal = {
+            "reserve": {"rid": 1, "sr": 0, "lr": 1, "nr": 1},
+            "probe": {"ta": 0, "tb": 1},
+            "cancel": {"rid": 1},
+            "status": {},
+            "snapshot": {},
+            "shutdown": {},
+        }
+        for op in OPS:
+            assert decode_line(line({"op": op, **minimal[op]}))["op"] == op
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"not json\n",
+            b"[1, 2, 3]\n",
+            b'"reserve"\n',
+            b"\xff\xfe\n",
+        ],
+    )
+    def test_non_object_lines_rejected(self, raw):
+        with pytest.raises(ProtocolError):
+            decode_line(raw)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_line(line({"op": "frobnicate"}))
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing required field 'nr'"):
+            decode_line(line({"op": "reserve", "rid": 1, "sr": 0, "lr": 1}))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ProtocolError, match="'rid' must be int"):
+            decode_line(line({"op": "reserve", "rid": "x", "sr": 0, "lr": 1, "nr": 1}))
+
+    def test_bool_is_not_a_number(self):
+        # bool is a subclass of int; the protocol must not accept it
+        with pytest.raises(ProtocolError):
+            decode_line(line({"op": "reserve", "rid": True, "sr": 0, "lr": 1, "nr": 1}))
+
+    def test_optional_field_type_checked(self):
+        with pytest.raises(ProtocolError, match="'deadline'"):
+            decode_line(
+                line({"op": "reserve", "rid": 1, "sr": 0, "lr": 1, "nr": 1, "deadline": "soon"})
+            )
+
+    def test_optional_field_null_is_absent(self):
+        message = {"op": "reserve", "rid": 1, "sr": 0, "lr": 1, "nr": 1, "deadline": None}
+        assert decode_line(line(message))["deadline"] is None
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_line(b" " * (MAX_LINE_BYTES + 1))
+
+
+class TestEncode:
+    def test_one_line_utf8_sorted(self):
+        raw = encode({"op": "status", "a": 1})
+        assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+        assert raw.index(b'"a"') < raw.index(b'"op"')
+        assert decode_line(raw) == {"op": "status", "a": 1}
+
+    def test_nan_refused(self):
+        with pytest.raises(ValueError):
+            encode({"op": "status", "x": math.nan})
+
+
+class TestRequestFromPayload:
+    def test_qr_defaults_to_sr(self):
+        request = request_from_payload({"rid": 1, "sr": 50.0, "lr": 10, "nr": 2})
+        assert isinstance(request, Request)
+        assert request.qr == request.sr == 50.0
+
+    def test_explicit_qr_makes_advance_reservation(self):
+        request = request_from_payload({"rid": 1, "qr": 0, "sr": 100, "lr": 10, "nr": 2})
+        assert request.is_advance()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"rid": 1, "sr": 0, "lr": -5, "nr": 2},  # non-positive duration
+            {"rid": 1, "sr": 0, "lr": 10, "nr": 0},  # non-positive width
+            {"rid": 1, "qr": 10, "sr": 0, "lr": 10, "nr": 1},  # starts before submit
+            {"rid": 1, "sr": 0, "lr": 10, "nr": 1, "deadline": 5},  # infeasible deadline
+        ],
+    )
+    def test_domain_invalid_maps_to_malformed(self, payload):
+        with pytest.raises(MalformedRequestError):
+            request_from_payload(payload)

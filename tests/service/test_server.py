@@ -1,0 +1,218 @@
+"""End-to-end TCP tests of the reservation server (one event loop each)."""
+
+import asyncio
+import json
+
+from repro.service.server import accepted_checksum
+
+from .harness import SMALL, reserve_msg, rpc, rpc_all, start_service
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_reserve_probe_cancel_roundtrip():
+    async def scenario():
+        service = await start_service(n_servers=4, tau=10.0, q_slots=8)
+        port = service.port
+
+        accepted = await rpc(port, reserve_msg(1, 0.0, 10.0, 2))
+        assert accepted["ok"] and accepted["op"] == "reserve" and accepted["rid"] == 1
+        assert accepted["start"] == 0.0 and accepted["end"] == 10.0
+        assert len(accepted["servers"]) == 2 and accepted["attempts"] == 1
+
+        probe = await rpc(port, {"op": "probe", "ta": 0.0, "tb": 10.0})
+        assert probe["ok"] and probe["count"] == 2  # the two uncommitted servers
+        for server, st, et in probe["periods"]:
+            assert st <= 0.0 and (et is None or et >= 10.0)
+            assert server not in accepted["servers"]
+
+        cancelled = await rpc(port, {"op": "cancel", "rid": 1})
+        assert cancelled["ok"]
+        again = await rpc(port, {"op": "cancel", "rid": 1})
+        assert not again["ok"]
+        assert again["error"]["code"] == "NOT_FOUND" and again["error"]["exit_code"] == 5
+
+        await service.stop()
+
+    run(scenario())
+
+
+def test_duplicate_rid_replays_original_verdict():
+    async def scenario():
+        service = await start_service(n_servers=4, tau=10.0, q_slots=8)
+        first = await rpc(service.port, reserve_msg(9, 0.0, 10.0, 1))
+        second = await rpc(service.port, reserve_msg(9, 0.0, 10.0, 1))
+        assert first["ok"] and second["ok"]
+        assert second["replayed"] is True and "replayed" not in first
+        assert (second["start"], second["end"], second["servers"]) == (
+            first["start"],
+            first["end"],
+            first["servers"],
+        )
+        assert service.metrics.replayed == 1
+        await service.stop()
+
+    run(scenario())
+
+
+def test_rejected_and_malformed_are_distinct_codes():
+    async def scenario():
+        service = await start_service(**SMALL)
+        port = service.port
+
+        fill = await rpc(port, reserve_msg(1, 0.0, 40.0, 2))  # entire horizon
+        assert fill["ok"]
+
+        rejected = await rpc(port, reserve_msg(2, 0.0, 40.0, 2))
+        assert not rejected["ok"]
+        error = rejected["error"]
+        assert error["code"] == "REJECTED" and error["exit_code"] == 3
+        assert error["attempts"] >= 1 and error["reason"]
+
+        malformed = await rpc(port, reserve_msg(3, 0.0, -1.0, 2))
+        assert not malformed["ok"]
+        assert malformed["error"]["code"] == "MALFORMED"
+        assert malformed["error"]["exit_code"] == 2
+
+        await service.stop()
+
+    run(scenario())
+
+
+def test_bad_lines_answered_without_poisoning_the_connection():
+    async def scenario():
+        service = await start_service(n_servers=2, tau=10.0, q_slots=8)
+        garbage, unknown, status = await rpc_all(
+            service.port,
+            b"this is not json\n",
+            {"op": "frobnicate"},
+            {"op": "status"},
+        )
+        assert garbage["error"]["code"] == "MALFORMED"
+        assert unknown["error"]["code"] == "MALFORMED"
+        assert status["ok"] and status["op"] == "status"
+        assert service.metrics.malformed == 2
+        await service.stop()
+
+    run(scenario())
+
+
+def test_pipelined_responses_come_back_fifo():
+    async def scenario():
+        service = await start_service(n_servers=16, tau=10.0, q_slots=8, max_batch=4)
+        messages = [reserve_msg(rid, 0.0, 10.0, 1, seq=rid * 7) for rid in range(12)]
+        responses = await rpc_all(service.port, *messages)
+        assert [r["rid"] for r in responses] == list(range(12))
+        assert [r["seq"] for r in responses] == [rid * 7 for rid in range(12)]
+        assert all(r["ok"] for r in responses)
+        # micro-batching happened but never exceeded its bound
+        assert service.metrics.max_batch <= 4
+        await service.stop()
+
+    run(scenario())
+
+
+def test_virtual_clock_advances_from_request_qr_only():
+    async def scenario():
+        service = await start_service(n_servers=4, tau=10.0, q_slots=8)
+        await rpc(service.port, reserve_msg(1, 30.0, 10.0, 1, qr=30.0))
+        status = await rpc(service.port, {"op": "status"})
+        assert status["now"] == 30.0  # wall clock never moved it
+        # an out-of-order (older qr) request does not rewind the clock
+        late = await rpc(service.port, reserve_msg(2, 35.0, 5.0, 1, qr=20.0))
+        assert late["ok"]
+        status = await rpc(service.port, {"op": "status"})
+        assert status["now"] == 30.0
+        await service.stop()
+
+    run(scenario())
+
+
+def test_status_reports_checksum_and_telemetry():
+    async def scenario():
+        service = await start_service(n_servers=4, tau=10.0, q_slots=8)
+        await rpc(service.port, reserve_msg(1, 0.0, 10.0, 2))
+        status = await rpc(service.port, {"op": "status"})
+        assert status["protocol"] == 1
+        assert status["decided"] == 1 and status["active_allocations"] == 1
+        assert status["accepted_checksum"] == accepted_checksum(service._decided)
+        assert len(status["accepted_checksum"]) == 16
+        assert status["admission"]["depth"] == 0
+        metrics = status["metrics"]
+        assert metrics["ops"]["reserve"] == 1
+        assert metrics["accepted"] == 1
+        assert metrics["service_latency"]["count"] >= 1
+        assert metrics["queue_wait"]["count"] >= 1
+        await service.stop()
+
+    run(scenario())
+
+
+def test_shutdown_drains_then_refuses_and_snapshots(tmp_path):
+    snapshot = tmp_path / "state.snap"
+
+    async def scenario():
+        service = await start_service(
+            n_servers=2, tau=10.0, q_slots=8, snapshot_path=str(snapshot)
+        )
+        port = service.port
+        accepted = await rpc(port, reserve_msg(1, 0.0, 10.0, 1))
+        assert accepted["ok"]
+        down = await rpc(port, {"op": "shutdown"})
+        assert down["ok"] and down["snapshot"]["path"] == str(snapshot)
+        assert down["accepted_checksum"] == accepted_checksum(service._decided)
+        await service.wait_stopped()
+        assert snapshot.exists()
+        # the listener is gone: new connections fail or close immediately
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        except OSError:
+            return
+        writer.write(json.dumps({"op": "status"}).encode() + b"\n")
+        try:
+            await writer.drain()
+            raw = await reader.readline()
+        except OSError:
+            return
+        assert raw == b""
+
+    run(scenario())
+
+
+def test_restart_from_snapshot_resumes_reservations(tmp_path):
+    snapshot = tmp_path / "state.snap"
+    config = dict(SMALL, snapshot_path=str(snapshot))
+
+    async def first_life():
+        service = await start_service(**config)
+        accepted = await rpc(service.port, reserve_msg(1, 0.0, 40.0, 2))
+        assert accepted["ok"]
+        down = await rpc(service.port, {"op": "shutdown"})
+        await service.wait_stopped()
+        return down["accepted_checksum"]
+
+    async def second_life(checksum):
+        service = await start_service(**config)
+        assert service.restored
+        status = await rpc(service.port, {"op": "status"})
+        assert status["restored"] and status["accepted_checksum"] == checksum
+
+        # conflicts with the pre-snapshot reservation -> rejected
+        conflicting = await rpc(service.port, reserve_msg(2, 0.0, 40.0, 2))
+        assert not conflicting["ok"]
+        assert conflicting["error"]["code"] == "REJECTED"
+
+        # resending a pre-snapshot rid replays the original verdict
+        replayed = await rpc(service.port, reserve_msg(1, 0.0, 40.0, 2))
+        assert replayed["ok"] and replayed["replayed"] is True
+
+        # cancelling the restored reservation frees the calendar again
+        assert (await rpc(service.port, {"op": "cancel", "rid": 1}))["ok"]
+        retry = await rpc(service.port, reserve_msg(3, 0.0, 40.0, 2))
+        assert retry["ok"]
+        await service.stop()
+
+    checksum = run(first_life())
+    run(second_life(checksum))

@@ -1,0 +1,140 @@
+"""Snapshot/restore: byte-identity, checksums, corruption handling.
+
+The load-bearing property (hypothesis-driven): for any request history,
+``snapshot -> restore -> snapshot`` is *byte-identical* — the restored
+server is indistinguishable from the original, down to the slot-tree
+tie-break order (persisted period uids make that possible).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.server import ReservationService, ServiceConfig, accepted_checksum
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    read_snapshot,
+    snapshot_bytes,
+    write_snapshot,
+)
+
+CONFIG = ServiceConfig(n_servers=4, tau=10.0, q_slots=8)
+
+
+def apply_history(service: ReservationService, history: list[tuple]) -> None:
+    """Replay a generated history of reserve/cancel ops onto a service.
+
+    Uses the actor's synchronous apply path directly — no event loop
+    needed, and identical to what TCP requests would drive.
+    """
+    for rid, (kind, payload) in enumerate(history):
+        if kind == "reserve":
+            sr, lr, nr = payload
+            service._apply({"op": "reserve", "rid": rid, "sr": sr, "lr": lr, "nr": nr})
+        else:
+            service._apply({"op": "cancel", "rid": payload})
+
+
+def histories():
+    reserve = st.tuples(
+        st.just("reserve"),
+        st.tuples(
+            st.sampled_from([0.0, 5.0, 10.0, 25.0, 60.0]),  # sr
+            st.sampled_from([-1.0, 4.0, 10.0, 35.0, 80.0]),  # lr (-1 -> malformed)
+            st.sampled_from([0, 1, 2, 4, 5]),  # nr (0/5 -> malformed/rejected)
+        ),
+    )
+    cancel = st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=12))
+    return st.lists(st.one_of(reserve, reserve, cancel), max_size=12)
+
+
+@given(histories())
+@settings(max_examples=60, deadline=None)
+def test_snapshot_restore_snapshot_is_byte_identical(history):
+    original = ReservationService(CONFIG)
+    apply_history(original, history)
+    first = snapshot_bytes(original._state())
+
+    # restore exactly what the disk read path hands back
+    state = json.loads(first.decode())["state"]
+    restored = ReservationService(CONFIG, state=state)
+    second = snapshot_bytes(restored._state())
+
+    assert second == first
+    assert accepted_checksum(restored._decided) == accepted_checksum(original._decided)
+
+
+@given(histories())
+@settings(max_examples=40, deadline=None)
+def test_restored_server_answers_like_the_original(history):
+    """Original and restored copy give identical verdicts on a fresh probe."""
+    original = ReservationService(CONFIG)
+    apply_history(original, history)
+    state = json.loads(snapshot_bytes(original._state()).decode())["state"]
+    restored = ReservationService(CONFIG, state=state)
+
+    probe_rid = 10_000  # outside every generated history
+    message = {"op": "reserve", "rid": probe_rid, "sr": 0.0, "lr": 15.0, "nr": 2}
+    assert restored._apply(dict(message)) == original._apply(dict(message))
+
+
+def test_restored_server_rejects_conflicting_request(tmp_path):
+    """A request conflicting with a pre-snapshot reservation is refused."""
+    config = ServiceConfig(n_servers=2, tau=10.0, q_slots=4)  # horizon = 40
+    original = ReservationService(config)
+    fill = original._apply({"op": "reserve", "rid": 1, "sr": 0.0, "lr": 40.0, "nr": 2})
+    assert fill["ok"]
+
+    path = tmp_path / "state.snap"
+    write_snapshot(path, original._state())
+    restored = ReservationService(config, state=read_snapshot(path))
+
+    conflicting = restored._apply({"op": "reserve", "rid": 2, "sr": 0.0, "lr": 40.0, "nr": 2})
+    assert not conflicting["ok"]
+    assert conflicting["error"]["code"] == "REJECTED"
+
+    # the decision log survives too: the old rid replays, never re-books
+    replay = restored._apply({"op": "reserve", "rid": 1, "sr": 0.0, "lr": 40.0, "nr": 2})
+    assert replay["ok"] and replay["replayed"] is True
+
+
+class TestSnapshotFile:
+    def test_write_read_round_trip(self, tmp_path):
+        state = {"scheduler": {"x": [1.0, None]}, "decided": {}}
+        meta = write_snapshot(tmp_path / "s.snap", state)
+        assert meta["version"] == SNAPSHOT_VERSION and meta["bytes"] > 0
+        assert read_snapshot(tmp_path / "s.snap") == state
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        write_snapshot(tmp_path / "s.snap", {"a": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["s.snap"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            read_snapshot(tmp_path / "absent.snap")
+
+    def test_corrupted_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(path, {"periods": [1, 2, 3]})
+        raw = path.read_bytes().replace(b"[1,2,3]", b"[1,2,4]")
+        path.write_bytes(raw)
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_snapshot(path)
+
+    def test_wrong_version_refused(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(path, {"a": 1})
+        document = json.loads(path.read_bytes())
+        document["version"] = SNAPSHOT_VERSION + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(SnapshotError, match="version"):
+            read_snapshot(path)
+
+    def test_foreign_json_refused(self, tmp_path):
+        path = tmp_path / "s.snap"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(SnapshotError, match="not a"):
+            read_snapshot(path)

@@ -1,5 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import signal
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -132,6 +138,96 @@ class TestCacheCommand:
         rc = main(["cache", "clear"])
         assert rc == 0
         assert "no cache dir configured" in capsys.readouterr().out
+
+
+class TestServiceParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0 and args.servers == 64
+        assert args.max_queue == 1024 and args.max_batch == 64
+        assert args.snapshot_path is None and args.metrics_interval == 0.0
+
+    def test_loadgen_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen"])
+        args = build_parser().parse_args(["loadgen", "--port", "9"])
+        assert args.out == "BENCH_service.json" and not args.shutdown
+
+    def test_reserve_requires_shape(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reserve", "--port", "9"])
+        args = build_parser().parse_args(
+            ["reserve", "--port", "9", "--start", "0", "--duration", "60", "--nodes", "2"]
+        )
+        assert args.duration == 60.0 and args.nodes == 2
+
+
+class TestReserveExitCodes:
+    def test_malformed_is_exit_2_without_contacting_a_server(self, capsys):
+        rc = main(
+            ["reserve", "--port", "1", "--start", "0", "--duration", "-5", "--nodes", "2"]
+        )
+        assert rc == 2
+        assert "malformed" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def served():
+    """A tiny `repro serve` subprocess on an ephemeral port (N=2, horizon 40)."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ, PYTHONPATH=src_dir)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--servers", "2", "--tau", "10", "--q-slots", "4"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    assert "listening on" in line, line
+    port = int(line.split("listening on ")[1].split()[0].rsplit(":", 1)[1])
+    try:
+        yield port
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGINT)
+            proc.wait(timeout=10)
+
+
+class TestServiceEndToEnd:
+    def test_reserve_ok_then_rejected_exit_codes(self, served, capsys):
+        rc = main(
+            ["reserve", "--port", str(served), "--rid", "1",
+             "--start", "0", "--duration", "40", "--nodes", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert json.loads(out)["ok"] is True
+
+        # the horizon is now full: a well-formed request gets exit code 3
+        rc = main(
+            ["reserve", "--port", str(served), "--rid", "2",
+             "--start", "0", "--duration", "40", "--nodes", "2"]
+        )
+        response = json.loads(capsys.readouterr().out)
+        assert rc == 3
+        assert response["error"]["code"] == "REJECTED"
+
+    def test_loadgen_smoke_against_live_server(self, served, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = main(
+            ["loadgen", "--port", str(served), "--jobs", "30", "--seed", "5",
+             "--window", "8", "--out", str(out), "--shutdown"]
+        )
+        printed = capsys.readouterr().out
+        assert rc == 0
+        assert "30/30 answered" in printed and "accepted checksum" in printed
+        report = json.loads(out.read_text())
+        assert report["violations_total"] == 0
+        assert report["completed"] == 30
 
 
 class TestProfileCommand:

@@ -1,0 +1,79 @@
+"""The shared error vocabulary: exit codes, wire payloads, hierarchies."""
+
+import pytest
+
+from repro.errors import (
+    BusyError,
+    ConflictError,
+    ErrorCode,
+    MalformedRequestError,
+    NotFoundError,
+    RejectedError,
+    ReproError,
+    ShuttingDownError,
+    error_payload,
+)
+
+
+class TestErrorCode:
+    def test_rejected_and_malformed_are_distinct_exit_codes(self):
+        # the whole point of the enum: shell scripts (and the wire
+        # protocol) can tell a retry-policy rejection from bad input
+        assert ErrorCode.MALFORMED == 2
+        assert ErrorCode.REJECTED == 3
+        assert ErrorCode.MALFORMED != ErrorCode.REJECTED
+
+    def test_codes_are_stable(self):
+        assert [int(c) for c in ErrorCode] == [0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_wire_names(self):
+        assert ErrorCode.BUSY.wire == "BUSY"
+        assert ErrorCode.SHUTTING_DOWN.wire == "SHUTTING_DOWN"
+
+
+class TestExceptionHierarchy:
+    def test_typed_errors_subclass_their_untyped_predecessors(self):
+        # existing `except ValueError` / `except KeyError` callers keep working
+        assert issubclass(MalformedRequestError, ValueError)
+        assert issubclass(ConflictError, ValueError)
+        assert issubclass(NotFoundError, KeyError)
+
+    def test_not_found_str_is_not_repr_quoted(self):
+        assert str(NotFoundError("no allocation 7")) == "no allocation 7"
+
+    @pytest.mark.parametrize(
+        "exc,code",
+        [
+            (MalformedRequestError("x"), ErrorCode.MALFORMED),
+            (RejectedError("x"), ErrorCode.REJECTED),
+            (ConflictError("x"), ErrorCode.CONFLICT),
+            (NotFoundError("x"), ErrorCode.NOT_FOUND),
+            (BusyError("x", retry_after=0.5), ErrorCode.BUSY),
+            (ShuttingDownError("x"), ErrorCode.SHUTTING_DOWN),
+        ],
+    )
+    def test_payload_carries_code_and_exit_code(self, exc, code):
+        payload = exc.payload()
+        assert payload["code"] == code.wire
+        assert payload["exit_code"] == int(code)
+        assert payload["message"]
+
+    def test_rejected_payload_reports_policy_verdict(self):
+        payload = RejectedError("x", reason="exhausted", attempts=4).payload()
+        assert payload["reason"] == "exhausted" and payload["attempts"] == 4
+
+    def test_busy_payload_carries_retry_after(self):
+        assert BusyError("x", retry_after=0.25).payload()["retry_after"] == 0.25
+
+
+class TestErrorPayloadHelper:
+    def test_typed_errors_report_their_own_code(self):
+        assert error_payload(RejectedError("nope"))["exit_code"] == 3
+
+    def test_untyped_exceptions_map_to_internal(self):
+        payload = error_payload(ZeroDivisionError("division by zero"))
+        assert payload["code"] == "INTERNAL" and payload["exit_code"] == 1
+        assert "ZeroDivisionError" in payload["message"]
+
+    def test_repro_error_base_defaults_to_internal(self):
+        assert ReproError("x").payload()["exit_code"] == 1
