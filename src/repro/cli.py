@@ -48,6 +48,16 @@ Installed as ``repro`` (see ``pyproject.toml``); also runnable as
     client-side shadow ledger, and write a ``BENCH_service.json``
     latency/throughput report.  Exits non-zero on ledger violations.
 
+``repro fuzz``
+    Differential-oracle fuzzing: replay seeded request streams against
+    both the production scheduler and an obviously-correct reference
+    implementation, comparing every decision and the full calendar
+    state; ``--shrink`` delta-debugs any divergence to a minimal repro,
+    ``--inject`` self-tests the detector against a deliberately broken
+    Phase-2 selection, and ``--chaos`` drives a real server subprocess
+    through deterministic fault plans (kill/restart, duplicate and
+    reordered sends).  See ``docs/testing.md``.
+
 ``repro reserve``
     One-shot client: submit a single reservation to a running server.
     Exit codes are the shared :class:`repro.errors.ErrorCode` enum — 0
@@ -239,6 +249,59 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--out", default="BENCH_service.json", help="report JSON path")
     lg.add_argument(
         "--shutdown", action="store_true", help="send a shutdown op after the replay"
+    )
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="differential-oracle fuzzing and deterministic fault injection",
+    )
+    fz.add_argument("--ops", type=int, default=2000, help="operations per stream")
+    fz.add_argument(
+        "--seed",
+        default="0",
+        help="comma-separated list of stream seeds (e.g. 0,1,2)",
+    )
+    fz.add_argument(
+        "--profile",
+        default="dense",
+        help="comma-separated workload profiles, or 'all' "
+        "(dense, sparse, ties — see repro.verify.genstream)",
+    )
+    fz.add_argument(
+        "--chaos",
+        action="store_true",
+        help="drive a real `repro serve` subprocess through deterministic "
+        "fault plans instead of the in-process differ",
+    )
+    fz.add_argument(
+        "--plan",
+        default="all",
+        help="chaos plan: kill-restart, duplicate, reorder, or all",
+    )
+    fz.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug any divergence to a 1-minimal repro trace",
+    )
+    fz.add_argument(
+        "--inject",
+        choices=("reverse-tiebreak", "latest-ending"),
+        default=None,
+        help="self-test: break the production Phase-2 selection and require "
+        "the differ to catch it (exit 0 = bug caught)",
+    )
+    fz.add_argument(
+        "--state-stride",
+        type=int,
+        default=1,
+        help="compare full per-server idle state every k ops (1 = every op)",
+    )
+    fz.add_argument("--trace", default=None, help="replay this trace file instead of generating")
+    fz.add_argument("--out", default=None, help="write the JSON report here")
+    fz.add_argument(
+        "--emit-test",
+        default=None,
+        help="write a ready-to-paste failing pytest here on (shrunk) divergence",
     )
 
     rsv = sub.add_parser("reserve", help="submit one reservation to a running server")
@@ -603,6 +666,133 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return int(ErrorCode.OK)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from .verify.chaos import default_plans, run_chaos
+    from .verify.differ import (
+        emit_pytest,
+        load_trace,
+        run_stream,
+        shrink_stream,
+    )
+    from .verify.genstream import PROFILES, generate_stream
+
+    try:
+        seeds = [int(s) for s in str(args.seed).split(",") if s.strip() != ""]
+    except ValueError:
+        print(f"fuzz: bad --seed list {args.seed!r}", file=sys.stderr)
+        return int(ErrorCode.MALFORMED)
+    profile_names = (
+        list(PROFILES) if args.profile == "all" else args.profile.split(",")
+    )
+    unknown = [p for p in profile_names if p not in PROFILES]
+    if unknown:
+        print(
+            f"fuzz: unknown profile(s) {', '.join(unknown)} "
+            f"(have: {', '.join(PROFILES)})",
+            file=sys.stderr,
+        )
+        return int(ErrorCode.MALFORMED)
+
+    if args.trace:
+        streams = [load_trace(args.trace)]
+    else:
+        streams = [
+            generate_stream(profile, seed, args.ops)
+            for profile in profile_names
+            for seed in seeds
+        ]
+
+    report: dict[str, object] = {
+        "mode": "chaos" if args.chaos else "differential",
+        "ops": args.ops,
+        "seeds": seeds,
+        "profiles": profile_names,
+        "inject": args.inject,
+        "runs": [],
+    }
+    runs: list[dict[str, object]] = report["runs"]  # type: ignore[assignment]
+    divergences = 0
+    failures = 0
+
+    if args.chaos:
+        for stream in streams:
+            for plan in default_plans(args.plan):
+                chaos_report = run_chaos(stream, plan)
+                runs.append(chaos_report)
+                verdict = "ok" if chaos_report["passed"] else "FAILED"
+                if not chaos_report["passed"]:
+                    failures += 1
+                print(
+                    f"fuzz --chaos [{stream.profile}/seed={stream.seed}] "
+                    f"plan={plan.kind}: {chaos_report['ops']} ops, "
+                    f"{chaos_report['accepted']} accepted, "
+                    f"{chaos_report['restarts']} restart(s), "
+                    f"{len(chaos_report['ledger_violations'])} ledger violation(s), "
+                    f"checksum {chaos_report['checksums']['service_shutdown']} — {verdict}"
+                )
+    else:
+        for stream in streams:
+            result = run_stream(
+                stream, inject=args.inject, state_stride=max(1, args.state_stride)
+            )
+            entry: dict[str, object] = {
+                "profile": stream.profile,
+                "seed": stream.seed,
+                **result.to_dict(),
+            }
+            label = f"[{stream.profile}/seed={stream.seed}]"
+            if result.divergence is None:
+                print(
+                    f"fuzz {label}: {result.ops_run} ops, "
+                    f"{result.accepted} accepted, {result.rejected} rejected, "
+                    f"{result.cancelled} cancelled, {result.probes} probes, "
+                    f"{result.restores} restores — no divergence"
+                )
+            else:
+                divergences += 1
+                print(f"fuzz {label}: DIVERGENCE at op {result.divergence.index}")
+                print(result.divergence.describe())
+                if args.shrink:
+                    shrunk = shrink_stream(stream, inject=args.inject)
+                    assert shrunk is not None
+                    entry["shrunk"] = shrunk.to_dict()
+                    print(
+                        f"fuzz {label}: shrunk to {len(shrunk.stream.ops)} op(s) "
+                        f"in {shrunk.evaluations} evaluation(s)"
+                    )
+                    test_source = emit_pytest(shrunk)
+                    entry["pytest"] = test_source
+                    if args.emit_test:
+                        with open(args.emit_test, "w", encoding="utf-8") as fh:
+                            fh.write(test_source)
+                        print(f"fuzz {label}: failing test -> {args.emit_test}")
+            runs.append(entry)
+
+    report["divergences"] = divergences
+    report["failures"] = failures
+    if args.inject and not args.chaos:
+        # self-test semantics: the injected bug must be caught in every run
+        caught = divergences == len(streams)
+        report["injection_caught"] = caught
+        print(
+            f"fuzz --inject {args.inject}: "
+            f"{'caught in every run' if caught else 'MISSED in at least one run'}"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"fuzz: report -> {args.out}")
+
+    if args.inject and not args.chaos:
+        return int(ErrorCode.OK) if report["injection_caught"] else int(ErrorCode.INTERNAL)
+    if divergences or failures:
+        return int(ErrorCode.INTERNAL)
+    return int(ErrorCode.OK)
+
+
 def _cmd_reserve(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -650,6 +840,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": _cmd_cache,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "fuzz": _cmd_fuzz,
         "reserve": _cmd_reserve,
     }
     return commands[args.command](args)

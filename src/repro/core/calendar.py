@@ -96,7 +96,13 @@ class AvailabilityCalendar:
         self.counter = counter
         self.now = float(start_time)
 
-        self._base_slot = int(math.floor(start_time / tau))
+        # the base slot must come from the same robust arithmetic as
+        # slot_of(): floor(start_time / tau) can disagree with slot_of by
+        # one near a fractional-tau slot boundary (e.g. 3*0.3 < 0.9), and
+        # a snapshot-restored calendar is rebuilt with start_time = the
+        # original's now — a floor-based base would shift its horizon one
+        # slot relative to the original's, breaking restart identity
+        self._base_slot = self.slot_of(self.now)
         self._trees: dict[int, TwoDimTree] = {
             q: TwoDimTree(counter) for q in range(self._base_slot, self._base_slot + q_slots)
         }

@@ -119,6 +119,24 @@ class ShadowLedger:
             "servers": sorted(servers),
         }
 
+    def release(self, rid: int) -> None:
+        """Free the booked intervals of a cancelled reservation.
+
+        The entry itself stays: the server's ``accepted_checksum`` covers
+        every accept ever granted, cancelled or not, and a resent rid
+        must still read as a duplicate.  Only the double-booking
+        intervals go — a later accept may legitimately reuse the window.
+        """
+        entry = self.entries.get(rid)
+        if entry is None:
+            return
+        for server in entry["servers"]:
+            intervals = self._busy.get(server, [])
+            for idx, (_start, _end, owner) in enumerate(intervals):
+                if owner == rid:
+                    del intervals[idx]
+                    break
+
     def checksum(self) -> str:
         """Same digest as the server's ``accepted_checksum`` over this book."""
         digest = hashlib.sha256()

@@ -1,0 +1,433 @@
+"""Deterministic fault plans for the TCP reservation service.
+
+Each plan replays one generated stream against a real ``repro serve``
+subprocess over a single strictly request/response connection (one op in
+flight at a time, so the decision order is known), injects one fault
+class, and then holds the service to three simultaneous standards:
+
+* the client-side :class:`~repro.service.loadgen.ShadowLedger` records
+  every accepted reservation and must finish violation-free;
+* every verdict the service ever produced must match the
+  :class:`~repro.verify.oracle.ReferenceScheduler` replaying the same
+  logical op order in-process;
+* the final snapshot's per-server idle periods and the service's
+  ``accepted_checksum`` must equal the oracle's.
+
+Plans
+-----
+
+``kill-restart``
+    ``snapshot`` after op *s*, SIGKILL after op *k* > *s*, restart from
+    the snapshot, resend ops *s+1..k* (they were decided after the
+    snapshot, so the restored server re-decides them — the verdicts must
+    be identical), then finish the stream.
+``duplicate``
+    Every n-th reserve is sent twice back-to-back; the second response
+    must carry the recorded verdict with ``replayed: true`` (the
+    rid-keyed exactly-once decision log).
+``reorder``
+    The op list is deterministically shuffled within fixed-size windows
+    before sending — an at-least-once client's retry storm.  The oracle
+    replays the *same* shuffled order, so verdicts must still agree.
+
+Everything is driven by ``(stream, plan)``; no wall-clock dependence
+(the service clock is virtual), no randomness outside the plan seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, IO
+
+from ..service.loadgen import ShadowLedger
+from ..service.protocol import encode
+from ..service.server import accepted_checksum
+from ..service.snapshot import read_snapshot
+from .genstream import Stream
+from .oracle import ReferenceScheduler
+
+__all__ = ["ChaosPlan", "default_plans", "run_chaos"]
+
+_READY = re.compile(r"listening on [0-9.]+:(\d+)")
+_RPC_TIMEOUT = 30.0
+
+
+@dataclass
+class ChaosPlan:
+    """One deterministic fault schedule."""
+
+    kind: str  # "kill-restart" | "duplicate" | "reorder"
+    snapshot_at: int | None = None  # kill-restart: snapshot after this op index
+    kill_at: int | None = None  # kill-restart: SIGKILL after this op index
+    duplicate_every: int = 5  # duplicate: resend every n-th reserve
+    reorder_window: int = 4  # reorder: shuffle window size
+    seed: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "snapshot_at": self.snapshot_at,
+            "kill_at": self.kill_at,
+            "duplicate_every": self.duplicate_every,
+            "reorder_window": self.reorder_window,
+            "seed": self.seed,
+        }
+
+
+def default_plans(kind: str | None = None) -> list[ChaosPlan]:
+    plans = [
+        ChaosPlan(kind="kill-restart"),
+        ChaosPlan(kind="duplicate"),
+        ChaosPlan(kind="reorder"),
+    ]
+    if kind is None or kind == "all":
+        return plans
+    matched = [p for p in plans if p.kind == kind]
+    if not matched:
+        raise ValueError(f"unknown chaos plan {kind!r}")
+    return matched
+
+
+# ----------------------------------------------------------------------
+# service subprocess plumbing
+# ----------------------------------------------------------------------
+
+
+def _src_root() -> str:
+    # .../src/repro/verify/chaos.py -> .../src
+    return str(Path(__file__).resolve().parents[2])
+
+
+def _start_server(
+    config: dict[str, Any], snapshot_path: str
+) -> tuple[subprocess.Popen, int]:
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
+        "--servers",
+        str(config["n_servers"]),
+        "--tau",
+        str(config["tau"]),
+        "--q-slots",
+        str(config["q_slots"]),
+        "--snapshot-path",
+        snapshot_path,
+    ]
+    if config.get("delta_t") is not None:
+        cmd += ["--delta-t", str(config["delta_t"])]
+    if config.get("r_max") is not None:
+        cmd += ["--r-max", str(config["r_max"])]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env, text=True
+    )
+    assert proc.stdout is not None
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"repro serve exited early (rc={proc.poll()})")
+        match = _READY.search(line)
+        if match:
+            return proc, int(match.group(1))
+
+
+class _Client:
+    """Blocking one-op-at-a-time NDJSON client."""
+
+    def __init__(self, port: int) -> None:
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=_RPC_TIMEOUT)
+        self.file: IO[bytes] = self.sock.makefile("rwb")
+
+    def rpc(self, message: dict[str, Any]) -> dict[str, Any]:
+        self.file.write(encode(message))
+        self.file.flush()
+        raw = self.file.readline()
+        if not raw:
+            raise ConnectionError(f"no response to {message.get('op')}")
+        return json.loads(raw)
+
+    def close(self) -> None:
+        try:
+            self.file.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# op <-> wire mapping and verdict normalization
+# ----------------------------------------------------------------------
+
+
+def _wire(op: dict[str, Any]) -> dict[str, Any]:
+    kind = op["kind"]
+    if kind == "reserve":
+        message = {
+            "op": "reserve",
+            "rid": op["rid"],
+            "qr": op["qr"],
+            "sr": op["sr"],
+            "lr": op["lr"],
+            "nr": op["nr"],
+        }
+        if op.get("deadline") is not None:
+            message["deadline"] = op["deadline"]
+        return message
+    if kind == "probe":
+        # a limit far above any plausible period count: the comparison
+        # against the oracle needs the full result, not a page
+        return {"op": "probe", "ta": op["ta"], "tb": op["tb"], "limit": 1_000_000}
+    if kind == "cancel":
+        return {"op": "cancel", "rid": op["rid"]}
+    raise ValueError(f"op kind {kind!r} has no wire form")
+
+
+def _normalize(op: dict[str, Any], response: dict[str, Any]) -> dict[str, Any]:
+    kind = op["kind"]
+    if kind == "reserve":
+        if response.get("ok"):
+            return {
+                "ok": True,
+                "start": response["start"],
+                "end": response["end"],
+                "servers": list(response["servers"]),  # already sorted by the service
+                "attempts": response["attempts"],
+                "delay": response["delay"],
+            }
+        error = response.get("error") or {}
+        return {
+            "ok": False,
+            "reason": error.get("reason"),
+            "attempts": error.get("attempts"),
+        }
+    if kind == "probe":
+        return {"count": response["count"], "periods": response["periods"]}
+    if kind == "cancel":
+        return {"ok": bool(response.get("ok"))}
+    raise ValueError(f"op kind {kind!r} has no verdict form")
+
+
+def _oracle_verdict(oracle: ReferenceScheduler, op: dict[str, Any]) -> dict[str, Any]:
+    kind = op["kind"]
+    if kind == "reserve":
+        oracle.advance(max(oracle.now, float(op["qr"])))
+        result = oracle.schedule(
+            rid=int(op["rid"]),
+            sr=float(op["sr"]),
+            lr=float(op["lr"]),
+            nr=int(op["nr"]),
+            deadline=op.get("deadline"),
+        )
+        if result["ok"]:
+            return {
+                "ok": True,
+                "start": result["start"],
+                "end": result["end"],
+                "servers": sorted(result["servers"]),
+                "attempts": result["attempts"],
+                "delay": result["delay"],
+            }
+        return {"ok": False, "reason": result["reason"], "attempts": result["attempts"]}
+    if kind == "probe":
+        periods = oracle.probe(float(op["ta"]), float(op["tb"]))
+        return {
+            "count": len(periods),
+            "periods": [
+                [server, st, None if et == float("inf") else et]
+                for server, st, et in periods
+            ],
+        }
+    if kind == "cancel":
+        return oracle.cancel(int(op["rid"]))
+    raise ValueError(f"op kind {kind!r} has no oracle form")
+
+
+def _jsonable(value: Any) -> Any:
+    return json.loads(json.dumps(value, allow_nan=False))
+
+
+# ----------------------------------------------------------------------
+# the run
+# ----------------------------------------------------------------------
+
+
+def run_chaos(
+    stream: Stream, plan: ChaosPlan, work_dir: str | None = None
+) -> dict[str, Any]:
+    """Execute one (stream, plan) pair; returns the JSON-ready report.
+
+    ``report["passed"]`` is the overall verdict: no ledger violations, no
+    verdict divergence from the oracle, identical replayed verdicts
+    across the kill/restart, ``replayed`` flags on duplicates, equal
+    final state and checksums.
+    """
+    ops = [op for op in stream.ops if op["kind"] != "restore"]
+    if plan.kind == "reorder":
+        rng = random.Random(f"repro-chaos:{plan.seed}")
+        ops = list(ops)
+        window = max(2, plan.reorder_window)
+        for base in range(0, len(ops), window):
+            block = ops[base : base + window]
+            rng.shuffle(block)
+            ops[base : base + window] = block
+    snapshot_at = kill_at = None
+    if plan.kind == "kill-restart":
+        snapshot_at = plan.snapshot_at if plan.snapshot_at is not None else len(ops) // 3
+        kill_at = plan.kill_at if plan.kill_at is not None else (2 * len(ops)) // 3
+        if not 0 <= snapshot_at < kill_at < len(ops):
+            raise ValueError(
+                f"kill-restart plan needs 0 <= snapshot_at < kill_at < {len(ops)}, "
+                f"got snapshot_at={snapshot_at} kill_at={kill_at}"
+            )
+
+    owns_dir = work_dir is None
+    work = work_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    snapshot_path = str(Path(work) / "chaos-snapshot.json")
+    ledger = ShadowLedger()
+    verdicts: list[dict[str, Any]] = []
+    replay_mismatches: list[dict[str, Any]] = []
+    duplicate_checks = 0
+    duplicate_mismatches: list[dict[str, Any]] = []
+    restarts = 0
+    reserve_count = 0
+
+    proc, port = _start_server(stream.config, snapshot_path)
+    client = _Client(port)
+    try:
+        for index, op in enumerate(ops):
+            verdict = _normalize(op, client.rpc(_wire(op)))
+            verdicts.append(verdict)
+            if op["kind"] == "cancel" and verdict["ok"]:
+                # an acknowledged cancel frees the window: later accepts
+                # may legitimately reuse it without double-booking
+                ledger.release(int(op["rid"]))
+            if op["kind"] == "reserve":
+                reserve_count += 1
+                if verdict["ok"]:
+                    ledger.record(
+                        int(op["rid"]),
+                        float(op["sr"]),
+                        float(verdict["start"]),
+                        float(verdict["end"]),
+                        [int(s) for s in verdict["servers"]],
+                    )
+                if plan.kind == "duplicate" and reserve_count % plan.duplicate_every == 0:
+                    duplicate_checks += 1
+                    dup_response = client.rpc(_wire(op))
+                    dup = _normalize(op, dup_response)
+                    if _jsonable(dup) != _jsonable(verdict) or (
+                        verdict["ok"] and not dup_response.get("replayed")
+                    ):
+                        duplicate_mismatches.append(
+                            {"index": index, "first": verdict, "duplicate": dup,
+                             "replayed": dup_response.get("replayed")}
+                        )
+            if plan.kind == "kill-restart":
+                if index == snapshot_at:
+                    client.rpc({"op": "snapshot"})
+                if index == kill_at:
+                    client.close()
+                    proc.send_signal(signal.SIGKILL)
+                    proc.wait(timeout=30)
+                    proc, port = _start_server(stream.config, snapshot_path)
+                    restarts += 1
+                    client = _Client(port)
+                    # ops decided after the snapshot died with the process;
+                    # the restored server must re-decide them identically
+                    assert snapshot_at is not None and kill_at is not None
+                    for j in range(snapshot_at + 1, kill_at + 1):
+                        replayed = _normalize(ops[j], client.rpc(_wire(ops[j])))
+                        if _jsonable(replayed) != _jsonable(verdicts[j]):
+                            replay_mismatches.append(
+                                {"index": j, "before_kill": verdicts[j],
+                                 "after_restart": replayed}
+                            )
+        status = client.rpc({"op": "status"})
+        shutdown = client.rpc({"op": "shutdown"})
+        client.close()
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    # oracle replay over the same logical order, and checksum mirror
+    oracle = ReferenceScheduler(**stream.config)
+    verdict_divergences: list[dict[str, Any]] = []
+    decided: dict[int, dict[str, Any]] = {}
+    for index, op in enumerate(ops):
+        expected = _oracle_verdict(oracle, op)
+        if op["kind"] == "reserve":
+            rid = int(op["rid"])
+            if rid not in decided:
+                decided[rid] = dict(expected)
+        if _jsonable(expected) != _jsonable(verdicts[index]):
+            verdict_divergences.append(
+                {"index": index, "op": op, "service": verdicts[index],
+                 "oracle": expected}
+            )
+    oracle_checksum = accepted_checksum(decided)
+
+    final_state = read_snapshot(snapshot_path)
+    final_periods = [
+        [[float(st), None if et is None else float(et)] for st, et, _uid in periods]
+        for periods in final_state["scheduler"]["calendar"]["periods"]
+    ]
+    oracle_periods = [
+        [[st, et] for st, et in periods] for periods in oracle.export_intervals()
+    ]
+    state_equal = final_periods == oracle_periods
+
+    checksums = {
+        "service_status": status.get("accepted_checksum"),
+        "service_shutdown": shutdown.get("accepted_checksum"),
+        "ledger": ledger.checksum(),
+        "oracle": oracle_checksum,
+    }
+    passed = (
+        not ledger.violations
+        and not verdict_divergences
+        and not replay_mismatches
+        and not duplicate_mismatches
+        and state_equal
+        and len(set(checksums.values())) == 1
+    )
+    report = {
+        "plan": plan.to_dict(),
+        "profile": stream.profile,
+        "seed": stream.seed,
+        "ops": len(ops),
+        "reserves": reserve_count,
+        "accepted": len(ledger.entries),
+        "restarts": restarts,
+        "duplicate_checks": duplicate_checks,
+        "ledger_violations": ledger.violations,
+        "verdict_divergences": verdict_divergences[:20],
+        "verdict_divergences_total": len(verdict_divergences),
+        "replay_mismatches": replay_mismatches[:20],
+        "duplicate_mismatches": duplicate_mismatches[:20],
+        "checksums": checksums,
+        "state_equal": state_equal,
+        "passed": passed,
+    }
+    if owns_dir:
+        shutil.rmtree(work, ignore_errors=True)
+    return report

@@ -9,6 +9,14 @@ import pytest
 from repro.core.types import IdlePeriod
 
 
+def pytest_collection_modifyitems(items: list[pytest.Item]) -> None:
+    """Every test under tests/service/ talks to a real server — tag the
+    whole directory so `-m "not service"` works without per-file marks."""
+    for item in items:
+        if "tests/service/" in str(item.path).replace("\\", "/"):
+            item.add_marker(pytest.mark.service)
+
+
 def make_periods(
     n: int,
     seed: int = 0,

@@ -102,6 +102,7 @@ class TestArtifacts:
         assert "KTH-batch" in curves
         assert len(curves) == len(fig6.RHOS) + 1
 
+    @pytest.mark.slow
     def test_fig7_series_cover_all_workloads(self):
         rhos, waits = fig7.waiting_series(TINY)
         assert set(waits) == {"CTC", "KTH", "HPC2N"}
@@ -109,6 +110,7 @@ class TestArtifacts:
         _, ops = fig7.ops_series(TINY)
         assert all((v > 0).all() for v in ops.values())
 
+    @pytest.mark.slow
     def test_run_all_renders_everything(self):
         out = run_all(TINY)
         for token in ("Table 1", "Figure 3", "Figure 4", "Figure 5",

@@ -123,6 +123,7 @@ class TestOnlineReclamation:
 
 
 class TestReclamationAtScale:
+    @pytest.mark.slow
     def test_reclamation_reduces_waits_under_overestimates(self):
         requests = generate_workload(
             "KTH", n_jobs=600, seed=11, accuracy=EstimateAccuracy(p_exact=0.1)

@@ -101,6 +101,59 @@ def test_restored_server_rejects_conflicting_request(tmp_path):
     assert replay["ok"] and replay["replayed"] is True
 
 
+def test_cancel_after_restore_frees_the_window(tmp_path):
+    """A reservation granted before the snapshot must still be
+    cancellable after a restart, and the freed window reusable — the
+    restored allocation book, not just the calendar, has to be live.
+
+    The clock sits at a fractional-τ slot boundary (31·0.3, where naive
+    floor division and the robust slot arithmetic disagree), so this
+    also pins the restored calendar's horizon to the original's.
+    """
+    tau = 0.3
+    config = ServiceConfig(n_servers=2, tau=tau, q_slots=8)
+    original = ReservationService(config)
+    granted = original._apply(
+        {"op": "reserve", "rid": 1, "qr": 31 * tau, "sr": 31 * tau, "lr": tau, "nr": 2}
+    )
+    assert granted["ok"]
+
+    path = tmp_path / "state.snap"
+    write_snapshot(path, original._state())
+    restored = ReservationService(config, state=read_snapshot(path))
+
+    cancelled = restored._apply({"op": "cancel", "rid": 1})
+    assert cancelled["ok"]
+
+    # the window is free again on the restored server...
+    refill = restored._apply(
+        {"op": "reserve", "rid": 2, "qr": 31 * tau, "sr": 31 * tau, "lr": tau, "nr": 2}
+    )
+    assert refill["ok"]
+    assert refill["start"] == granted["start"]
+
+    # ...and the original, cancelling the same rid, ends in the same
+    # calendar (period uids aside: the two processes' uid counters moved
+    # independently after the snapshot, which is invisible to clients)
+    assert original._apply({"op": "cancel", "rid": 1})["ok"]
+    assert original._apply(
+        {"op": "reserve", "rid": 2, "qr": 31 * tau, "sr": 31 * tau, "lr": tau, "nr": 2}
+    ) == refill
+
+    def periods_sans_uids(service):
+        return [
+            [(st, et) for st, et, _uid in server_periods]
+            for server_periods in service._state()["scheduler"]["calendar"]["periods"]
+        ]
+
+    assert periods_sans_uids(restored) == periods_sans_uids(original)
+    assert accepted_checksum(restored._decided) == accepted_checksum(original._decided)
+
+    # a second cancel of the same rid is a clean not-found, not a crash
+    second = restored._apply({"op": "cancel", "rid": 1})
+    assert not second["ok"]
+
+
 class TestSnapshotFile:
     def test_write_read_round_trip(self, tmp_path):
         state = {"scheduler": {"x": [1.0, None]}, "decided": {}}

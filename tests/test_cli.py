@@ -95,6 +95,7 @@ class TestExperimentCommand:
         assert args.all_artifacts and args.artifact is None
         assert args.parallel == 4
 
+    @pytest.mark.slow
     def test_parallel_with_cache_dir(self, tmp_path, capsys):
         import repro.experiments.store as store_mod
 

@@ -1,0 +1,49 @@
+"""Chaos smoke: one real service subprocess per plan, faults injected,
+ledger/oracle/snapshot all required to agree.
+
+Marked slow+service: each test boots (and for kill-restart, SIGKILLs and
+reboots) an actual ``repro serve`` process.  CI runs these in the fuzz
+job; tier-1 skips them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.chaos import ChaosPlan, run_chaos
+from repro.verify.genstream import generate_stream
+
+pytestmark = [pytest.mark.slow, pytest.mark.service]
+
+
+def _assert_passed(report: dict) -> None:
+    assert report["ledger_violations"] == []
+    assert report["verdict_divergences_total"] == 0
+    assert report["replay_mismatches"] == []
+    assert report["duplicate_mismatches"] == []
+    assert report["state_equal"]
+    assert len(set(report["checksums"].values())) == 1
+    assert report["passed"]
+
+
+def test_kill_restart_preserves_decisions(tmp_path) -> None:
+    stream = generate_stream("dense", 11, 120)
+    plan = ChaosPlan(kind="kill-restart")
+    report = run_chaos(stream, plan, work_dir=str(tmp_path))
+    assert report["restarts"] == 1
+    _assert_passed(report)
+
+
+def test_duplicate_sends_replay_recorded_verdicts(tmp_path) -> None:
+    stream = generate_stream("dense", 12, 120)
+    plan = ChaosPlan(kind="duplicate", duplicate_every=3)
+    report = run_chaos(stream, plan, work_dir=str(tmp_path))
+    assert report["duplicate_checks"] > 0
+    _assert_passed(report)
+
+
+def test_reordered_stream_still_matches_oracle(tmp_path) -> None:
+    stream = generate_stream("sparse", 13, 120)
+    plan = ChaosPlan(kind="reorder", reorder_window=5, seed=13)
+    report = run_chaos(stream, plan, work_dir=str(tmp_path))
+    _assert_passed(report)

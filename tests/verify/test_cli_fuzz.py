@@ -1,0 +1,71 @@
+"""`repro fuzz` CLI contract: flag parsing, report shape, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.errors import ErrorCode
+
+
+def test_clean_run_exits_zero_and_writes_report(tmp_path: Path, capsys) -> None:
+    out = tmp_path / "report.json"
+    code = main(
+        [
+            "fuzz",
+            "--ops",
+            "150",
+            "--seed",
+            "0,1",
+            "--profile",
+            "dense,ties",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == int(ErrorCode.OK)
+    report = json.loads(out.read_text())
+    assert report["mode"] == "differential"
+    assert report["divergences"] == 0
+    assert len(report["runs"]) == 4  # 2 profiles x 2 seeds
+    assert "no divergence" in capsys.readouterr().out
+
+
+def test_injection_self_test_exits_zero_when_caught(tmp_path: Path, capsys) -> None:
+    test_file = tmp_path / "repro_test.py"
+    code = main(
+        [
+            "fuzz",
+            "--ops",
+            "300",
+            "--seed",
+            "0",
+            "--profile",
+            "ties",
+            "--inject",
+            "reverse-tiebreak",
+            "--shrink",
+            "--emit-test",
+            str(test_file),
+        ]
+    )
+    assert code == int(ErrorCode.OK)
+    captured = capsys.readouterr().out
+    assert "DIVERGENCE" in captured
+    assert "caught in every run" in captured
+    assert "def test_" in test_file.read_text()
+
+
+def test_bad_seed_list_is_malformed() -> None:
+    assert main(["fuzz", "--seed", "zero"]) == int(ErrorCode.MALFORMED)
+
+
+def test_unknown_profile_is_malformed() -> None:
+    assert main(["fuzz", "--profile", "nope"]) == int(ErrorCode.MALFORMED)
+
+
+def test_trace_replay_runs_corpus_file(capsys) -> None:
+    corpus = Path(__file__).parent / "corpus" / "equal_end_ties.json"
+    assert main(["fuzz", "--trace", str(corpus)]) == int(ErrorCode.OK)
+    assert "no divergence" in capsys.readouterr().out

@@ -1,0 +1,55 @@
+"""Differential fuzz smoke: short streams from every profile must run
+lock-step against the reference scheduler with zero divergences.
+
+The CI fuzz job runs the long campaigns; this in-suite smoke keeps the
+oracle, generator and differ wired together on every test run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.differ import run_stream
+from repro.verify.genstream import PROFILES, generate_stream
+
+SMOKE_OPS = 250
+SMOKE_SEEDS = (0, 1)
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_profile_stream_has_no_divergence(profile: str, seed: int) -> None:
+    stream = generate_stream(profile, seed, SMOKE_OPS)
+    result = run_stream(stream, state_stride=25)
+    assert result.divergence is None, result.divergence.describe()
+    assert result.ops_run == SMOKE_OPS
+
+
+def test_generation_is_deterministic() -> None:
+    a = generate_stream("dense", 3, 80)
+    b = generate_stream("dense", 3, 80)
+    assert a.ops == b.ops
+    assert a.config == b.config
+
+
+def test_streams_exercise_every_op_kind() -> None:
+    kinds = {op["kind"] for op in generate_stream("dense", 0, 400).ops}
+    assert kinds == {"reserve", "probe", "cancel", "restore"}
+
+
+def test_run_tallies_add_up() -> None:
+    stream = generate_stream("sparse", 2, 300)
+    result = run_stream(stream, state_stride=50)
+    assert result.divergence is None
+    reserves = sum(1 for op in stream.ops if op["kind"] == "reserve")
+    assert result.accepted + result.rejected == reserves
+    assert result.probes == sum(1 for op in stream.ops if op["kind"] == "probe")
+    assert result.restores == sum(1 for op in stream.ops if op["kind"] == "restore")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_long_stream_has_no_divergence(profile: str) -> None:
+    stream = generate_stream(profile, 0, 3000)
+    result = run_stream(stream, state_stride=200)
+    assert result.divergence is None, result.divergence.describe()

@@ -1,0 +1,124 @@
+"""Property tests: indexed range queries equal a plain linear scan.
+
+``range_search``/``probe`` answers come from the slot-tree and tail
+indexes; ``export_state`` exposes the same calendar as flat per-server
+sorted period lists.  For any reachable scheduler state and any query
+window, scanning the flat lists for periods *covering* ``[ta, tb)``
+(``st <= ta`` and ``et >= tb``) must yield exactly the indexed answer —
+the whole point of the index is to be a faster spelling of that scan.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import Request
+from repro.facade import CoAllocationScheduler
+
+TAUS = (0.3, 1.0, 7.5)
+
+
+def _op_strategy() -> st.SearchStrategy:
+    reserve = st.fixed_dictionaries(
+        {
+            "kind": st.just("reserve"),
+            "sr_tau": st.integers(min_value=0, max_value=12),
+            "lr_tau": st.integers(min_value=1, max_value=6),
+            "nr": st.integers(min_value=1, max_value=5),
+        }
+    )
+    cancel = st.fixed_dictionaries(
+        {"kind": st.just("cancel"), "which": st.integers(min_value=0, max_value=30)}
+    )
+    advance = st.fixed_dictionaries(
+        {"kind": st.just("advance"), "by_tau": st.integers(min_value=0, max_value=4)}
+    )
+    return st.lists(st.one_of(reserve, cancel, advance), max_size=25)
+
+
+@given(
+    tau=st.sampled_from(TAUS),
+    n_servers=st.integers(min_value=1, max_value=4),
+    q_slots=st.integers(min_value=4, max_value=12),
+    ops=_op_strategy(),
+    ta_tau=st.integers(min_value=0, max_value=18),
+    span_tau=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=120, deadline=None)
+def test_range_search_equals_linear_scan(
+    tau: float,
+    n_servers: int,
+    q_slots: int,
+    ops: list[dict],
+    ta_tau: int,
+    span_tau: int,
+) -> None:
+    scheduler = CoAllocationScheduler(n_servers=n_servers, tau=tau, q_slots=q_slots)
+    issued: list[int] = []
+    rid = 0
+    for op in ops:
+        if op["kind"] == "reserve":
+            sr = (scheduler.calendar.slot_of(scheduler.calendar.now) + op["sr_tau"]) * tau
+            sr = max(sr, scheduler.calendar.now)
+            scheduler.schedule_detailed(
+                Request(
+                    rid=rid,
+                    qr=scheduler.calendar.now,
+                    sr=sr,
+                    lr=op["lr_tau"] * tau,
+                    nr=op["nr"],
+                )
+            )
+            issued.append(rid)
+            rid += 1
+        elif op["kind"] == "cancel":
+            if issued:
+                try:
+                    scheduler.cancel(issued[op["which"] % len(issued)])
+                except KeyError:
+                    pass  # unknown/already-cancelled rid: not under test here
+        else:
+            scheduler.calendar.advance(scheduler.calendar.now + op["by_tau"] * tau)
+
+    base = scheduler.calendar.slot_of(scheduler.calendar.now)
+    ta = (base + ta_tau) * tau
+    tb = ta + span_tau * tau
+    horizon_end = scheduler.calendar.horizon_end
+    ta, tb = min(ta, horizon_end - tau), min(tb, horizon_end)
+    if not ta < tb:
+        return
+
+    indexed = {
+        (p.server, p.st, p.et) for p in scheduler.range_search(ta, tb)
+    }
+    flat = scheduler.export_state()["calendar"]["periods"]
+    scanned = {
+        (server, st_, math.inf if et is None else et)
+        for server, periods in enumerate(flat)
+        for st_, et, _uid in periods
+        if st_ <= ta and (et is None or et >= tb)
+    }
+    assert indexed == scanned
+
+
+@given(
+    tau=st.sampled_from(TAUS),
+    k=st.integers(min_value=0, max_value=10_000),
+    nudge=st.sampled_from((-1, 0, 1)),
+)
+@settings(max_examples=200, deadline=None)
+def test_slot_of_brackets_its_argument(tau: float, k: int, nudge: int) -> None:
+    """slot_of(t) must satisfy q*tau <= t < (q+1)*tau under the exact
+    float products the calendar compares against — including at and one
+    ulp around every k*tau boundary, where naive floor division drifts."""
+    calendar = CoAllocationScheduler(n_servers=1, tau=tau, q_slots=4).calendar
+    t = k * tau
+    if nudge:
+        t = math.nextafter(t, math.inf if nudge > 0 else -math.inf)
+    if t < 0:
+        return
+    q = calendar.slot_of(t)
+    assert q * tau <= t < (q + 1) * tau
