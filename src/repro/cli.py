@@ -227,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="log a JSON metrics line to stderr this often (0 = off)",
     )
+    srv.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="partition the calendar across K shard subprocesses "
+        "(1 = single in-process calendar; decisions are identical either way)",
+    )
 
     lg = sub.add_parser("loadgen", help="replay a trace against a running server")
     lg.add_argument("--host", default="127.0.0.1")
@@ -276,7 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument(
         "--plan",
         default="all",
-        help="chaos plan: kill-restart, duplicate, reorder, or all",
+        help="chaos plan: kill-restart, duplicate, reorder, kill-shard, or all",
     )
     fz.add_argument(
         "--shrink",
@@ -295,6 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="compare full per-server idle state every k ops (1 = every op)",
+    )
+    fz.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="K",
+        help="fuzz the K-sharded scheduler against the oracle (0 = unsharded); "
+        "with --chaos, runs the server with --shards K and adds a kill-shard plan",
     )
     fz.add_argument("--trace", default=None, help="replay this trace file instead of generating")
     fz.add_argument("--out", default=None, help="write the JSON report here")
@@ -613,14 +629,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_delay=args.max_delay,
         max_batch=args.max_batch,
         metrics_interval=args.metrics_interval,
+        shards=args.shards,
     )
     try:
-        asyncio.run(serve_forever(config))
+        crashed = asyncio.run(serve_forever(config))
     except KeyboardInterrupt:
         # the serve_forever cancellation path already snapshots on the
         # graceful stop, so ^C is a clean exit
-        pass
-    return int(ErrorCode.OK)
+        return int(ErrorCode.OK)
+    return int(ErrorCode.INTERNAL) if crashed else int(ErrorCode.OK)
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -710,6 +727,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         "seeds": seeds,
         "profiles": profile_names,
         "inject": args.inject,
+        "shards": args.shards,
         "runs": [],
     }
     runs: list[dict[str, object]] = report["runs"]  # type: ignore[assignment]
@@ -718,8 +736,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     if args.chaos:
         for stream in streams:
-            for plan in default_plans(args.plan):
-                chaos_report = run_chaos(stream, plan)
+            for plan in default_plans(args.plan, shards=args.shards):
+                chaos_report = run_chaos(stream, plan, shards=args.shards)
                 runs.append(chaos_report)
                 verdict = "ok" if chaos_report["passed"] else "FAILED"
                 if not chaos_report["passed"]:
@@ -735,14 +753,19 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         for stream in streams:
             result = run_stream(
-                stream, inject=args.inject, state_stride=max(1, args.state_stride)
+                stream,
+                inject=args.inject,
+                state_stride=max(1, args.state_stride),
+                shards=args.shards,
             )
             entry: dict[str, object] = {
                 "profile": stream.profile,
                 "seed": stream.seed,
                 **result.to_dict(),
             }
-            label = f"[{stream.profile}/seed={stream.seed}]"
+            label = f"[{stream.profile}/seed={stream.seed}" + (
+                f"/shards={args.shards}]" if args.shards else "]"
+            )
             if result.divergence is None:
                 print(
                     f"fuzz {label}: {result.ops_run} ops, "
@@ -755,7 +778,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 print(f"fuzz {label}: DIVERGENCE at op {result.divergence.index}")
                 print(result.divergence.describe())
                 if args.shrink:
-                    shrunk = shrink_stream(stream, inject=args.inject)
+                    shrunk = shrink_stream(stream, inject=args.inject, shards=args.shards)
                     assert shrunk is not None
                     entry["shrunk"] = shrunk.to_dict()
                     print(

@@ -336,14 +336,36 @@ class AvailabilityCalendar:
     # ------------------------------------------------------------------
 
     def allocate(
-        self, periods: list[IdlePeriod], start: float, end: float, rid: int = 0
+        self,
+        periods: list[IdlePeriod],
+        start: float,
+        end: float,
+        rid: int = 0,
+        remnant_uids: list[int] | None = None,
     ) -> list[Reservation]:
         """Carve ``[start, end)`` out of each given feasible idle period.
 
         Each period is removed from every index it lives in and replaced
         by at most two remnants — ``(st, start)`` and ``(end, et)`` —
         exactly the update rule of Section 4.2.
+
+        ``remnant_uids``, when given, supplies the uid of every remnant
+        created, consumed left-then-right per period in order — the
+        sharded coordinator assigns uids centrally so that remnant uid
+        order (the slot trees' tie-break) matches the single-calendar
+        creation order exactly.  Raises ``ValueError`` if the list runs
+        out before every remnant is created.
         """
+        uid_iter = iter(remnant_uids) if remnant_uids is not None else None
+
+        def fresh(server: int, st: float, et: float) -> IdlePeriod:
+            if uid_iter is None:
+                return IdlePeriod(server=server, st=st, et=et)
+            uid = next(uid_iter, None)
+            if uid is None:
+                raise ValueError("remnant_uids exhausted before all remnants were made")
+            return IdlePeriod(server=server, st=st, et=et, uid=uid)
+
         reservations: list[Reservation] = []
         for period in periods:
             if not period.is_feasible(start, end):
@@ -352,18 +374,22 @@ class AvailabilityCalendar:
                 )
             self._drop_period(period)
             if period.st < start:
-                self._add_period(IdlePeriod(server=period.server, st=period.st, et=start))
+                self._add_period(fresh(period.server, period.st, start))
             if end < period.et:
-                self._add_period(IdlePeriod(server=period.server, st=end, et=period.et))
+                self._add_period(fresh(period.server, end, period.et))
             reservations.append(Reservation(rid=rid, server=period.server, start=start, end=end))
         return reservations
 
-    def release(self, server: int, start: float, end: float) -> None:
+    def release(
+        self, server: int, start: float, end: float, uid: int | None = None
+    ) -> None:
         """Return ``[start, end)`` on ``server`` to the idle pool.
 
         Used by cancellation and early-completion reclamation.  The
         released interval is merged with adjacent idle periods so that
-        idle periods stay maximal.
+        idle periods stay maximal.  ``uid``, when given, is assigned to
+        the merged period (the sharded coordinator numbers releases
+        centrally for uid-order parity with a single calendar).
         """
         if not start < end:
             raise ValueError(f"release window [{start}, {end}) is empty")
@@ -390,7 +416,10 @@ class AvailabilityCalendar:
                     f"release of [{start}, {end}) on server {server} overlaps "
                     f"idle period {periods[neighbour_idx]}"
                 )
-        self._add_period(IdlePeriod(server=server, st=lo, et=hi))
+        if uid is None:
+            self._add_period(IdlePeriod(server=server, st=lo, et=hi))
+        else:
+            self._add_period(IdlePeriod(server=server, st=lo, et=hi, uid=uid))
 
     # ------------------------------------------------------------------
     # queries (Phase 1 + Phase 2, tree and tail combined)
@@ -453,6 +482,21 @@ class AvailabilityCalendar:
     def idle_periods(self, server: int) -> list[IdlePeriod]:
         """A copy of the authoritative idle-period list for one server."""
         return list(self._server_periods[server])
+
+    def period_at(self, server: int, st: float) -> IdlePeriod:
+        """The idle period on ``server`` starting exactly at ``st``.
+
+        Starts are unique per server (periods are maximal and disjoint),
+        so ``(server, st)`` pins one period; raises ``KeyError`` when no
+        period starts there.  The sharded commit path uses this to turn a
+        coordinator-chosen ``(server, st)`` pick back into the live
+        period object.
+        """
+        keys = self._server_keys[server]
+        idx = bisect_left(keys, st)
+        if idx >= len(keys) or keys[idx] != st:
+            raise KeyError(f"no idle period starting at {st} on server {server}")
+        return self._server_periods[server][idx]
 
     # ------------------------------------------------------------------
     # serializable state (snapshot/restore support)

@@ -26,10 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .calendar import AvailabilityCalendar
+from .merge import merge_earliest
 from .opcount import NULL_COUNTER, OpCounter
 from .types import Allocation, IdlePeriod, RangeQuery, Request
 
-__all__ = ["OnlineCoAllocator", "ScheduleOutcome"]
+__all__ = ["OnlineCoAllocator", "ScheduleOutcome", "merge_earliest"]
 
 
 @dataclass(frozen=True, slots=True)

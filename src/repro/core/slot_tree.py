@@ -33,9 +33,9 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, insort_left
-from heapq import heapify, heappop, heapreplace
 from typing import Iterator
 
+from .merge import merge_earliest
 from .opcount import NULL_COUNTER, OpCounter
 from .types import IdlePeriod
 
@@ -332,9 +332,12 @@ class TwoDimTree:
         different (equally feasible) subsets.  The canonical merge makes
         the choice a pure function of the stored periods: a calendar
         rebuilt from a snapshot selects byte-identical servers, which is
-        the reservation service's restart guarantee.  The bound is
-        unchanged — ``O(log N)`` bisects of ``O(log N)`` marks plus
-        ``O(need · log log N)`` heap pops.
+        the reservation service's restart guarantee.  The merge itself is
+        :func:`~repro.core.merge.merge_earliest` — the same function the
+        sharded coordinator runs over per-shard candidate prefixes, which
+        is what makes sharded selection bit-identical to this one.  The
+        bound is unchanged — ``O(log N)`` bisects of ``O(log N)`` marks
+        plus ``O(need · log log N)`` heap pops.
 
         Returns the chosen periods, or ``None`` when fewer than ``need``
         are feasible — unless ``partial`` is set, in which case whatever
@@ -347,40 +350,20 @@ class TwoDimTree:
         by_uid = self._by_uid
         probes = 0
         avail = 0
-        heap: list[tuple[float, int, int, list[tuple[float, int]]]] = []
+        runs: list[tuple[list[tuple[float, int]], int]] = []
         for node in marks:
             keys = node.sec_keys
             idx = bisect_left(keys, bound)
             probes += node.size.bit_length()
             if idx < len(keys):
                 avail += len(keys) - idx
-                et, uid = keys[idx]
-                heap.append((et, uid, idx, keys))
+                runs.append((keys, idx))
         need_int = avail if need == math.inf else int(need)
         if avail < need_int and not partial:
             self._counter.add_search(0, 0, probes, 0)
             return None
-        if len(heap) == 1:
-            # one feasible run — already in (et, uid) order, no merge needed
-            _, _, idx, keys = heap[0]
-            run = [by_uid[k[1]] for k in keys[idx : idx + need_int]]
-            self._counter.add_search(0, 0, probes, len(run))
-            return run
-        heapify(heap)
-        chosen: list[IdlePeriod] = []
-        chosen_append = chosen.append
-        taken = 0
-        while heap and taken < need_int:
-            et, uid, idx, keys = heap[0]
-            chosen_append(by_uid[uid])
-            taken += 1
-            idx += 1
-            if idx < len(keys):
-                net, nuid = keys[idx]
-                heapreplace(heap, (net, nuid, idx, keys))
-            else:
-                heappop(heap)
-        self._counter.add_search(0, 0, probes, taken)
+        chosen = [by_uid[k[1]] for k in merge_earliest(runs, need_int)]
+        self._counter.add_search(0, 0, probes, len(chosen))
         return chosen
 
     def find_feasible(self, sr: float, er: float, nr: int) -> list[IdlePeriod] | None:

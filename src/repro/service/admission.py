@@ -12,13 +12,20 @@ of two triggers:
 
 A shed request receives a typed ``BUSY`` error carrying ``retry_after``,
 the controller's estimate of when the backlog will have drained — an
-open-loop client can convert it straight into a back-off sleep.
+open-loop client can convert it straight into a back-off sleep.  The
+estimate is clamped to a configurable floor and spread with jitter:
+early in a server's life ``service_ewma`` is near zero, and an unfloored
+``depth x ewma`` estimate would tell an entire shed burst to retry
+immediately and in lockstep, reproducing the overload it was meant to
+relieve.
 
 The controller is event-loop-confined (no locks): `admit`/`release` are
 called from connection handlers and the actor, all on one thread.
 """
 
 from __future__ import annotations
+
+import random
 
 from ..errors import BusyError
 
@@ -34,6 +41,9 @@ class AdmissionController:
         max_delay: float = 5.0,
         ewma_alpha: float = 0.05,
         initial_service: float = 0.0005,
+        retry_floor: float = 0.05,
+        retry_jitter: float = 0.5,
+        jitter_seed: int | None = None,
     ) -> None:
         if max_depth < 1:
             raise ValueError(f"queue bound must be at least 1, got {max_depth}")
@@ -41,8 +51,17 @@ class AdmissionController:
             raise ValueError(f"delay budget must be positive, got {max_delay}")
         if not 0.0 < ewma_alpha <= 1.0:
             raise ValueError(f"EWMA weight must be in (0, 1], got {ewma_alpha}")
+        if retry_floor <= 0:
+            raise ValueError(f"retry floor must be positive, got {retry_floor}")
+        if retry_jitter < 0:
+            raise ValueError(f"retry jitter must be >= 0, got {retry_jitter}")
         self.max_depth = max_depth
         self.max_delay = max_delay
+        self.retry_floor = retry_floor
+        self.retry_jitter = retry_jitter
+        self._jitter_rng = random.Random(
+            "repro-admission" if jitter_seed is None else jitter_seed
+        )
         self._alpha = ewma_alpha
         #: EWMA of per-operation actor service time, seconds
         self.service_ewma = initial_service
@@ -58,8 +77,17 @@ class AdmissionController:
         return self.depth * self.service_ewma
 
     def retry_after(self) -> float:
-        """Suggested client back-off: time to drain the current backlog."""
-        return max(0.01, round(self.expected_wait(), 4))
+        """Suggested client back-off: time to drain the current backlog.
+
+        Never zero and never below the drain estimate: the estimate is
+        clamped to ``retry_floor`` (a cold ``service_ewma`` otherwise
+        rounds it to 0.0), then stretched by up to ``retry_jitter`` so
+        the clients of one shed burst do not all come back on the same
+        tick.
+        """
+        base = max(self.retry_floor, self.expected_wait())
+        jittered = base * (1.0 + self.retry_jitter * self._jitter_rng.random())
+        return max(base, round(jittered, 4))
 
     def admit(self) -> None:
         """Claim one queue slot or raise :class:`~repro.errors.BusyError`."""

@@ -1,0 +1,832 @@
+"""Scatter/merge coordinator over K calendar shards.
+
+Three layers, separated so the decision logic is testable without IO:
+
+* :class:`ClusterGeometry` — the slot/horizon arithmetic of the
+  calendar, without a calendar.  Uses the identical float expressions
+  (``slot_of`` floor + correction), so coordinator-side deadline and
+  horizon filtering agrees bit-for-bit with every shard and with a
+  single calendar.
+* :class:`CoordinatorCore` — the sans-IO decision engine.  Each public
+  operation is a *generator* that yields scatter batches (``[(shard,
+  message), ...]``, at most one message per shard) and receives the
+  response list via ``send()``; its return value is the operation
+  result.  Drivers supply transport: :class:`ShardedScheduler` applies
+  messages to in-process :class:`~repro.service.shards.ShardState`
+  objects (the differential-fuzzer path), the async
+  :class:`AsyncShardedScheduler` scatters over per-shard subprocess TCP
+  links (the production service path).
+* the **equivalence argument**: a reserve scatters the whole retry
+  ladder once; each shard answers, per attempt, its Phase-1 candidate
+  count and its top-``nr`` earliest-ending bounded / latest-starting
+  unbounded candidates.  Per-shard prefixes suffice globally (every
+  member of the global top-``nr`` is in its shard's top-``nr``), and the
+  cross-shard merge is :func:`~repro.core.merge.merge_earliest` — the
+  same function the slot trees use — so the merged selection is exactly
+  the single-calendar selection.  Remnant and release uids are assigned
+  centrally in single-calendar creation order, keeping the tie-break
+  order identical decision after decision.
+
+Failure model is crash-stop: a lost shard connection raises
+:class:`ShardFailureError`; the service terminates (without snapshotting
+possibly-diverged state) and the supervisor restarts all K shards from
+the last coordinated snapshot, re-deciding the lost window identically
+— determinism is the recovery mechanism.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Generator, Iterator
+
+from ..core.coalloc import ScheduleOutcome
+from ..core.merge import merge_earliest
+from ..core.types import INF, Allocation, RangeQuery, Request, Reservation
+from ..errors import NotFoundError
+from ..facade import STATE_VERSION, allocation_from_dict, allocation_to_dict
+from .protocol import SHARD_MAX_LINE_BYTES
+from .shards import ShardMap, ShardState, fresh_calendar_state
+from .snapshot import combine_checksums
+
+__all__ = [
+    "ClusterGeometry",
+    "CoordinatorCore",
+    "ShardedScheduler",
+    "AsyncShardedScheduler",
+    "ShardFailureError",
+    "ShardPeriod",
+]
+
+#: a scatter batch: at most one message per shard, ascending shard order
+Scatter = list[tuple[int, dict[str, Any]]]
+#: a coordinator operation: yields scatters, receives parallel responses
+CoordOp = Generator[Scatter, list[dict[str, Any]], Any]
+
+_SHARD_READY = re.compile(r"listening on [0-9.]+:(\d+)")
+
+
+class ShardFailureError(ConnectionError):
+    """A shard process or its link died; the service must crash-stop."""
+
+
+class ShardProtocolError(RuntimeError):
+    """A shard answered ``ok: false`` — an internal-link invariant broke."""
+
+
+class ClusterGeometry:
+    """Slot/horizon arithmetic shared by coordinator and shards.
+
+    Mirrors :class:`~repro.core.calendar.AvailabilityCalendar`'s
+    ``slot_of``/``in_horizon``/``advance`` float behaviour exactly, so
+    the coordinator's retry-ladder filtering (deadline, horizon) makes
+    the same cut a single calendar would.
+    """
+
+    def __init__(self, tau: float, q_slots: int, start_time: float = 0.0) -> None:
+        if tau <= 0:
+            raise ValueError(f"slot length must be positive, got {tau}")
+        if q_slots <= 0:
+            raise ValueError(f"need at least one slot, got {q_slots}")
+        self.tau = float(tau)
+        self.q_slots = q_slots
+        self.now = float(start_time)
+        self._base_slot = self.slot_of(self.now)
+
+    def slot_of(self, t: float) -> int:
+        tau = self.tau
+        q = int(t // tau)
+        while t < q * tau:
+            q -= 1
+        while t >= (q + 1) * tau:
+            q += 1
+        return q
+
+    def in_horizon(self, t: float) -> bool:
+        return self._base_slot <= self.slot_of(t) < self._base_slot + self.q_slots
+
+    def advance(self, to_time: float) -> None:
+        if to_time < self.now:
+            raise ValueError(f"cannot move time backwards ({to_time} < {self.now})")
+        self.now = to_time
+        current = self.slot_of(to_time)
+        if current > self._base_slot:
+            self._base_slot = current
+
+
+class ShardPeriod:
+    """A merged range-search row: global server, ``[st, et)``.
+
+    Quacks like :class:`~repro.core.types.IdlePeriod` for the read-only
+    consumers (``.server``/``.st``/``.et``) without minting a uid.
+    """
+
+    __slots__ = ("server", "st", "et")
+
+    def __init__(self, server: int, st: float, et: float) -> None:
+        self.server = server
+        self.st = st
+        self.et = et
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardPeriod(server={self.server}, [{self.st}, {self.et}))"
+
+
+class CoordinatorCore:
+    """Sans-IO scatter/merge decision engine over K shards."""
+
+    def __init__(
+        self,
+        n_servers: int,
+        tau: float,
+        q_slots: int,
+        delta_t: float | None = None,
+        r_max: int | None = None,
+        start_time: float = 0.0,
+        shards: int = 2,
+    ) -> None:
+        self.shard_map = ShardMap(n_servers, shards)
+        self.n_servers = n_servers
+        self.shards = shards
+        self.geometry = ClusterGeometry(tau, q_slots, start_time)
+        self.delta_t = float(delta_t) if delta_t is not None else float(tau)
+        self.r_max = r_max if r_max is not None else max(1, q_slots // 2)
+        if self.delta_t <= 0:
+            raise ValueError(f"retry increment must be positive, got {self.delta_t}")
+        if self.r_max < 1:
+            raise ValueError(f"need at least one scheduling attempt, got {self.r_max}")
+        #: next coordinator-assigned period uid; the N initial trailing
+        #: periods took uids 0..N-1 (global server index), like a single
+        #: calendar's constructor
+        self._uid_next = n_servers
+        self._allocations: dict[int, Allocation] = {}
+        self._hwm = 0
+
+    # -- uid numbering (single-calendar creation order) ------------------
+
+    def _take_uid(self) -> int:
+        uid = self._uid_next
+        self._uid_next += 1
+        return uid
+
+    # -- load / restore --------------------------------------------------
+
+    def load_messages(
+        self, calendar_state: dict[str, Any] | None = None
+    ) -> Scatter:
+        """``shard_load`` batch for a fresh start or a snapshot restore.
+
+        With a calendar state (the exact single-calendar export format),
+        the global per-server period lists are split ``[lo:hi]`` per
+        shard, uids preserved — a restore is K-agnostic because the
+        snapshot never mentions shard boundaries.
+        """
+        batch: Scatter = []
+        for shard in range(self.shards):
+            lo, hi = self.shard_map.bounds[shard]
+            if calendar_state is None:
+                sub = fresh_calendar_state(
+                    lo, hi - lo, self.geometry.tau, self.geometry.q_slots,
+                    now=self.geometry.now,
+                )
+            else:
+                sub = {
+                    "n_servers": hi - lo,
+                    "tau": self.geometry.tau,
+                    "q_slots": self.geometry.q_slots,
+                    "now": float(calendar_state["now"]),
+                    "indexing": "tail",
+                    "periods": list(calendar_state["periods"][lo:hi]),
+                }
+            batch.append(
+                (shard, {"op": "shard_load", "lo": lo, "state": sub, "hwm": self._hwm})
+            )
+        return batch
+
+    def restore(self, state: dict[str, Any]) -> Scatter:
+        """Adopt a facade-format scheduler state; returns the load batch."""
+        version = state.get("version")
+        if version != STATE_VERSION:
+            raise ValueError(
+                f"unsupported scheduler state version {version!r} "
+                f"(this build reads version {STATE_VERSION})"
+            )
+        calendar_state = state["calendar"]
+        self._allocations = {
+            int(a["rid"]): allocation_from_dict(a) for a in state["allocations"]
+        }
+        max_uid = self.n_servers - 1
+        for server_periods in calendar_state["periods"]:
+            for _st, _et, uid in server_periods:
+                max_uid = max(max_uid, int(uid))
+        self._uid_next = max_uid + 1
+        return self.load_messages(calendar_state)
+
+    # -- scatter helpers -------------------------------------------------
+
+    def _all_shards(self, message: dict[str, Any]) -> Scatter:
+        return [(shard, message) for shard in range(self.shards)]
+
+    @staticmethod
+    def _ensure_ok(responses: list[dict[str, Any]], op: str) -> None:
+        for shard, response in enumerate(responses):
+            if not response.get("ok"):
+                raise ShardProtocolError(
+                    f"shard {shard} failed {op}: {response.get('error')}"
+                )
+
+    # -- reserve ---------------------------------------------------------
+
+    def reserve(self, request: Request) -> CoordOp:
+        """The Δt/R_max retry loop as one ladder scatter + one commit.
+
+        Failed attempts are pure queries, so probing the whole surviving
+        ladder in a single round-trip is decision-identical to the
+        sequential loop; the first feasible rung wins and is committed.
+        """
+        geometry = self.geometry
+        base = max(request.sr, geometry.now)
+        latest = request.latest_start
+        starts: list[tuple[int, float]] = []
+        exit_attempts, exit_reason = self.r_max, "exhausted"
+        for k in range(self.r_max):
+            start = base + k * self.delta_t
+            if start > latest:
+                exit_attempts, exit_reason = k, "deadline"
+                break
+            if not geometry.in_horizon(start):
+                exit_attempts, exit_reason = k, "horizon"
+                break
+            starts.append((k, start))
+        # scatter even an empty ladder: the `now` stamp advances (and
+        # history-trims) every shard exactly when a single calendar would
+        ladder = {
+            "op": "shard_ladder",
+            "now": geometry.now,
+            "nr": request.nr,
+            "attempts": [[start, start + request.lr] for _, start in starts],
+            "hwm": self._hwm,
+        }
+        responses = yield self._all_shards(ladder)
+        self._ensure_ok(responses, "shard_ladder")
+        for i, (k, start) in enumerate(starts):
+            end = start + request.lr
+            rows = [r["attempts"][i] for r in responses]
+            picks = self._select(rows, request.nr)
+            if picks is None:
+                continue
+            allocation = yield from self._commit(request, k, start, end, picks)
+            return ScheduleOutcome(allocation, k + 1, None)
+        return ScheduleOutcome(None, exit_attempts, exit_reason)
+
+    def _select(
+        self, rows: list[dict[str, Any]], nr: int
+    ) -> list[tuple[int, float, float]] | None:
+        """Canonical Phase-2 selection over per-shard candidate prefixes.
+
+        Returns ``(server, st, et)`` picks in selection order, or
+        ``None`` — with the same verdict structure as
+        ``AvailabilityCalendar.find_feasible``: Phase-1 candidate-count
+        cut first, then earliest-ending bounded merge, then the
+        latest-starting unbounded top-up.
+        """
+        total = sum(int(row["count"]) + int(row["tail_count"]) for row in rows)
+        if total < nr:
+            return None  # Phase 1 verdict: not enough candidates
+        bounded = merge_earliest([(row["bounded"], 0) for row in rows], nr)
+        picks = [(int(r[2]), float(r[3]), float(r[0])) for r in bounded]
+        if len(picks) >= nr:
+            return picks[:nr]
+        need = nr - len(picks)
+        if sum(int(row["tail_count"]) for row in rows) < need:
+            return None  # Phase 2 verdict: not enough feasible periods
+        tails = sorted(
+            tuple(t) for row in rows for t in row["tails"]
+        )  # (st, uid, server) ascending
+        chosen_tails = tails[-need:]
+        chosen_tails.reverse()  # latest-starting trailing periods first
+        picks.extend((int(t[2]), float(t[0]), INF) for t in chosen_tails)
+        return picks
+
+    def _commit(
+        self,
+        request: Request,
+        k: int,
+        start: float,
+        end: float,
+        picks: list[tuple[int, float, float]],
+    ) -> CoordOp:
+        """All-or-nothing commit of the winning picks (reserve-or-release)."""
+        rid = request.rid
+        per_shard_picks: dict[int, list[list[float]]] = {}
+        per_shard_uids: dict[int, list[int]] = {}
+        for server, st, et in picks:  # selection order: uid parity
+            shard = self.shard_map.shard_of(server)
+            per_shard_picks.setdefault(shard, []).append([server, st])
+            uids = per_shard_uids.setdefault(shard, [])
+            if st < start:
+                uids.append(self._take_uid())
+            if end < et:
+                uids.append(self._take_uid())
+        self._hwm += 1
+        batch: Scatter = [
+            (
+                shard,
+                {
+                    "op": "shard_commit",
+                    "rid": rid,
+                    "now": self.geometry.now,
+                    "start": start,
+                    "end": end,
+                    "picks": per_shard_picks.get(shard, []),
+                    "remnant_uids": per_shard_uids.get(shard, []),
+                    "hwm": self._hwm,
+                },
+            )
+            for shard in range(self.shards)
+        ]
+        responses = yield batch
+        failed = [s for s, r in enumerate(responses) if not r.get("ok")]
+        if failed:
+            # reserve-or-release: roll back the shards that did commit
+            abort = {"op": "shard_abort", "rid": rid, "now": self.geometry.now}
+            yield [(s, abort) for s, r in enumerate(responses) if r.get("ok")]
+            raise ShardProtocolError(
+                f"commit of rid={rid} failed on shard(s) {failed}: "
+                + "; ".join(str(responses[s].get("error")) for s in failed)
+            )
+        reservations = tuple(
+            Reservation(rid=rid, server=server, start=start, end=end)
+            for server, _st, _et in picks
+        )
+        allocation = Allocation(
+            rid=rid,
+            start=start,
+            end=end,
+            reservations=reservations,
+            attempts=k + 1,
+            delay=start - request.sr,
+        )
+        self._allocations[rid] = allocation
+        return allocation
+
+    # -- cancel ----------------------------------------------------------
+
+    def cancel(self, rid: int) -> CoordOp:
+        allocation = self._allocations.pop(rid, None)
+        if allocation is None:
+            raise NotFoundError(f"no active allocation with rid={rid}")
+        now = self.geometry.now
+        windows: dict[int, list[list[float]]] = {}
+        for res in allocation.reservations:  # selection order: uid parity
+            lo = max(res.start, now)
+            if lo < res.end:
+                shard = self.shard_map.shard_of(res.server)
+                windows.setdefault(shard, []).append(
+                    [res.server, lo, res.end, self._take_uid()]
+                )
+        self._hwm += 1
+        batch: Scatter = [
+            (
+                shard,
+                {
+                    "op": "shard_release",
+                    "now": now,
+                    "windows": windows.get(shard, []),
+                    "hwm": self._hwm,
+                },
+            )
+            for shard in range(self.shards)
+        ]
+        responses = yield batch
+        self._ensure_ok(responses, "shard_release")
+        return None
+
+    # -- range search ----------------------------------------------------
+
+    def range_search(self, ta: float, tb: float) -> CoordOp:
+        RangeQuery(ta=ta, tb=tb)  # same validation error as the facade path
+        message = {"op": "shard_range", "now": self.geometry.now, "ta": ta, "tb": tb}
+        responses = yield self._all_shards(message)
+        self._ensure_ok(responses, "shard_range")
+        total = sum(len(r["bounded"]) for r in responses)
+        bounded = merge_earliest([(r["bounded"], 0) for r in responses], total)
+        tails = sorted(tuple(t) for r in responses for t in r["tails"])
+        out = [ShardPeriod(int(r[2]), float(r[3]), float(r[0])) for r in bounded]
+        out.extend(ShardPeriod(int(t[2]), float(t[0]), INF) for t in tails)
+        return out
+
+    # -- coordinated snapshot --------------------------------------------
+
+    def export(self) -> CoordOp:
+        """Assemble the exact single-calendar state from all K shards.
+
+        Quiescence is the caller's single-writer actor loop: no decision
+        is in flight while this runs, so all shards sit at the same
+        decision-log high-water mark — asserted, not assumed.  Returns
+        ``(state, meta)``: the facade-format scheduler state (K-agnostic;
+        restorable under any shard count) plus the sharding metadata
+        (per-shard checksums and their order-sensitive combination).
+        """
+        responses = yield self._all_shards({"op": "shard_export"})
+        self._ensure_ok(responses, "shard_export")
+        hwms = {int(r["hwm"]) for r in responses}
+        if len(hwms) != 1:
+            raise ShardProtocolError(
+                f"coordinated snapshot aborted: shard high-water marks diverge "
+                f"({sorted(hwms)})"
+            )
+        periods: list[list[list[Any]]] = []
+        for response in responses:
+            periods.extend(response["state"]["periods"])
+        state = {
+            "version": STATE_VERSION,
+            "calendar": {
+                "n_servers": self.n_servers,
+                "tau": self.geometry.tau,
+                "q_slots": self.geometry.q_slots,
+                "now": self.geometry.now,
+                "indexing": "tail",
+                "periods": periods,
+            },
+            "delta_t": self.delta_t,
+            "r_max": self.r_max,
+            "allocations": [
+                allocation_to_dict(self._allocations[rid])
+                for rid in sorted(self._allocations)
+            ],
+        }
+        checksums = [str(r["checksum"]) for r in responses]
+        meta = {
+            "shards": self.shards,
+            "hwm": hwms.pop(),
+            "shard_checksums": checksums,
+            "combined_checksum": combine_checksums(checksums),
+        }
+        return state, meta
+
+    def status_op(self) -> CoordOp:
+        responses = yield self._all_shards({"op": "shard_status"})
+        self._ensure_ok(responses, "shard_status")
+        return responses
+
+
+class ShardedScheduler:
+    """In-process sharded scheduler: CoordinatorCore over ShardState objects.
+
+    Drop-in for :class:`~repro.facade.CoAllocationScheduler` where the
+    differential fuzzer and the property tests need it: same
+    ``schedule_detailed``/``range_search``/``cancel``/``advance``/
+    ``export_state`` surface, same outcome objects, decisions
+    bit-identical to a single calendar.  ``.calendar`` returns ``self``
+    so uid-free state reads (``calendar.idle_periods(server)``) keep
+    working.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        tau: float,
+        q_slots: int,
+        delta_t: float | None = None,
+        r_max: int | None = None,
+        start_time: float = 0.0,
+        shards: int = 2,
+    ) -> None:
+        self._core = CoordinatorCore(
+            n_servers=n_servers,
+            tau=tau,
+            q_slots=q_slots,
+            delta_t=delta_t,
+            r_max=r_max,
+            start_time=start_time,
+            shards=shards,
+        )
+        self._shard_states = [ShardState() for _ in range(shards)]
+        CoordinatorCore._ensure_ok(
+            self._scatter(self._core.load_messages(None)), "shard_load"
+        )
+
+    # -- transport -------------------------------------------------------
+
+    def _scatter(self, batch: Scatter) -> list[dict[str, Any]]:
+        return [self._shard_states[shard].apply(message) for shard, message in batch]
+
+    def _drive(self, op: CoordOp) -> Any:
+        try:
+            batch = next(op)
+            while True:
+                batch = op.send(self._scatter(batch))
+        except StopIteration as stop:
+            return stop.value
+
+    # -- facade surface --------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return self._core.shards
+
+    @property
+    def n_servers(self) -> int:
+        return self._core.n_servers
+
+    @property
+    def now(self) -> float:
+        return self._core.geometry.now
+
+    @property
+    def tau(self) -> float:
+        return self._core.geometry.tau
+
+    @property
+    def q_slots(self) -> int:
+        return self._core.geometry.q_slots
+
+    @property
+    def calendar(self) -> "ShardedScheduler":
+        return self
+
+    @property
+    def hwm(self) -> int:
+        return self._core._hwm
+
+    @property
+    def _allocations(self) -> dict[int, Allocation]:
+        return self._core._allocations
+
+    def idle_periods(self, server: int) -> list[Any]:
+        """Uid-preserving idle periods for a *global* server id.
+
+        The returned :class:`~repro.core.types.IdlePeriod` objects carry
+        shard-local ``server`` fields; consumers (the differ's state
+        comparison) read only ``st``/``et``.
+        """
+        shard = self._core.shard_map.shard_of(server)
+        state = self._shard_states[shard]
+        assert state.calendar is not None
+        return state.calendar.idle_periods(server - state.lo)
+
+    def advance(self, to_time: float) -> None:
+        """Geometry-only advance; shards follow on the next scatter."""
+        self._core.geometry.advance(to_time)
+
+    def schedule_detailed(self, request: Request) -> ScheduleOutcome:
+        return self._drive(self._core.reserve(request))  # type: ignore[no-any-return]
+
+    def schedule(self, request: Request) -> Allocation | None:
+        return self.schedule_detailed(request).allocation
+
+    def range_search(self, ta: float, tb: float) -> list[ShardPeriod]:
+        return self._drive(self._core.range_search(ta, tb))  # type: ignore[no-any-return]
+
+    def cancel(self, rid: int) -> None:
+        self._drive(self._core.cancel(rid))
+
+    def export_state(self) -> dict[str, Any]:
+        state, _meta = self._drive(self._core.export())
+        return state  # type: ignore[no-any-return]
+
+    def export_full(self) -> tuple[dict[str, Any], dict[str, Any]]:
+        return self._drive(self._core.export())  # type: ignore[no-any-return]
+
+    @classmethod
+    def from_state(
+        cls, state: dict[str, Any], shards: int = 2
+    ) -> "ShardedScheduler":
+        calendar_state = state["calendar"]
+        scheduler = cls(
+            n_servers=int(calendar_state["n_servers"]),
+            tau=float(calendar_state["tau"]),
+            q_slots=int(calendar_state["q_slots"]),
+            delta_t=float(state["delta_t"]),
+            r_max=int(state["r_max"]),
+            start_time=float(calendar_state["now"]),
+            shards=shards,
+        )
+        CoordinatorCore._ensure_ok(
+            scheduler._scatter(scheduler._core.restore(state)), "shard_load"
+        )
+        return scheduler
+
+
+# ----------------------------------------------------------------------
+# async driver: subprocess shards over TCP (the production service path)
+# ----------------------------------------------------------------------
+
+
+def _src_root() -> str:
+    # .../src/repro/service/coordinator.py -> .../src
+    return str(Path(__file__).resolve().parents[2])
+
+
+class _ShardLink:
+    """One shard subprocess plus its NDJSON connection."""
+
+    def __init__(self, proc: subprocess.Popen, port: int) -> None:
+        self.proc = proc
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+
+class AsyncShardedScheduler:
+    """CoordinatorCore over K shard subprocesses, for the asyncio service.
+
+    Spawn/load happen in :meth:`start`; every operation scatters with
+    one ``asyncio.gather`` round per coordinator yield.  Any transport
+    error raises :class:`ShardFailureError` — the service's crash-stop
+    signal.  The server's single-writer actor loop serializes calls, so
+    the core never sees interleaved operations.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        tau: float,
+        q_slots: int,
+        delta_t: float | None = None,
+        r_max: int | None = None,
+        start_time: float = 0.0,
+        shards: int = 2,
+    ) -> None:
+        self._core = CoordinatorCore(
+            n_servers=n_servers,
+            tau=tau,
+            q_slots=q_slots,
+            delta_t=delta_t,
+            r_max=r_max,
+            start_time=start_time,
+            shards=shards,
+        )
+        self._links: list[_ShardLink] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self, restore_state: dict[str, Any] | None = None) -> None:
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
+        for _ in range(self._core.shards):
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.service.shards", "--port", "0"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                env=env,
+                text=True,
+            )
+            assert proc.stdout is not None
+            port: int | None = None
+            while port is None:
+                line = proc.stdout.readline()
+                if not line:
+                    raise ShardFailureError(
+                        f"shard process exited during startup (rc={proc.poll()})"
+                    )
+                match = _SHARD_READY.search(line)
+                if match:
+                    port = int(match.group(1))
+            self._links.append(_ShardLink(proc, port))
+        for link in self._links:
+            # shard responses (ladder candidates, calendar exports) can run
+            # to multiple MiB — the default 64 KiB StreamReader limit would
+            # abort the link mid-replay
+            link.reader, link.writer = await asyncio.open_connection(
+                "127.0.0.1", link.port, limit=SHARD_MAX_LINE_BYTES
+            )
+        if restore_state is not None:
+            batch = self._core.restore(restore_state)
+        else:
+            batch = self._core.load_messages(None)
+        CoordinatorCore._ensure_ok(await self._scatter(batch), "shard_load")
+
+    async def stop(self) -> None:
+        try:
+            await self._scatter(
+                [(s, {"op": "shard_shutdown"}) for s in range(self._core.shards)]
+            )
+        except (ShardFailureError, ShardProtocolError):
+            pass
+        for link in self._links:
+            if link.writer is not None:
+                try:
+                    link.writer.close()
+                except Exception:
+                    pass
+            if link.proc.poll() is None:
+                link.proc.terminate()
+        for link in self._links:
+            try:
+                link.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                link.proc.kill()
+                link.proc.wait(timeout=10)
+
+    # -- transport -------------------------------------------------------
+
+    async def _rpc(self, shard: int, message: dict[str, Any]) -> dict[str, Any]:
+        import json
+
+        link = self._links[shard]
+        if link.reader is None or link.writer is None:
+            raise ShardFailureError(f"shard {shard} has no live connection")
+        try:
+            link.writer.write(
+                json.dumps(message, separators=(",", ":"), allow_nan=False).encode()
+                + b"\n"
+            )
+            await link.writer.drain()
+            raw = await link.reader.readline()
+        except (ConnectionError, OSError) as exc:
+            raise ShardFailureError(f"shard {shard} link failed: {exc}") from exc
+        if not raw:
+            raise ShardFailureError(
+                f"shard {shard} closed its connection (rc={link.proc.poll()})"
+            )
+        return json.loads(raw)  # type: ignore[no-any-return]
+
+    async def _scatter(self, batch: Scatter) -> list[dict[str, Any]]:
+        results = await asyncio.gather(
+            *(self._rpc(shard, message) for shard, message in batch),
+            return_exceptions=True,
+        )
+        out: list[dict[str, Any]] = []
+        failure: BaseException | None = None
+        for result in results:
+            if isinstance(result, BaseException):
+                failure = failure or result
+                out.append({"ok": False, "error": str(result)})
+            else:
+                out.append(result)
+        if failure is not None:
+            if isinstance(failure, ShardFailureError):
+                raise failure
+            raise ShardFailureError(str(failure)) from failure
+        return out
+
+    async def _drive(self, op: CoordOp) -> Any:
+        try:
+            batch = next(op)
+            while True:
+                batch = op.send(await self._scatter(batch))
+        except StopIteration as stop:
+            return stop.value
+
+    # -- facade-ish surface (async where a scatter happens) --------------
+
+    @property
+    def shards(self) -> int:
+        return self._core.shards
+
+    @property
+    def n_servers(self) -> int:
+        return self._core.n_servers
+
+    @property
+    def now(self) -> float:
+        return self._core.geometry.now
+
+    @property
+    def tau(self) -> float:
+        return self._core.geometry.tau
+
+    @property
+    def q_slots(self) -> int:
+        return self._core.geometry.q_slots
+
+    @property
+    def calendar(self) -> "AsyncShardedScheduler":
+        return self
+
+    @property
+    def hwm(self) -> int:
+        return self._core._hwm
+
+    @property
+    def _allocations(self) -> dict[int, Allocation]:
+        return self._core._allocations
+
+    def shard_pids(self) -> list[int]:
+        return [link.proc.pid for link in self._links]
+
+    def shard_ports(self) -> list[int]:
+        return [link.port for link in self._links]
+
+    def advance(self, to_time: float) -> None:
+        """Geometry-only advance; shards follow on the next scatter."""
+        self._core.geometry.advance(to_time)
+
+    async def schedule_detailed(self, request: Request) -> ScheduleOutcome:
+        return await self._drive(self._core.reserve(request))  # type: ignore[no-any-return]
+
+    async def range_search(self, ta: float, tb: float) -> list[ShardPeriod]:
+        return await self._drive(self._core.range_search(ta, tb))  # type: ignore[no-any-return]
+
+    async def cancel(self, rid: int) -> None:
+        await self._drive(self._core.cancel(rid))
+
+    async def export_full(self) -> tuple[dict[str, Any], dict[str, Any]]:
+        return await self._drive(self._core.export())  # type: ignore[no-any-return]

@@ -35,7 +35,13 @@ from ..core.types import Request
 from .metrics import LatencyWindow
 from .protocol import encode
 
-__all__ = ["LoadgenConfig", "ShadowLedger", "run_loadgen", "request_source"]
+__all__ = [
+    "LoadgenConfig",
+    "OpenLoopPacer",
+    "ShadowLedger",
+    "run_loadgen",
+    "request_source",
+]
 
 
 @dataclass(slots=True)
@@ -184,6 +190,44 @@ def request_source(config: LoadgenConfig) -> Iterator[Request]:
     return islice(iter(source), config.offset, stop)
 
 
+class OpenLoopPacer:
+    """Cumulative open-loop send schedule: send *i* goes at ``start + i/rate``.
+
+    The naive alternative — sleep ``1/rate`` before each send, or re-anchor
+    the schedule on every reconnect — accumulates every sleep overshoot
+    into the replay's wall time, so a long run drifts arbitrarily far
+    below its target rate.  Against an absolute schedule each overshoot
+    is repaid on the next send (``delay`` just comes back smaller), so
+    the total error stays bounded by a single pacing interval no matter
+    how many requests are replayed.
+
+    The anchor is set on the first :meth:`delay` call and then never
+    moves, surviving reconnects.  ``clock`` is injectable for tests.
+    """
+
+    __slots__ = ("rate", "_clock", "_start", "_sent")
+
+    def __init__(self, rate: float, clock: Any = perf_counter) -> None:
+        self.rate = rate
+        self._clock = clock
+        self._start: float | None = None
+        self._sent = 0
+
+    def delay(self) -> float:
+        """Seconds to wait before the next send (0.0 when unpaced or behind)."""
+        if self.rate <= 0:
+            return 0.0
+        now = self._clock()
+        if self._start is None:
+            self._start = now
+        target = self._start + self._sent / self.rate
+        return max(0.0, target - now)
+
+    def mark_sent(self) -> None:
+        """One fresh request went out; advance the schedule index."""
+        self._sent += 1
+
+
 @dataclass(slots=True)
 class _RunState:
     """Mutable bookkeeping shared by the sender and reader coroutines."""
@@ -212,6 +256,7 @@ async def _sender(
     state: _RunState,
     config: LoadgenConfig,
     window_free: asyncio.Event,
+    pacer: OpenLoopPacer,
 ) -> None:
     """Resend unacked requests, then pump fresh ones at the open-loop rate."""
     try:
@@ -219,14 +264,11 @@ async def _sender(
             writer.write(payload)
             state.resent += 1
         await writer.drain()
-        t0 = perf_counter()
-        planned = 0
+        sent_this_connection = 0
         while requests:
-            if config.rate > 0:
-                target = t0 + planned / config.rate
-                delay = target - perf_counter()
-                if delay > 0:
-                    await asyncio.sleep(delay)
+            delay = pacer.delay()
+            if delay > 0:
+                await asyncio.sleep(delay)
             if config.window > 0:
                 while len(state.unacked) >= config.window:
                     window_free.clear()
@@ -246,9 +288,10 @@ async def _sender(
             state.unacked.append((request.rid, payload, request))
             state.send_wall[request.rid] = perf_counter()
             state.sent += 1
-            planned += 1
+            pacer.mark_sent()
+            sent_this_connection += 1
             writer.write(payload)
-            if planned % 64 == 0:
+            if sent_this_connection % 64 == 0:
                 await writer.drain()
         await writer.drain()
     except (ConnectionError, OSError) as exc:
@@ -327,6 +370,8 @@ async def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
     state = _RunState()
     window_free = asyncio.Event()
     window_free.set()
+    # one pacer for the whole run: reconnects must not re-anchor the schedule
+    pacer = OpenLoopPacer(config.rate)
 
     started = perf_counter()
     attempts = 0
@@ -343,7 +388,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
         outstanding = len(requests) + len(state.unacked)
         target = state.completed + outstanding
         sender = asyncio.create_task(
-            _sender(writer, requests, state, config, window_free)
+            _sender(writer, requests, state, config, window_free, pacer)
         )
         consume = asyncio.create_task(
             _reader(reader, state, ledger, window_free, target)

@@ -11,12 +11,13 @@ responses plus the periodic ``--metrics-interval`` log line both render
 
 from __future__ import annotations
 
+import math
 from collections import Counter, deque
 
-__all__ = ["LatencyWindow", "ServiceMetrics"]
+__all__ = ["LatencyWindow", "ReservoirWindow", "ServiceMetrics"]
 
 
-class LatencyWindow:
+class ReservoirWindow:
     """Bounded sample window with percentile queries (seconds in, ms out)."""
 
     def __init__(self, maxlen: int = 4096) -> None:
@@ -30,12 +31,21 @@ class LatencyWindow:
         self.total += seconds
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0..100) over the window, milliseconds."""
-        if not self._samples:
+        """The ``p``-th percentile (0..100) over the window, milliseconds.
+
+        Nearest-rank: the value at rank ``ceil(p/100 * n)`` (1-based),
+        clamped to ``[1, n]`` so p=0 is the minimum, p=100 the maximum,
+        a single-sample window always answers its lone sample, and an
+        empty window answers 0.0 rather than indexing off the end.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        n = len(self._samples)
+        if n == 0:
             return 0.0
         ordered = sorted(self._samples)
-        idx = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[idx] * 1000.0
+        rank = min(n, max(1, math.ceil(p / 100.0 * n)))
+        return ordered[rank - 1] * 1000.0
 
     def summary(self) -> dict[str, float]:
         mean_ms = (self.total / self.count * 1000.0) if self.count else 0.0
@@ -48,12 +58,17 @@ class LatencyWindow:
         }
 
 
+# Historical name from before the window grew reservoir semantics; the
+# loadgen and external callers still import it.
+LatencyWindow = ReservoirWindow
+
+
 class ServiceMetrics:
     """Counters and latency windows for one server lifetime."""
 
     def __init__(self, window: int = 4096) -> None:
-        self.service = LatencyWindow(window)
-        self.queue_wait = LatencyWindow(window)
+        self.service = ReservoirWindow(window)
+        self.queue_wait = ReservoirWindow(window)
         self.ops: Counter[str] = Counter()
         self.accepted = 0
         self.rejected: Counter[str] = Counter()  # keyed by retry-policy reason

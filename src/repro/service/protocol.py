@@ -34,6 +34,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "OPS",
+    "SHARD_MAX_LINE_BYTES",
+    "SHARD_OPS",
     "ProtocolError",
     "decode_line",
     "encode",
@@ -46,8 +48,32 @@ PROTOCOL_VERSION = 1
 #: hard cap on one NDJSON line; longer lines are a framing attack/bug
 MAX_LINE_BYTES = 1 << 20
 
+#: cap on one internal coordinator <-> shard line.  Shard payloads scale
+#: with calendar content (a shard_load/shard_export carries a whole
+#: calendar slice; a shard_ladder answer carries candidates for every
+#: rung of the retry ladder), so the public 1 MiB cap is far too small —
+#: a busy 10k-reservation calendar legitimately ships multi-MiB lines.
+SHARD_MAX_LINE_BYTES = 64 << 20
+
 #: every operation the server understands
 OPS = ("reserve", "probe", "cancel", "status", "snapshot", "shutdown")
+
+#: coordinator -> shard operations on the internal shard link (same NDJSON
+#: framing; trusted, so shards validate only the op name — a malformed
+#: internal message is a coordinator bug, answered with ``ok: false``)
+SHARD_OPS = frozenset(
+    {
+        "shard_load",
+        "shard_ladder",
+        "shard_commit",
+        "shard_abort",
+        "shard_release",
+        "shard_range",
+        "shard_export",
+        "shard_status",
+        "shard_shutdown",
+    }
+)
 
 #: required fields per op (beyond "op"), with the accepted types
 _NUMBER = (int, float)

@@ -24,6 +24,20 @@ log keyed by ``rid``; a resent rid (an at-least-once client retrying
 after a connection loss) is answered with the recorded verdict instead
 of being scheduled twice.  The log rides inside snapshots, so the
 guarantee spans restarts.
+
+**Sharding.** With ``shards > 1`` the calendar is partitioned across K
+shard subprocesses behind an
+:class:`~repro.service.coordinator.AsyncShardedScheduler`; the actor
+stays the single writer, it just awaits scatter/merge rounds instead of
+calling a local calendar.  Decisions are bit-identical to the unsharded
+server over the same stream (the differential oracle gates this), and
+snapshots stay K-agnostic: the coordinated export assembles the exact
+single-calendar state, so a snapshot taken at K=4 restores at K=1 and
+vice versa.  A lost shard is a **crash-stop**: the service answers the
+in-flight op with ``INTERNAL``, refuses new work, and exits *without*
+snapshotting (the state may be mid-commit); the supervisor restarts all
+K shards from the last coordinated snapshot and determinism re-decides
+the lost window identically.
 """
 
 from __future__ import annotations
@@ -48,6 +62,7 @@ from ..errors import (
 from ..facade import CoAllocationScheduler
 from .admission import AdmissionController
 from .batching import drain_batch
+from .coordinator import AsyncShardedScheduler, ShardFailureError, ShardProtocolError
 from .metrics import ServiceMetrics
 from .protocol import (
     MAX_LINE_BYTES,
@@ -83,6 +98,7 @@ class ServiceConfig:
     max_batch: int = 64
     metrics_interval: float = 0.0  # seconds; 0 disables the periodic log line
     probe_limit: int = 64  # max idle periods returned per probe
+    shards: int = 1  # calendar shard subprocesses (1 = in-process calendar)
 
 
 def accepted_checksum(decided: dict[int, dict[str, Any]]) -> str:
@@ -108,20 +124,45 @@ class ReservationService:
     def __init__(self, config: ServiceConfig, state: dict[str, Any] | None = None) -> None:
         self.config = config
         self.restored = state is not None
+        self.crashed = False
+        self._sharded = config.shards > 1
+        #: scheduler state to load into the shards during :meth:`start`
+        self._restore_scheduler_state: dict[str, Any] | None = None
         if state is not None:
-            self.scheduler = CoAllocationScheduler.from_state(state["scheduler"])
             self._decided: dict[int, dict[str, Any]] = {
                 int(rid): entry for rid, entry in state.get("decided", {}).items()
             }
+            if self._sharded:
+                scheduler_state = state["scheduler"]
+                calendar_state = scheduler_state["calendar"]
+                # snapshots are K-agnostic: restore reads the exact
+                # single-calendar format regardless of the writer's K
+                self.scheduler: Any = AsyncShardedScheduler(
+                    n_servers=int(calendar_state["n_servers"]),
+                    tau=float(calendar_state["tau"]),
+                    q_slots=int(calendar_state["q_slots"]),
+                    delta_t=float(scheduler_state["delta_t"]),
+                    r_max=int(scheduler_state["r_max"]),
+                    start_time=float(calendar_state["now"]),
+                    shards=config.shards,
+                )
+                self._restore_scheduler_state = scheduler_state
+            else:
+                self.scheduler = CoAllocationScheduler.from_state(state["scheduler"])
         else:
-            self.scheduler = CoAllocationScheduler(
+            self._decided = {}
+            scheduler_cls = AsyncShardedScheduler if self._sharded else CoAllocationScheduler
+            kwargs: dict[str, Any] = {}
+            if self._sharded:
+                kwargs["shards"] = config.shards
+            self.scheduler = scheduler_cls(
                 n_servers=config.n_servers,
                 tau=config.tau,
                 q_slots=config.q_slots,
                 delta_t=config.delta_t,
                 r_max=config.r_max,
+                **kwargs,
             )
-            self._decided = {}
         self.admission = AdmissionController(
             max_depth=config.max_queue, max_delay=config.max_delay
         )
@@ -160,6 +201,11 @@ class ReservationService:
 
     async def start(self) -> None:
         """Bind the socket and launch the actor (and metrics) tasks."""
+        if self._sharded:
+            # spawn and load the shard workers before accepting clients,
+            # so a failed spawn aborts boot instead of shedding requests
+            await self.scheduler.start(self._restore_scheduler_state)
+            self._restore_scheduler_state = None
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
@@ -203,6 +249,8 @@ class ReservationService:
         for writer in list(self._writers):
             with _suppress_connection_errors():
                 writer.close()
+        if self._sharded:
+            await self.scheduler.stop()
         self._stopped.set()
 
     # ------------------------------------------------------------------
@@ -303,8 +351,10 @@ class ReservationService:
         while not self._stopping:
             batch = await drain_batch(self._queue, self.config.max_batch)
             self.metrics.record_batch(len(batch))
-            # no awaits inside this loop: the batch is applied atomically
-            # with respect to every other coroutine
+            # unsharded, the handlers never suspend, so the batch applies
+            # atomically; sharded, the actor awaits shard round-trips but
+            # remains the only task that ever touches the scheduler — the
+            # single-writer argument is ownership, not non-suspension
             for message, enqueued_at, future in batch:
                 started = perf_counter()
                 if self._stopping:
@@ -312,7 +362,7 @@ class ReservationService:
                         message, ShuttingDownError("server is shutting down")
                     )
                 else:
-                    response = self._apply(message)
+                    response = await self._actor_apply(message)
                 service_time = perf_counter() - started
                 self.metrics.record_op(
                     message["op"], started - enqueued_at, service_time
@@ -347,14 +397,27 @@ class ReservationService:
             print(f"repro serve metrics: {line}", file=sys.stderr, flush=True)
 
     # ------------------------------------------------------------------
-    # operation application (synchronous, actor-confined)
+    # operation application (actor-confined; the only scheduler caller)
     # ------------------------------------------------------------------
 
-    def _apply(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def _actor_apply(self, message: dict[str, Any]) -> dict[str, Any]:
         op = message["op"]
         try:
-            handler = getattr(self, f"_apply_{op}")
-            response = handler(message)
+            handler = getattr(self, f"_actor_apply_{op}")
+            response = await handler(message)
+        except (ShardFailureError, ShardProtocolError) as exc:
+            # crash-stop: a dead shard (or a broken cross-shard commit)
+            # means the distributed calendar may be inconsistent; answer
+            # this op, refuse new work, and exit WITHOUT snapshotting
+            self.crashed = True
+            self._stopping = True
+            self.metrics.errors += 1
+            print(
+                f"repro serve: shard failure, crash-stopping: {exc}",
+                file=sys.stderr,
+                flush=True,
+            )
+            response = _error_response(message, exc)
         except ReproError as exc:
             response = _error_response(message, exc)
         except Exception as exc:  # never kill the actor on one bad op
@@ -364,7 +427,7 @@ class ReservationService:
             response["seq"] = message["seq"]
         return response
 
-    def _apply_reserve(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def _actor_apply_reserve(self, message: dict[str, Any]) -> dict[str, Any]:
         rid = int(message["rid"])
         recorded = self._decided.get(rid)
         if recorded is not None:
@@ -384,6 +447,8 @@ class ReservationService:
         # request-carried submission times, keeping replays deterministic
         self.scheduler.advance(max(self.scheduler.now, request.qr))
         outcome = self.scheduler.schedule_detailed(request)
+        if asyncio.iscoroutine(outcome):  # sharded backend: await the scatter
+            outcome = await outcome
         if outcome.allocation is None:
             error = {
                 "code": ErrorCode.REJECTED.wire,
@@ -410,12 +475,14 @@ class ReservationService:
         self.metrics.record_accept(allocation.attempts)
         return {"op": "reserve", "rid": rid, **entry}
 
-    def _apply_probe(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def _actor_apply_probe(self, message: dict[str, Any]) -> dict[str, Any]:
         ta, tb = float(message["ta"]), float(message["tb"])
         if not ta < tb:
             raise MalformedRequestError(f"probe window [{ta}, {tb}) is empty")
         limit = int(message.get("limit") or self.config.probe_limit)
         periods = self.scheduler.range_search(ta, tb)
+        if asyncio.iscoroutine(periods):
+            periods = await periods
         return {
             "ok": True,
             "op": "probe",
@@ -426,16 +493,18 @@ class ReservationService:
             ],
         }
 
-    def _apply_cancel(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def _actor_apply_cancel(self, message: dict[str, Any]) -> dict[str, Any]:
         rid = int(message["rid"])
         try:
-            self.scheduler.cancel(rid)
+            result = self.scheduler.cancel(rid)
+            if asyncio.iscoroutine(result):
+                await result
         except NotFoundError as exc:
             return {"ok": False, "op": "cancel", "rid": rid, "error": exc.payload()}
         return {"ok": True, "op": "cancel", "rid": rid}
 
-    def _apply_status(self, message: dict[str, Any]) -> dict[str, Any]:
-        return {
+    async def _actor_apply_status(self, message: dict[str, Any]) -> dict[str, Any]:
+        response = {
             "ok": True,
             "op": "status",
             "protocol": PROTOCOL_VERSION,
@@ -452,22 +521,33 @@ class ReservationService:
             "admission": self.admission.summary(),
             "metrics": self.metrics.summary(),
         }
+        if self._sharded:
+            response["shards"] = {
+                "count": self.config.shards,
+                "hwm": self.scheduler.hwm,
+                "pids": self.scheduler.shard_pids(),
+                "ports": self.scheduler.shard_ports(),
+            }
+        return response
 
-    def _apply_snapshot(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def _actor_apply_snapshot(self, message: dict[str, Any]) -> dict[str, Any]:
         path = message.get("path") or self.config.snapshot_path
         if not path:
             raise MalformedRequestError(
                 "no snapshot path: pass \"path\" or start the server with --snapshot-path"
             )
-        meta = write_snapshot(path, self._state())
+        state = await self._actor_state()
+        meta = write_snapshot(path, state)
         self.metrics.snapshots += 1
+        if "sharded" in state:
+            meta = {**meta, "sharded": state["sharded"]}
         return {"ok": True, "op": "snapshot", **meta}
 
-    def _apply_shutdown(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def _actor_apply_shutdown(self, message: dict[str, Any]) -> dict[str, Any]:
         self._stopping = True
         meta = None
         if self.config.snapshot_path:
-            meta = write_snapshot(self.config.snapshot_path, self._state())
+            meta = write_snapshot(self.config.snapshot_path, await self._actor_state())
             self.metrics.snapshots += 1
         return {
             "ok": True,
@@ -476,11 +556,27 @@ class ReservationService:
             "accepted_checksum": accepted_checksum(self._decided),
         }
 
-    def _state(self) -> dict[str, Any]:
-        return {
-            "scheduler": self.scheduler.export_state(),
+    async def _actor_state(self) -> dict[str, Any]:
+        """Full service state for a snapshot (coordinated across shards).
+
+        The actor's serial execution *is* the quiescence the coordinated
+        snapshot needs: no decision is in flight while this runs, so all
+        K shards export at the same high-water mark (asserted by the
+        coordinator).  The scheduler state keeps the single-calendar
+        format either way; sharded runs add a ``sharded`` section with
+        the per-shard and combined checksums.
+        """
+        if self._sharded:
+            scheduler_state, sharded_meta = await self.scheduler.export_full()
+        else:
+            scheduler_state, sharded_meta = self.scheduler.export_state(), None
+        state = {
+            "scheduler": scheduler_state,
             "decided": {str(rid): self._decided[rid] for rid in sorted(self._decided)},
         }
+        if sharded_meta is not None:
+            state["sharded"] = sharded_meta
+        return state
 
 
 def _error_response(message: dict[str, Any], exc: BaseException) -> dict[str, Any]:
@@ -515,21 +611,23 @@ class _suppress_connection_errors:
         )
 
 
-async def serve_forever(config: ServiceConfig, ready_line: bool = True) -> None:
+async def serve_forever(config: ServiceConfig, ready_line: bool = True) -> bool:
     """Boot a service and run until a ``shutdown`` op stops it.
 
     Prints a parseable ``listening on HOST:PORT`` line to stdout once
     bound (``repro loadgen`` and the CI smoke job read it to discover an
-    ephemeral port).
+    ephemeral port).  Returns ``True`` if the service crash-stopped on a
+    shard failure (the CLI maps that to a non-zero exit).
     """
     service = ReservationService.create(config)
     await service.start()
     if ready_line:
         extra = " (restored from snapshot)" if service.restored else ""
+        shard_note = f", shards={config.shards}" if config.shards > 1 else ""
         print(
             f"repro serve: listening on {config.host}:{service.port} "
             f"(N={service.scheduler.n_servers}, tau={service.scheduler.calendar.tau:g}, "
-            f"Q={service.scheduler.calendar.q_slots}){extra}",
+            f"Q={service.scheduler.calendar.q_slots}{shard_note}){extra}",
             flush=True,
         )
     try:
@@ -537,3 +635,4 @@ async def serve_forever(config: ServiceConfig, ready_line: bool = True) -> None:
     except asyncio.CancelledError:
         await service.stop()
         raise
+    return service.crashed

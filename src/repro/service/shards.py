@@ -1,0 +1,357 @@
+"""Calendar shard actors for the sharded reservation service.
+
+A *shard* owns one :class:`~repro.core.calendar.AvailabilityCalendar`
+over a contiguous slice of the global server set and processes messages
+strictly one at a time — the single-writer actor discipline of the
+unsharded service, applied per slice.  Shards never talk to each other:
+the coordinator (``service/coordinator.py``) scatters Phase-1/Phase-2
+probes to every shard, merges the per-shard candidate prefixes with the
+same :func:`~repro.core.merge.merge_earliest` the slot trees use, and
+sends the winning picks back as an all-or-nothing, rid-keyed commit.
+
+Identifier conventions (the cross-shard equivalence hinges on these):
+
+* **server ids on the wire are global**; each shard subtracts its own
+  ``lo`` offset internally.  A fresh shard's initial trailing periods
+  carry uid = global server index, matching the single calendar's
+  constructor order.
+* **period uids are coordinator-assigned** for every remnant and release
+  (``remnant_uids`` / ``uid`` on the calendar mutators), so relative uid
+  order — the slot trees' tie-break — is identical to a single calendar
+  processing the same decisions.  Shards mint fresh uids only in the
+  :func:`ShardState` abort path, which is unreachable while the
+  coordinator serializes decisions (see ``shard_abort``).
+* every message carries the coordinator clock ``now`` (shards advance to
+  ``max(own now, now)``) and mutations carry the decision-log
+  high-water mark ``hwm``; a coordinated snapshot asserts all shards
+  exported the same ``hwm``.
+
+Run ``python -m repro.service.shards`` to start one shard worker: a
+blocking, single-connection NDJSON loop (the coordinator is its only
+client).  EOF on the connection means the coordinator is gone and the
+worker exits — crash-stop, never limp along.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import socket
+import sys
+from typing import Any
+
+from ..core.calendar import AvailabilityCalendar
+from .protocol import SHARD_MAX_LINE_BYTES, SHARD_OPS
+from .snapshot import state_checksum
+
+__all__ = ["ShardMap", "ShardState", "fresh_calendar_state", "main"]
+
+
+class ShardMap:
+    """Contiguous partition of ``n_servers`` across ``shards`` slices.
+
+    The first ``n_servers % shards`` shards get one extra server, so
+    sizes differ by at most one and ``shard_of`` is O(1) arithmetic.
+    """
+
+    def __init__(self, n_servers: int, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if shards > n_servers:
+            raise ValueError(
+                f"cannot spread {n_servers} server(s) across {shards} shards"
+            )
+        self.n_servers = n_servers
+        self.shards = shards
+        self._base, self._extra = divmod(n_servers, shards)
+        self.bounds: list[tuple[int, int]] = []
+        lo = 0
+        for shard in range(shards):
+            hi = lo + self._base + (1 if shard < self._extra else 0)
+            self.bounds.append((lo, hi))
+            lo = hi
+
+    def shard_of(self, server: int) -> int:
+        """The shard owning global ``server``."""
+        if not 0 <= server < self.n_servers:
+            raise ValueError(f"server {server} out of range 0..{self.n_servers - 1}")
+        pivot = self._extra * (self._base + 1)
+        if server < pivot:
+            return server // (self._base + 1)
+        return self._extra + (server - pivot) // self._base
+
+    def lo(self, shard: int) -> int:
+        return self.bounds[shard][0]
+
+    def count(self, shard: int) -> int:
+        lo, hi = self.bounds[shard]
+        return hi - lo
+
+
+def fresh_calendar_state(
+    lo: int, count: int, tau: float, q_slots: int, now: float = 0.0
+) -> dict[str, Any]:
+    """Calendar state for a freshly-initialized shard slice.
+
+    Every local server starts with one trailing idle period whose uid is
+    its *global* index — the exact uids a single calendar's constructor
+    would have assigned to these servers.
+    """
+    return {
+        "n_servers": count,
+        "tau": tau,
+        "q_slots": q_slots,
+        "now": now,
+        "indexing": "tail",
+        "periods": [[[now, None, lo + i]] for i in range(count)],
+    }
+
+
+class ShardState:
+    """One shard's calendar plus the message handlers that drive it.
+
+    Pure and synchronous: :meth:`apply` maps a request dict to a
+    response dict.  The subprocess worker wraps it in a socket loop; the
+    in-process :class:`~repro.service.coordinator.ShardedScheduler`
+    calls it directly (the differential fuzzer path).
+    """
+
+    def __init__(self) -> None:
+        self.lo = 0
+        self.calendar: AvailabilityCalendar | None = None
+        self.hwm = 0
+        #: rid -> {response, windows} for exactly-once commits; ``windows``
+        #: (local-server intervals) feed the abort compensation path
+        self._committed: dict[int, dict[str, Any]] = {}
+
+    def apply(self, message: dict[str, Any]) -> dict[str, Any]:
+        op = str(message.get("op", ""))
+        if op not in SHARD_OPS:
+            return {"ok": False, "error": f"unknown shard op {op!r}"}
+        if op != "shard_load" and self.calendar is None:
+            return {"ok": False, "error": f"{op} before shard_load"}
+        try:
+            handler = getattr(self, "_op_" + op)
+            return handler(message)  # type: ignore[no-any-return]
+        except Exception as exc:  # surfaced to the coordinator, never hidden
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- clock ----------------------------------------------------------
+
+    def _advance(self, message: dict[str, Any]) -> AvailabilityCalendar:
+        calendar = self.calendar
+        assert calendar is not None
+        calendar.advance(max(calendar.now, float(message["now"])))
+        return calendar
+
+    # -- handlers -------------------------------------------------------
+
+    def _op_shard_load(self, message: dict[str, Any]) -> dict[str, Any]:
+        self.lo = int(message["lo"])
+        self.calendar = AvailabilityCalendar.from_state(message["state"])
+        self.hwm = int(message.get("hwm", 0))
+        self._committed.clear()
+        return {"ok": True, "n_servers": self.calendar.n_servers, "lo": self.lo}
+
+    def _op_shard_ladder(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Phase-1 candidates + Phase-2 prefixes for a whole retry ladder.
+
+        One row per attempt: the Phase-1 candidate count (``st <= sr``,
+        tree plus tail — the count production's early verdict sums), the
+        up-to-``nr`` earliest-ending feasible bounded periods, and the
+        up-to-``nr`` latest-starting unbounded tails.  Per-shard top-nr
+        prefixes suffice globally: every member of the global top-nr is
+        in its own shard's top-nr.
+        """
+        calendar = self._advance(message)
+        nr = int(message["nr"])
+        rows: list[dict[str, Any]] = []
+        for start, end in message["attempts"]:
+            start, end = float(start), float(end)
+            q = calendar.slot_of(start)
+            if not calendar._base_slot <= q < calendar._base_slot + calendar.q_slots:
+                # the coordinator filters by the same geometry; defend anyway
+                rows.append({"count": 0, "tail_count": 0, "bounded": [], "tails": []})
+                continue
+            tree = calendar._trees[q]
+            count, marks = tree.phase1(start)
+            tail_count = calendar._tail_candidates(start)
+            bounded = tree.phase2(marks, end, nr, partial=True) or []
+            tails = calendar._inf_periods[max(0, tail_count - nr) : tail_count]
+            rows.append(
+                {
+                    "count": count,
+                    "tail_count": tail_count,
+                    "bounded": [[p.et, p.uid, self.lo + p.server, p.st] for p in bounded],
+                    "tails": [[p.st, p.uid, self.lo + p.server] for p in tails],
+                }
+            )
+        return {"ok": True, "attempts": rows}
+
+    def _op_shard_commit(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Carve the coordinator's picks; all-or-nothing, rid-idempotent.
+
+        Every pick is resolved and validated *before* any mutation, so a
+        stale pick (impossible while the coordinator serializes, but the
+        contract survives reordering bugs) leaves the shard untouched
+        and the coordinator aborts the sibling shards.
+        """
+        rid = int(message["rid"])
+        cached = self._committed.get(rid)
+        if cached is not None:
+            return dict(cached["response"], replayed=True)
+        calendar = self._advance(message)
+        self.hwm = int(message["hwm"])
+        start, end = float(message["start"]), float(message["end"])
+        picks = message["picks"]
+        windows: list[list[float]] = []
+        if picks:
+            periods = [
+                calendar.period_at(int(server) - self.lo, float(st))
+                for server, st in picks
+            ]
+            for period in periods:
+                if not period.is_feasible(start, end):
+                    raise ValueError(
+                        f"stale pick: {period} cannot host [{start}, {end})"
+                    )
+            calendar.allocate(
+                periods,
+                start,
+                end,
+                rid=rid,
+                remnant_uids=[int(u) for u in message["remnant_uids"]],
+            )
+            windows = [[period.server, start, end] for period in periods]
+        response = {"ok": True, "committed": len(windows)}
+        self._committed[rid] = {"response": response, "windows": windows}
+        return response
+
+    def _op_shard_abort(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Compensate a commit whose sibling shard failed (reserve-or-release).
+
+        Unreachable while the coordinator serializes decisions — kept so
+        the all-or-nothing contract holds under any future reordering.
+        The released periods get *fresh local* uids, a documented drift
+        from coordinator numbering; an abort therefore also invalidates
+        bit-identity until the next snapshot/restore.
+        """
+        rid = int(message["rid"])
+        record = self._committed.pop(rid, None)
+        released = 0
+        if record is not None and self.calendar is not None:
+            for server, start, end in record["windows"]:
+                self.calendar.release(int(server), float(start), float(end))
+                released += 1
+        return {"ok": True, "released": released}
+
+    def _op_shard_release(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Release cancelled windows, with coordinator-assigned merge uids."""
+        calendar = self._advance(message)
+        self.hwm = int(message["hwm"])
+        for server, lo, hi, uid in message["windows"]:
+            calendar.release(int(server) - self.lo, float(lo), float(hi), uid=int(uid))
+        return {"ok": True, "released": len(message["windows"])}
+
+    def _op_shard_range(self, message: dict[str, Any]) -> dict[str, Any]:
+        """This shard's full (uncapped) contribution to a range search."""
+        calendar = self._advance(message)
+        ta, tb = float(message["ta"]), float(message["tb"])
+        q = calendar.slot_of(ta)
+        if not calendar._base_slot <= q < calendar._base_slot + calendar.q_slots:
+            return {"ok": True, "bounded": [], "tails": []}
+        tree = calendar._trees[q]
+        _, marks = tree.phase1(ta)
+        bounded = tree.phase2(marks, tb, math.inf) or []
+        tail_count = calendar._tail_candidates(ta)
+        tails = calendar._inf_periods[:tail_count]
+        return {
+            "ok": True,
+            "bounded": [[p.et, p.uid, self.lo + p.server, p.st] for p in bounded],
+            "tails": [[p.st, p.uid, self.lo + p.server] for p in tails],
+        }
+
+    def _op_shard_export(self, message: dict[str, Any]) -> dict[str, Any]:
+        assert self.calendar is not None
+        state = self.calendar.export_state()
+        return {
+            "ok": True,
+            "lo": self.lo,
+            "hwm": self.hwm,
+            "state": state,
+            "checksum": state_checksum(state),
+        }
+
+    def _op_shard_status(self, message: dict[str, Any]) -> dict[str, Any]:
+        assert self.calendar is not None
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "lo": self.lo,
+            "n_servers": self.calendar.n_servers,
+            "now": self.calendar.now,
+            "hwm": self.hwm,
+        }
+
+    def _op_shard_shutdown(self, message: dict[str, Any]) -> dict[str, Any]:
+        return {"ok": True, "bye": True}
+
+
+# ----------------------------------------------------------------------
+# subprocess worker
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Serve one shard over a single blocking NDJSON connection."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro-shard")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    listener = socket.create_server((args.host, args.port))
+    host, port = listener.getsockname()[:2]
+    print(f"repro shard: listening on {host}:{port}", flush=True)
+
+    state = ShardState()
+    conn, _ = listener.accept()
+    listener.close()
+    stream = conn.makefile("rwb")
+    try:
+        while True:
+            raw = stream.readline(SHARD_MAX_LINE_BYTES)
+            if not raw:
+                # coordinator gone: crash-stop, never serve without one
+                return 0
+            if not raw.endswith(b"\n"):
+                # readline() hit the byte cap mid-line: the next read would
+                # start mid-JSON and corrupt framing — die loudly instead
+                print(
+                    f"repro shard: request line exceeds {SHARD_MAX_LINE_BYTES} bytes",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return 1
+            try:
+                message = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                response: dict[str, Any] = {"ok": False, "error": f"bad json: {exc}"}
+            else:
+                response = state.apply(message)
+            stream.write(json.dumps(response, separators=(",", ":")).encode() + b"\n")
+            stream.flush()
+            if response.get("bye"):
+                return 0
+    finally:
+        try:
+            stream.close()
+            conn.close()
+        except OSError:
+            pass
+
+
+if __name__ == "__main__":
+    sys.exit(main())

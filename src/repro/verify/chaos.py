@@ -29,6 +29,15 @@ Plans
     The op list is deterministically shuffled within fixed-size windows
     before sending — an at-least-once client's retry storm.  The oracle
     replays the *same* shuffled order, so verdicts must still agree.
+``kill-shard`` (sharded service only)
+    ``snapshot`` after op *s*, then after op *k* > *s* SIGKILL one
+    calendar-shard subprocess (pid taken from ``status``) and poke the
+    service with a probe.  The coordinator's next scatter hits the dead
+    shard, the service answers ``INTERNAL`` and crash-stops (exit
+    code 1) *without* overwriting the snapshot.  A full coordinated
+    restart from that snapshot must then re-decide ops *s+1..k*
+    identically and finish the stream with the same accepted checksum
+    as the uninterrupted oracle.
 
 Everything is driven by ``(stream, plan)``; no wall-clock dependence
 (the service clock is virtual), no randomness outside the plan seed.
@@ -67,9 +76,9 @@ _RPC_TIMEOUT = 30.0
 class ChaosPlan:
     """One deterministic fault schedule."""
 
-    kind: str  # "kill-restart" | "duplicate" | "reorder"
-    snapshot_at: int | None = None  # kill-restart: snapshot after this op index
-    kill_at: int | None = None  # kill-restart: SIGKILL after this op index
+    kind: str  # "kill-restart" | "duplicate" | "reorder" | "kill-shard"
+    snapshot_at: int | None = None  # kill-*: snapshot after this op index
+    kill_at: int | None = None  # kill-*: SIGKILL after this op index
     duplicate_every: int = 5  # duplicate: resend every n-th reserve
     reorder_window: int = 4  # reorder: shuffle window size
     seed: int = 0
@@ -85,14 +94,18 @@ class ChaosPlan:
         }
 
 
-def default_plans(kind: str | None = None) -> list[ChaosPlan]:
+def default_plans(kind: str | None = None, shards: int = 0) -> list[ChaosPlan]:
     plans = [
         ChaosPlan(kind="kill-restart"),
         ChaosPlan(kind="duplicate"),
         ChaosPlan(kind="reorder"),
     ]
+    if shards > 1:
+        plans.append(ChaosPlan(kind="kill-shard"))
     if kind is None or kind == "all":
         return plans
+    if kind == "kill-shard" and shards <= 1:
+        raise ValueError("kill-shard plan needs a sharded service (--shards > 1)")
     matched = [p for p in plans if p.kind == kind]
     if not matched:
         raise ValueError(f"unknown chaos plan {kind!r}")
@@ -110,7 +123,7 @@ def _src_root() -> str:
 
 
 def _start_server(
-    config: dict[str, Any], snapshot_path: str
+    config: dict[str, Any], snapshot_path: str, shards: int = 0
 ) -> tuple[subprocess.Popen, int]:
     cmd = [
         sys.executable,
@@ -134,6 +147,8 @@ def _start_server(
         cmd += ["--delta-t", str(config["delta_t"])]
     if config.get("r_max") is not None:
         cmd += ["--r-max", str(config["r_max"])]
+    if shards > 1:
+        cmd += ["--shards", str(shards)]
     env = dict(os.environ)
     env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
@@ -264,13 +279,38 @@ def _jsonable(value: Any) -> Any:
     return json.loads(json.dumps(value, allow_nan=False))
 
 
+def _kill_one_shard(client: _Client, proc: subprocess.Popen, kill_at: int) -> bool:
+    """SIGKILL one calendar-shard worker and confirm the crash-stop.
+
+    Returns True when the service behaved as specified: the poke op that
+    forces the next scatter is answered ``INTERNAL`` (or the connection
+    drops mid-answer), and the service process itself exits nonzero
+    without being signalled by us.
+    """
+    status = client.rpc({"op": "status"})
+    pids = [int(p) for p in status["shards"]["pids"]]
+    os.kill(pids[kill_at % len(pids)], signal.SIGKILL)
+    answered_internal = False
+    try:
+        # any scatter works; probe is read-only so the replay window stays
+        # exactly snapshot_at+1..kill_at
+        poke = client.rpc({"op": "probe", "ta": 0.0, "tb": 1.0, "limit": 1})
+        error = poke.get("error") or {}
+        answered_internal = not poke.get("ok") and error.get("code") == "INTERNAL"
+    except (ConnectionError, OSError, json.JSONDecodeError):
+        answered_internal = True  # died mid-answer: still a crash-stop
+    client.close()
+    proc.wait(timeout=30)
+    return answered_internal and proc.returncode not in (0, None)
+
+
 # ----------------------------------------------------------------------
 # the run
 # ----------------------------------------------------------------------
 
 
 def run_chaos(
-    stream: Stream, plan: ChaosPlan, work_dir: str | None = None
+    stream: Stream, plan: ChaosPlan, work_dir: str | None = None, shards: int = 0
 ) -> dict[str, Any]:
     """Execute one (stream, plan) pair; returns the JSON-ready report.
 
@@ -278,7 +318,13 @@ def run_chaos(
     verdict divergence from the oracle, identical replayed verdicts
     across the kill/restart, ``replayed`` flags on duplicates, equal
     final state and checksums.
+
+    ``shards`` > 1 runs the service with ``--shards K``; the oracle side
+    is untouched, so every plan doubles as a sharded/single-calendar
+    equivalence check.  The ``kill-shard`` plan requires it.
     """
+    if plan.kind == "kill-shard" and shards <= 1:
+        raise ValueError("kill-shard plan needs a sharded service (shards > 1)")
     ops = [op for op in stream.ops if op["kind"] != "restore"]
     if plan.kind == "reorder":
         rng = random.Random(f"repro-chaos:{plan.seed}")
@@ -289,12 +335,12 @@ def run_chaos(
             rng.shuffle(block)
             ops[base : base + window] = block
     snapshot_at = kill_at = None
-    if plan.kind == "kill-restart":
+    if plan.kind in ("kill-restart", "kill-shard"):
         snapshot_at = plan.snapshot_at if plan.snapshot_at is not None else len(ops) // 3
         kill_at = plan.kill_at if plan.kill_at is not None else (2 * len(ops)) // 3
         if not 0 <= snapshot_at < kill_at < len(ops):
             raise ValueError(
-                f"kill-restart plan needs 0 <= snapshot_at < kill_at < {len(ops)}, "
+                f"{plan.kind} plan needs 0 <= snapshot_at < kill_at < {len(ops)}, "
                 f"got snapshot_at={snapshot_at} kill_at={kill_at}"
             )
 
@@ -308,8 +354,10 @@ def run_chaos(
     duplicate_mismatches: list[dict[str, Any]] = []
     restarts = 0
     reserve_count = 0
+    shard_kills = 0
+    crash_stop_ok = True  # kill-shard: INTERNAL answer + nonzero exit observed
 
-    proc, port = _start_server(stream.config, snapshot_path)
+    proc, port = _start_server(stream.config, snapshot_path, shards)
     client = _Client(port)
     try:
         for index, op in enumerate(ops):
@@ -340,14 +388,19 @@ def run_chaos(
                             {"index": index, "first": verdict, "duplicate": dup,
                              "replayed": dup_response.get("replayed")}
                         )
-            if plan.kind == "kill-restart":
+            if plan.kind in ("kill-restart", "kill-shard"):
                 if index == snapshot_at:
                     client.rpc({"op": "snapshot"})
                 if index == kill_at:
-                    client.close()
-                    proc.send_signal(signal.SIGKILL)
-                    proc.wait(timeout=30)
-                    proc, port = _start_server(stream.config, snapshot_path)
+                    if plan.kind == "kill-shard":
+                        if not _kill_one_shard(client, proc, kill_at):
+                            crash_stop_ok = False
+                        shard_kills += 1
+                    else:
+                        client.close()
+                        proc.send_signal(signal.SIGKILL)
+                        proc.wait(timeout=30)
+                    proc, port = _start_server(stream.config, snapshot_path, shards)
                     restarts += 1
                     client = _Client(port)
                     # ops decided after the snapshot died with the process;
@@ -408,16 +461,20 @@ def run_chaos(
         and not replay_mismatches
         and not duplicate_mismatches
         and state_equal
+        and crash_stop_ok
         and len(set(checksums.values())) == 1
     )
     report = {
         "plan": plan.to_dict(),
         "profile": stream.profile,
         "seed": stream.seed,
+        "shards": shards,
         "ops": len(ops),
         "reserves": reserve_count,
         "accepted": len(ledger.entries),
         "restarts": restarts,
+        "shard_kills": shard_kills,
+        "crash_stop_ok": crash_stop_ok,
         "duplicate_checks": duplicate_checks,
         "ledger_violations": ledger.violations,
         "verdict_divergences": verdict_divergences[:20],

@@ -45,11 +45,51 @@ class TestAdmissionController:
             AdmissionController().release()
 
     @pytest.mark.parametrize(
-        "kwargs", [{"max_depth": 0}, {"max_delay": 0.0}, {"ewma_alpha": 1.5}]
+        "kwargs",
+        [
+            {"max_depth": 0},
+            {"max_delay": 0.0},
+            {"ewma_alpha": 1.5},
+            {"retry_floor": 0.0},
+            {"retry_jitter": -0.1},
+        ],
     )
     def test_invalid_knobs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             AdmissionController(**kwargs)
+
+    def test_retry_after_floored_when_ewma_is_cold(self):
+        # a brand-new server with zero service history: the drain
+        # estimate is exactly 0.0 and must not be answered verbatim
+        ctrl = AdmissionController(max_depth=8, initial_service=0.0)
+        assert ctrl.expected_wait() == 0.0
+        assert ctrl.retry_after() >= ctrl.retry_floor > 0.0
+
+    def test_shed_burst_never_yields_zero_retry_after(self):
+        ctrl = AdmissionController(
+            max_depth=4, max_delay=1e9, initial_service=0.0, jitter_seed=7
+        )
+        for _ in range(4):
+            ctrl.admit()
+        retry_afters = []
+        for _ in range(200):
+            with pytest.raises(BusyError) as excinfo:
+                ctrl.admit()
+            retry_afters.append(excinfo.value.retry_after)
+        assert min(retry_afters) >= ctrl.retry_floor
+        # jitter spreads the burst instead of answering one constant
+        assert len(set(retry_afters)) > 1
+
+    def test_retry_after_covers_the_drain_estimate(self):
+        ctrl = AdmissionController(max_depth=1000, max_delay=1e9, initial_service=0.5)
+        for _ in range(10):
+            ctrl.admit()
+        assert ctrl.retry_after() >= ctrl.expected_wait()
+
+    def test_jitter_is_seed_deterministic(self):
+        a = AdmissionController(jitter_seed=42)
+        b = AdmissionController(jitter_seed=42)
+        assert [a.retry_after() for _ in range(5)] == [b.retry_after() for _ in range(5)]
 
 
 def test_slow_consumer_burst_sheds_and_bounds_queue():

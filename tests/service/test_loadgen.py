@@ -6,6 +6,7 @@ import pytest
 
 from repro.service.loadgen import (
     LoadgenConfig,
+    OpenLoopPacer,
     ShadowLedger,
     request_source,
     run_loadgen,
@@ -71,6 +72,44 @@ class TestShadowLedger:
         assert [v["kind"] for v in reloaded.violations] == ["double_booking"]
 
 
+class TestOpenLoopPacer:
+    def test_cumulative_schedule_bounds_total_drift(self):
+        """10k sends where every sleep overshoots by 30% of the pacing
+        interval (asyncio.sleep never undersleeps, and often overshoots).
+        A relative sleep-1/rate pacer would finish ~3000 intervals late;
+        the cumulative schedule repays each overshoot on the next send,
+        so the replay's total wall-time error stays under one interval."""
+        rate = 100.0
+        interval = 1.0 / rate
+        overshoot = 0.3 * interval
+        clock = [0.0]
+        pacer = OpenLoopPacer(rate, clock=lambda: clock[0])
+        n = 10_000
+        for _ in range(n):
+            delay = pacer.delay()
+            if delay > 0:
+                clock[0] += delay + overshoot
+            pacer.mark_sent()
+        assert abs(clock[0] - n / rate) < interval
+
+    def test_unpaced_run_never_sleeps(self):
+        pacer = OpenLoopPacer(0.0)
+        for _ in range(100):
+            assert pacer.delay() == 0.0
+            pacer.mark_sent()
+
+    def test_anchor_survives_a_reconnect_stall(self):
+        clock = [5.0]
+        pacer = OpenLoopPacer(10.0, clock=lambda: clock[0])
+        assert pacer.delay() == 0.0  # the first send is immediate
+        pacer.mark_sent()
+        clock[0] += 3.0  # a long reconnect stall: 30 sends behind schedule
+        for _ in range(30):
+            assert pacer.delay() == 0.0  # catch up, don't re-anchor
+            pacer.mark_sent()
+        assert pacer.delay() > 0.0  # caught up: pacing resumes
+
+
 class TestRequestSource:
     def test_offset_and_limit_slice_the_stream(self):
         base = LoadgenConfig(workload="KTH", jobs=50, seed=7)
@@ -130,16 +169,16 @@ def test_replay_flags_a_corrupted_server(monkeypatch):
     ledger catches it — the validation is not trusting server state."""
     from repro.service.server import ReservationService
 
-    original = ReservationService._apply_reserve
+    original = ReservationService._actor_apply_reserve
 
-    def corrupted(self, message):
-        response = original(self, message)
+    async def corrupted(self, message):
+        response = await original(self, message)
         if response.get("ok") and message["rid"] % 2 == 1:
             response = dict(response, servers=[0])  # herd everyone onto server 0
         return response
 
     async def scenario():
-        monkeypatch.setattr(ReservationService, "_apply_reserve", corrupted)
+        monkeypatch.setattr(ReservationService, "_actor_apply_reserve", corrupted)
         service = await start_service(n_servers=8, tau=900.0, q_slots=96)
         config = LoadgenConfig(port=service.port, workload="KTH", jobs=40, seed=3)
         report = await run_loadgen(config)

@@ -1,0 +1,288 @@
+"""Sharded calendar actors: shard map arithmetic, exactly-once commits,
+and the load-bearing property — a K-sharded scheduler and the single
+calendar make bit-identical decisions.
+
+The equivalence is exactly ``phase2(merge(shard_candidates)) ==
+phase2(single_calendar_candidates)``: each shard runs Phase 1 + the
+per-shard Phase-2 prefix over its own servers, the coordinator k-way
+merges the per-shard candidate streams with
+:func:`repro.core.merge.merge_earliest`, and canonical Phase-2 selection
+over the merged stream must pick the same windows and the same servers
+as one calendar holding all N servers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merge import merge_earliest
+from repro.core.types import Request
+from repro.facade import CoAllocationScheduler
+from repro.service.coordinator import ShardedScheduler
+from repro.service.shards import ShardMap, ShardState, fresh_calendar_state
+
+
+# ----------------------------------------------------------------------
+# ShardMap
+# ----------------------------------------------------------------------
+
+
+class TestShardMap:
+    def test_contiguous_cover_without_overlap(self):
+        m = ShardMap(n_servers=10, shards=3)
+        assert m.bounds == [(0, 4), (4, 7), (7, 10)]  # first n%k get one extra
+        assert sum(m.count(s) for s in range(3)) == 10
+
+    def test_shard_of_matches_bounds(self):
+        for n, k in [(1, 1), (5, 2), (10, 3), (16, 4), (7, 7), (64, 5)]:
+            m = ShardMap(n, k)
+            for server in range(n):
+                shard = m.shard_of(server)
+                lo, hi = m.bounds[shard]
+                assert lo <= server < hi
+                assert m.lo(shard) == lo
+
+    def test_out_of_range_server_rejected(self):
+        m = ShardMap(4, 2)
+        with pytest.raises(ValueError):
+            m.shard_of(4)
+        with pytest.raises(ValueError):
+            m.shard_of(-1)
+
+    def test_more_shards_than_servers_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(n_servers=2, shards=3)
+        with pytest.raises(ValueError):
+            ShardMap(n_servers=2, shards=0)
+
+
+# ----------------------------------------------------------------------
+# ShardState protocol discipline
+# ----------------------------------------------------------------------
+
+
+def _load(state: ShardState, n: int = 2) -> None:
+    response = state.apply(
+        {
+            "op": "shard_load",
+            "lo": 0,
+            "state": fresh_calendar_state(0, n, tau=10.0, q_slots=8),
+            "hwm": 0,
+        }
+    )
+    assert response["ok"], response
+
+
+class TestShardState:
+    def test_unknown_op_is_an_error_not_a_crash(self):
+        state = ShardState()
+        response = state.apply({"op": "shard_frobnicate"})
+        assert response["ok"] is False
+
+    def test_ops_before_load_are_errors(self):
+        state = ShardState()
+        response = state.apply({"op": "shard_ladder", "now": 0.0, "nr": 1,
+                                "attempts": [[0.0, 10.0]], "hwm": 1})
+        assert response["ok"] is False
+
+    def test_commit_is_rid_idempotent(self):
+        state = ShardState()
+        _load(state)
+        commit = {
+            "op": "shard_commit",
+            "rid": 7,
+            "now": 0.0,
+            "start": 0.0,
+            "end": 10.0,
+            "picks": [[0, 0.0]],
+            "remnant_uids": [100],
+            "hwm": 1,
+        }
+        first = state.apply(dict(commit))
+        assert first["ok"], first
+        assert first["committed"] == 1
+        replay = state.apply(dict(commit))
+        assert replay["ok"]
+        assert replay.get("replayed") is True
+        # the window was booked exactly once: server 0's idle list is the
+        # single remnant [10, inf) under the coordinator-assigned uid
+        export = state.apply({"op": "shard_export"})
+        assert export["ok"]
+        assert export["state"]["periods"][0] == [[10.0, None, 100]]
+
+
+# ----------------------------------------------------------------------
+# merge_earliest: k-way merge over random partitions
+# ----------------------------------------------------------------------
+
+
+@given(
+    keys=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        max_size=60,
+        unique=True,
+    ),
+    cuts=st.lists(st.integers(min_value=0, max_value=59), max_size=6),
+    need=st.integers(min_value=0, max_value=70),
+)
+@settings(max_examples=150, deadline=None)
+def test_merge_earliest_equals_global_sort_for_any_partition(keys, cuts, need):
+    """Partition an arbitrary (et, uid) key set into contiguous sorted
+    runs at arbitrary cut points: merging the runs must yield exactly
+    the ``need``-smallest keys of the whole set, in order."""
+    ordered = sorted(keys)
+    bounds = sorted({0, len(ordered), *[c for c in cuts if c <= len(ordered)]})
+    runs = [
+        (ordered[lo:hi], 0)
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+    merged = merge_earliest(runs, need)
+    assert merged == ordered[: min(need, len(ordered))]
+
+
+# ----------------------------------------------------------------------
+# sharded == single-calendar decisions (the tentpole property)
+# ----------------------------------------------------------------------
+
+
+def _ops_strategy() -> st.SearchStrategy:
+    reserve = st.fixed_dictionaries(
+        {
+            "kind": st.just("reserve"),
+            "sr_tau": st.integers(min_value=0, max_value=10),
+            "lr_tau": st.integers(min_value=1, max_value=5),
+            "nr": st.integers(min_value=1, max_value=6),
+            "deadline_tau": st.one_of(
+                st.none(), st.integers(min_value=1, max_value=14)
+            ),
+        }
+    )
+    cancel = st.fixed_dictionaries(
+        {"kind": st.just("cancel"), "which": st.integers(min_value=0, max_value=30)}
+    )
+    advance = st.fixed_dictionaries(
+        {"kind": st.just("advance"), "by_tau": st.integers(min_value=0, max_value=3)}
+    )
+    return st.lists(st.one_of(reserve, cancel, advance), max_size=20)
+
+
+def _outcome_key(outcome):
+    if outcome.allocation is not None:
+        a = outcome.allocation
+        return (
+            "ok",
+            a.start,
+            a.end,
+            a.attempts,
+            a.delay,
+            tuple(sorted(a.servers)),
+        )
+    return ("reject", outcome.attempts, outcome.reason)
+
+
+@given(
+    tau=st.sampled_from((0.3, 1.0, 10.0)),
+    n_servers=st.integers(min_value=4, max_value=9),
+    shards=st.integers(min_value=2, max_value=4),
+    ops=_ops_strategy(),
+)
+@settings(max_examples=60, deadline=None)
+def test_sharded_decisions_equal_single_calendar(tau, n_servers, shards, ops):
+    q_slots = 12
+    single = CoAllocationScheduler(n_servers=n_servers, tau=tau, q_slots=q_slots)
+    sharded = ShardedScheduler(
+        n_servers=n_servers, tau=tau, q_slots=q_slots, shards=min(shards, n_servers)
+    )
+    issued: list[int] = []
+    rid = 0
+    for op in ops:
+        if op["kind"] == "reserve":
+            now = single.calendar.now
+            sr = max(now, (single.calendar.slot_of(now) + op["sr_tau"]) * tau)
+            lr = op["lr_tau"] * tau
+            deadline = (
+                None
+                if op["deadline_tau"] is None
+                else sr + lr + (op["deadline_tau"] - 1) * tau  # may be tight
+            )
+            request = Request(
+                rid=rid, qr=now, sr=sr, lr=lr, nr=op["nr"], deadline=deadline
+            )
+            a = single.schedule_detailed(request)
+            b = sharded.schedule_detailed(request)
+            assert _outcome_key(a) == _outcome_key(b)
+            if a.allocation is not None:
+                issued.append(rid)
+            rid += 1
+        elif op["kind"] == "cancel" and issued:
+            victim = issued.pop(op["which"] % len(issued))
+            single.cancel(victim)
+            sharded.cancel(victim)
+        elif op["kind"] == "advance":
+            to = single.calendar.now + op["by_tau"] * tau
+            single.advance(to)
+            sharded.advance(to)
+        assert sharded.now == single.calendar.now
+    # the final calendars answer range queries identically
+    ta = single.calendar.now
+    tb = ta + 2 * tau
+    lhs = [(p.server, p.st, p.et) for p in single.range_search(ta, tb)]
+    rhs = [(p.server, p.st, p.et) for p in sharded.range_search(ta, tb)]
+    assert lhs == rhs
+
+
+# ----------------------------------------------------------------------
+# corpus replay through the real K=4 sharded TCP service
+# ----------------------------------------------------------------------
+
+_CORPUS = Path(__file__).parents[1] / "verify" / "corpus"
+
+
+def _k4_traces() -> list[Path]:
+    # K=4 needs at least 4 servers to shard
+    return [
+        path
+        for path in sorted(_CORPUS.glob("*.json"))
+        if json.loads(path.read_text())["config"]["n_servers"] >= 4
+    ]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("path", _k4_traces(), ids=lambda p: p.stem)
+def test_corpus_replays_through_k4_sharded_service(path: Path) -> None:
+    """Every minimized divergence-regression trace, replayed over TCP
+    against a ``--shards 4`` service, must get the same verdict on every
+    op as the in-process reference scheduler."""
+    from repro.verify.chaos import _normalize, _oracle_verdict, _wire
+    from repro.verify.differ import load_trace
+    from repro.verify.oracle import ReferenceScheduler
+
+    from .harness import start_service, rpc
+
+    stream = load_trace(str(path))
+    ops = [op for op in stream.ops if op["kind"] != "restore"]
+
+    async def scenario():
+        service = await start_service(shards=4, **stream.config)
+        verdicts = []
+        for op in ops:
+            verdicts.append(_normalize(op, await rpc(service.port, _wire(op))))
+        status = await rpc(service.port, {"op": "status"})
+        await service.stop()
+        return verdicts, status
+
+    verdicts, status = asyncio.run(scenario())
+    assert status["shards"]["count"] == 4
+    oracle = ReferenceScheduler(**stream.config)
+    for op, verdict in zip(ops, verdicts):
+        assert _oracle_verdict(oracle, op) == verdict, op

@@ -6,6 +6,7 @@ server is indistinguishable from the original, down to the slot-tree
 tie-break order (persisted period uids make that possible).
 """
 
+import asyncio
 import json
 
 import pytest
@@ -24,18 +25,25 @@ from repro.service.snapshot import (
 CONFIG = ServiceConfig(n_servers=4, tau=10.0, q_slots=8)
 
 
-def apply_history(service: ReservationService, history: list[tuple]) -> None:
-    """Replay a generated history of reserve/cancel ops onto a service.
+def _apply(service: ReservationService, message: dict) -> dict:
+    """Drive the actor's apply coroutine to completion (single-mode
+    handlers never actually suspend, so this is identical to what TCP
+    requests would drive)."""
+    return asyncio.run(service._actor_apply(message))
 
-    Uses the actor's synchronous apply path directly — no event loop
-    needed, and identical to what TCP requests would drive.
-    """
+
+def _state(service: ReservationService) -> dict:
+    return asyncio.run(service._actor_state())
+
+
+def apply_history(service: ReservationService, history: list[tuple]) -> None:
+    """Replay a generated history of reserve/cancel ops onto a service."""
     for rid, (kind, payload) in enumerate(history):
         if kind == "reserve":
             sr, lr, nr = payload
-            service._apply({"op": "reserve", "rid": rid, "sr": sr, "lr": lr, "nr": nr})
+            _apply(service, {"op": "reserve", "rid": rid, "sr": sr, "lr": lr, "nr": nr})
         else:
-            service._apply({"op": "cancel", "rid": payload})
+            _apply(service, {"op": "cancel", "rid": payload})
 
 
 def histories():
@@ -56,12 +64,12 @@ def histories():
 def test_snapshot_restore_snapshot_is_byte_identical(history):
     original = ReservationService(CONFIG)
     apply_history(original, history)
-    first = snapshot_bytes(original._state())
+    first = snapshot_bytes(_state(original))
 
     # restore exactly what the disk read path hands back
     state = json.loads(first.decode())["state"]
     restored = ReservationService(CONFIG, state=state)
-    second = snapshot_bytes(restored._state())
+    second = snapshot_bytes(_state(restored))
 
     assert second == first
     assert accepted_checksum(restored._decided) == accepted_checksum(original._decided)
@@ -73,31 +81,31 @@ def test_restored_server_answers_like_the_original(history):
     """Original and restored copy give identical verdicts on a fresh probe."""
     original = ReservationService(CONFIG)
     apply_history(original, history)
-    state = json.loads(snapshot_bytes(original._state()).decode())["state"]
+    state = json.loads(snapshot_bytes(_state(original)).decode())["state"]
     restored = ReservationService(CONFIG, state=state)
 
     probe_rid = 10_000  # outside every generated history
     message = {"op": "reserve", "rid": probe_rid, "sr": 0.0, "lr": 15.0, "nr": 2}
-    assert restored._apply(dict(message)) == original._apply(dict(message))
+    assert _apply(restored, dict(message)) == _apply(original, dict(message))
 
 
 def test_restored_server_rejects_conflicting_request(tmp_path):
     """A request conflicting with a pre-snapshot reservation is refused."""
     config = ServiceConfig(n_servers=2, tau=10.0, q_slots=4)  # horizon = 40
     original = ReservationService(config)
-    fill = original._apply({"op": "reserve", "rid": 1, "sr": 0.0, "lr": 40.0, "nr": 2})
+    fill = _apply(original, {"op": "reserve", "rid": 1, "sr": 0.0, "lr": 40.0, "nr": 2})
     assert fill["ok"]
 
     path = tmp_path / "state.snap"
-    write_snapshot(path, original._state())
+    write_snapshot(path, _state(original))
     restored = ReservationService(config, state=read_snapshot(path))
 
-    conflicting = restored._apply({"op": "reserve", "rid": 2, "sr": 0.0, "lr": 40.0, "nr": 2})
+    conflicting = _apply(restored, {"op": "reserve", "rid": 2, "sr": 0.0, "lr": 40.0, "nr": 2})
     assert not conflicting["ok"]
     assert conflicting["error"]["code"] == "REJECTED"
 
     # the decision log survives too: the old rid replays, never re-books
-    replay = restored._apply({"op": "reserve", "rid": 1, "sr": 0.0, "lr": 40.0, "nr": 2})
+    replay = _apply(restored, {"op": "reserve", "rid": 1, "sr": 0.0, "lr": 40.0, "nr": 2})
     assert replay["ok"] and replay["replayed"] is True
 
 
@@ -113,20 +121,20 @@ def test_cancel_after_restore_frees_the_window(tmp_path):
     tau = 0.3
     config = ServiceConfig(n_servers=2, tau=tau, q_slots=8)
     original = ReservationService(config)
-    granted = original._apply(
+    granted = _apply(original, 
         {"op": "reserve", "rid": 1, "qr": 31 * tau, "sr": 31 * tau, "lr": tau, "nr": 2}
     )
     assert granted["ok"]
 
     path = tmp_path / "state.snap"
-    write_snapshot(path, original._state())
+    write_snapshot(path, _state(original))
     restored = ReservationService(config, state=read_snapshot(path))
 
-    cancelled = restored._apply({"op": "cancel", "rid": 1})
+    cancelled = _apply(restored, {"op": "cancel", "rid": 1})
     assert cancelled["ok"]
 
     # the window is free again on the restored server...
-    refill = restored._apply(
+    refill = _apply(restored, 
         {"op": "reserve", "rid": 2, "qr": 31 * tau, "sr": 31 * tau, "lr": tau, "nr": 2}
     )
     assert refill["ok"]
@@ -135,22 +143,22 @@ def test_cancel_after_restore_frees_the_window(tmp_path):
     # ...and the original, cancelling the same rid, ends in the same
     # calendar (period uids aside: the two processes' uid counters moved
     # independently after the snapshot, which is invisible to clients)
-    assert original._apply({"op": "cancel", "rid": 1})["ok"]
-    assert original._apply(
+    assert _apply(original, {"op": "cancel", "rid": 1})["ok"]
+    assert _apply(original, 
         {"op": "reserve", "rid": 2, "qr": 31 * tau, "sr": 31 * tau, "lr": tau, "nr": 2}
     ) == refill
 
     def periods_sans_uids(service):
         return [
             [(st, et) for st, et, _uid in server_periods]
-            for server_periods in service._state()["scheduler"]["calendar"]["periods"]
+            for server_periods in _state(service)["scheduler"]["calendar"]["periods"]
         ]
 
     assert periods_sans_uids(restored) == periods_sans_uids(original)
     assert accepted_checksum(restored._decided) == accepted_checksum(original._decided)
 
     # a second cancel of the same rid is a clean not-found, not a crash
-    second = restored._apply({"op": "cancel", "rid": 1})
+    second = _apply(restored, {"op": "cancel", "rid": 1})
     assert not second["ok"]
 
 

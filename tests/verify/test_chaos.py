@@ -47,3 +47,23 @@ def test_reordered_stream_still_matches_oracle(tmp_path) -> None:
     plan = ChaosPlan(kind="reorder", reorder_window=5, seed=13)
     report = run_chaos(stream, plan, work_dir=str(tmp_path))
     _assert_passed(report)
+
+
+def test_kill_one_shard_crash_stops_then_restart_preserves_decisions(tmp_path) -> None:
+    """SIGKILL one calendar-shard worker mid-stream: the service must
+    crash-stop (INTERNAL + nonzero exit, snapshot untouched), and the
+    coordinated restart must re-decide the lost window identically —
+    same accepted checksum as the uninterrupted oracle replay."""
+    stream = generate_stream("dense", 14, 120)
+    plan = ChaosPlan(kind="kill-shard")
+    report = run_chaos(stream, plan, work_dir=str(tmp_path), shards=4)
+    assert report["restarts"] == 1
+    assert report["shard_kills"] == 1
+    assert report["crash_stop_ok"]
+    _assert_passed(report)
+
+
+def test_kill_shard_plan_requires_a_sharded_service() -> None:
+    stream = generate_stream("dense", 14, 20)
+    with pytest.raises(ValueError, match="sharded"):
+        run_chaos(stream, ChaosPlan(kind="kill-shard"), shards=1)
