@@ -1,13 +1,22 @@
 """Domain-aware static analysis and structural invariant auditing.
 
-Two engines guard the correctness of the co-allocation hot path:
+Three engines guard the correctness of the co-allocation hot path:
 
-* :mod:`repro.analysis.lint` — a custom AST lint pass (rules ``RA001`` …
-  ``RA008``) catching the bug classes that broke, or nearly broke, the
-  calendar fast path: accidental ``pop(0)`` scans, sorting inside loops,
-  float modulo / equality on time values, wall-clock or unseeded
-  randomness leaking into the simulator, and code reaching into slot-tree
-  internals or second-guessing :class:`~repro.core.coalloc.ScheduleOutcome`.
+* :mod:`repro.analysis.lint` — a custom AST lint pass catching the bug
+  classes that broke, or nearly broke, the calendar fast path (rules
+  ``RA001`` … ``RA009``: accidental ``pop(0)`` scans, sorting inside
+  loops, float modulo / equality on time values, wall-clock or unseeded
+  randomness leaking into the simulator, code reaching into slot-tree
+  internals) plus the async-actor concurrency rules (``RA201`` …
+  ``RA204``: awaited read-modify-write races on actor state, blocking
+  calls inside coroutines, fire-and-forget tasks, unbounded stream
+  reads) from :mod:`repro.analysis.rules.concurrency`.
+
+* :mod:`repro.analysis.protocol_check` — wire-protocol conformance
+  (``RA205``/``RA206``): every literal ``{"op": ...}`` send site and
+  every handler table in the service is cross-checked against the
+  declarative :data:`repro.service.protocol.REGISTRY`, with drift
+  injections that self-test the checker.
 
 * :mod:`repro.analysis.audit` — deep structural audits (checks ``RA101``
   … ``RA115``) over :class:`~repro.core.slot_tree.TwoDimTree` and
@@ -16,9 +25,11 @@ Two engines guard the correctness of the co-allocation hot path:
   slot-coverage, pending-bucket bookkeeping, tail-index ordering, and
   idle-time conservation across ``allocate``/``release``.
 
-Both are surfaced by the ``repro check`` CLI subcommand and documented in
-``docs/analysis.md``.  The audit engine also backs the ``validate()``
-methods of the core data structures and the ``REPRO_AUDIT`` replay mode.
+All are surfaced by the ``repro check`` CLI subcommand (``--concurrency``
+adds the protocol pass; ``--format sarif`` renders findings via
+:mod:`repro.analysis.sarif`) and documented in ``docs/analysis.md``.  The
+audit engine also backs the ``validate()`` methods of the core data
+structures and the ``REPRO_AUDIT`` replay mode.
 """
 
 from .audit import (
@@ -28,19 +39,27 @@ from .audit import (
     audit_calendar,
     audit_tree,
 )
-from .lint import LintReport, lint_paths, lint_source
+from .lint import KNOWN_RULE_IDS, LintReport, lint_paths, lint_source
+from .protocol_check import PROTOCOL_INJECTIONS, ProtocolReport, run_protocol_check
 from .rules import ALL_RULES, Rule, Violation
+from .sarif import render_sarif, sarif_report
 
 __all__ = [
     "ALL_RULES",
     "AuditError",
     "AuditFinding",
+    "KNOWN_RULE_IDS",
     "LintReport",
     "MutationAuditor",
+    "PROTOCOL_INJECTIONS",
+    "ProtocolReport",
     "Rule",
     "Violation",
     "audit_calendar",
     "audit_tree",
     "lint_paths",
     "lint_source",
+    "render_sarif",
+    "run_protocol_check",
+    "sarif_report",
 ]

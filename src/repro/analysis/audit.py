@@ -58,6 +58,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep core import-light
     from ..core.slot_tree import TwoDimTree, _Node
 
 __all__ = [
+    "AUDIT_CHECK_IDS",
     "AuditError",
     "AuditFinding",
     "MutationAuditor",
@@ -67,6 +68,15 @@ __all__ = [
     "corrupt_size_field",
     "corrupt_uid_map",
 ]
+
+#: every check id the audit engine can report (documented above and in
+#: ``docs/analysis.md``); the lint pass treats these as known RA ids
+AUDIT_CHECK_IDS = frozenset(
+    {
+        "RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107", "RA108",
+        "RA111", "RA112", "RA113", "RA114", "RA115",
+    }
+)
 
 
 class AuditFinding:

@@ -1,0 +1,381 @@
+"""Await-segmentation machinery behind the RA2xx concurrency rules.
+
+An ``async def`` body is a sequence of *segments*: maximal stretches of
+code with no ``await`` inside.  Within one segment the coroutine owns
+the event loop — nothing else runs, reads and writes are atomic.  Every
+``await`` is a suspension point where any other task may interleave, so
+an invariant held across segments is an invariant held by luck.
+
+This module turns that model into reusable analyses:
+
+* :func:`iter_coroutines` / :func:`walk_body` — find coroutines and walk
+  their *own* statements (nested ``def``/``async def`` bodies excluded:
+  they run on their own schedule and get their own visit).
+* :func:`awaited_call_ids` — the ``Call`` nodes that appear directly
+  under an ``await`` (so ``await reader.readline()`` is fine where a
+  bare ``reader.readline()`` is not).
+* :func:`find_lost_updates` — the RA201 engine: a taint-tracking,
+  branch-aware walk that reports a write to ``self.<attr>`` whose value
+  derives from a read of the *same* attribute in an *earlier* segment.
+  That exact shape — read, await, write back — is the lost-update
+  hazard: another task can interleave at the await and its update is
+  overwritten.  Same-segment read-modify-writes (``self.x += 1``) are
+  atomic on the event loop and never flagged.
+
+The rules themselves (scoping, messages, hints) live in
+:mod:`repro.analysis.rules.concurrency`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "LostUpdate",
+    "awaited_call_ids",
+    "contains_await",
+    "find_lost_updates",
+    "iter_coroutines",
+    "self_attribute_path",
+    "walk_body",
+]
+
+
+def iter_coroutines(tree: ast.AST) -> Iterator[ast.AsyncFunctionDef]:
+    """Every ``async def`` in the tree, nested ones included."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def walk_body(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """All nodes lexically in ``fn``'s own body.
+
+    Nested function definitions (sync or async) are *not* descended
+    into: a nested sync helper may legitimately block when handed to
+    ``asyncio.to_thread``, and a nested coroutine is segmented on its
+    own when :func:`iter_coroutines` reaches it.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def awaited_call_ids(fn: ast.AsyncFunctionDef) -> frozenset[int]:
+    """``id()`` of every Call node that is the direct value of an await."""
+    return frozenset(
+        id(node.value)
+        for node in walk_body(fn)
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call)
+    )
+
+
+def contains_await(node: ast.AST) -> bool:
+    """Whether any await lies lexically inside ``node`` (nested defs excluded)."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Await):
+            return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)) and current is not node:
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+def self_attribute_path(node: ast.AST) -> str | None:
+    """Dotted path of an attribute chain rooted at ``self`` (else None)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and parts:
+        parts.append("self")
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class LostUpdate:
+    """One RA201 finding: ``path`` read in ``read_segment``, written later."""
+
+    node: ast.AST  # the write (for location)
+    path: str  # e.g. "self.depth"
+    read_line: int
+    read_segment: int
+    write_segment: int
+
+
+# -- RA201 engine ------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _Taint:
+    """A value derived from a read of ``self.<path>`` in ``segment``."""
+
+    path: str
+    segment: int
+    read_line: int
+
+
+class _SegmentState:
+    """Mutable walk state: the segment counter and the local-taint table."""
+
+    def __init__(self) -> None:
+        self.segment = 0
+        #: local name -> taints it carries (reads of self state it derives from)
+        self.taint: dict[str, list[_Taint]] = {}
+
+    def copy(self) -> "_SegmentState":
+        clone = _SegmentState()
+        clone.segment = self.segment
+        clone.taint = {name: list(ts) for name, ts in self.taint.items()}
+        return clone
+
+    def merge(self, other: "_SegmentState") -> None:
+        """Join two branches: later segment wins, taints union (conservative)."""
+        self.segment = max(self.segment, other.segment)
+        for name, taints in other.taint.items():
+            known = self.taint.setdefault(name, [])
+            seen = {(t.path, t.segment) for t in known}
+            known.extend(t for t in taints if (t.path, t.segment) not in seen)
+
+
+def _expr_awaits(node: ast.AST | None) -> int:
+    """Number of awaits lexically inside an expression (nested defs excluded)."""
+    if node is None:
+        return 0
+    count = 0
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Await):
+            count += 1
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return count
+
+
+def _expr_self_reads(node: ast.AST | None) -> list[tuple[str, int]]:
+    """Every ``self.<path>`` loaded inside an expression: (path, lineno)."""
+    if node is None:
+        return []
+    reads: list[tuple[str, int]] = []
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(current, ast.Attribute) and isinstance(current.ctx, ast.Load):
+            path = self_attribute_path(current)
+            if path is not None:
+                reads.append((path, current.lineno))
+                continue  # the chain is consumed whole
+        stack.extend(ast.iter_child_nodes(current))
+    return reads
+
+
+def _expr_name_loads(node: ast.AST | None) -> set[str]:
+    if node is None:
+        return set()
+    names: set[str] = set()
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(current, ast.Name) and isinstance(current.ctx, ast.Load):
+            names.add(current.id)
+        stack.extend(ast.iter_child_nodes(current))
+    return names
+
+
+class _LostUpdateWalker:
+    """Branch-aware, loop-doubling statement walk collecting RA201 findings."""
+
+    def __init__(self) -> None:
+        self.findings: dict[tuple[int, int, str], LostUpdate] = {}
+
+    # -- expression helpers ---------------------------------------------
+
+    def _value_taints(self, state: _SegmentState, value: ast.AST | None) -> list[_Taint]:
+        """Taints a value expression carries: direct self reads + tainted names."""
+        taints = [
+            _Taint(path=path, segment=state.segment, read_line=line)
+            for path, line in _expr_self_reads(value)
+        ]
+        for name in _expr_name_loads(value):
+            taints.extend(state.taint.get(name, ()))
+        return taints
+
+    def _check_write(
+        self, state: _SegmentState, target: ast.AST, taints: list[_Taint]
+    ) -> None:
+        path = self_attribute_path(target)
+        if path is None:
+            return
+        for taint in taints:
+            if taint.path == path and taint.segment < state.segment:
+                key = (getattr(target, "lineno", 0), getattr(target, "col_offset", 0), path)
+                self.findings.setdefault(
+                    key,
+                    LostUpdate(
+                        node=target,
+                        path=path,
+                        read_line=taint.read_line,
+                        read_segment=taint.segment,
+                        write_segment=state.segment,
+                    ),
+                )
+                return
+
+    def _bind(self, state: _SegmentState, target: ast.AST, taints: list[_Taint]) -> None:
+        """Record the assignment's data flow into the taint table."""
+        if isinstance(target, ast.Name):
+            if taints:
+                state.taint[target.id] = list(taints)
+            else:
+                state.taint.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(state, element, taints)
+        elif isinstance(target, ast.Starred):
+            self._bind(state, target.value, taints)
+        # attribute/subscript targets carry no local taint
+
+    # -- statements ------------------------------------------------------
+
+    def walk(self, state: _SegmentState, statements: list[ast.stmt]) -> None:
+        for statement in statements:
+            self._statement(state, statement)
+
+    def _statement(self, state: _SegmentState, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # own scope, own schedule
+        if isinstance(node, ast.Assign):
+            taints = self._value_taints(state, node.value)
+            state.segment += _expr_awaits(node.value)
+            for target in node.targets:
+                self._check_write(state, target, taints)
+                self._bind(state, target, taints)
+            return
+        if isinstance(node, ast.AnnAssign):
+            taints = self._value_taints(state, node.value)
+            state.segment += _expr_awaits(node.value)
+            if node.value is not None:
+                self._check_write(state, node.target, taints)
+                self._bind(state, node.target, taints)
+            return
+        if isinstance(node, ast.AugAssign):
+            taints = self._value_taints(state, node.value)
+            awaits = _expr_awaits(node.value)
+            path = self_attribute_path(node.target)
+            if path is not None and awaits:
+                # ``self.x += await f()``: the old value is loaded before
+                # the suspension, stored after it — a one-line lost update
+                taints.append(
+                    _Taint(path=path, segment=state.segment, read_line=node.lineno)
+                )
+            state.segment += awaits
+            self._check_write(state, node.target, taints)
+            if isinstance(node.target, ast.Name):
+                existing = state.taint.get(node.target.id, [])
+                merged = existing + [
+                    t for t in taints if (t.path, t.segment) not in {
+                        (e.path, e.segment) for e in existing
+                    }
+                ]
+                if merged:
+                    state.taint[node.target.id] = merged
+            return
+        if isinstance(node, (ast.Expr, ast.Return, ast.Raise, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(node):
+                state.segment += _expr_awaits(child)
+            return
+        if isinstance(node, ast.If):
+            state.segment += _expr_awaits(node.test)
+            branch = state.copy()
+            self.walk(branch, node.body)
+            other = state.copy()
+            self.walk(other, node.orelse)
+            branch.merge(other)
+            state.segment = branch.segment
+            state.taint = branch.taint
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            state.segment += _expr_awaits(node.iter)
+            if isinstance(node, ast.AsyncFor):
+                state.segment += 1  # each __anext__ suspends
+            self._bind(state, node.target, self._value_taints(state, node.iter))
+            self._loop(state, node.body, extra_bump=isinstance(node, ast.AsyncFor))
+            self.walk(state, node.orelse)
+            return
+        if isinstance(node, ast.While):
+            state.segment += _expr_awaits(node.test)
+            self._loop(state, node.body, extra_bump=False)
+            self.walk(state, node.orelse)
+            return
+        if isinstance(node, ast.Try):
+            self.walk(state, node.body)
+            for handler in node.handlers:
+                branch = state.copy()
+                self.walk(branch, handler.body)
+                state.merge(branch)
+            self.walk(state, node.orelse)
+            self.walk(state, node.finalbody)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                taints = self._value_taints(state, item.context_expr)
+                state.segment += _expr_awaits(item.context_expr)
+                if isinstance(node, ast.AsyncWith):
+                    state.segment += 1  # __aenter__ suspends
+                if item.optional_vars is not None:
+                    self._bind(state, item.optional_vars, taints)
+            self.walk(state, node.body)
+            if isinstance(node, ast.AsyncWith):
+                state.segment += 1  # __aexit__ suspends
+            return
+        if isinstance(node, ast.Match):
+            state.segment += _expr_awaits(node.subject)
+            merged: _SegmentState | None = None
+            for case in node.cases:
+                branch = state.copy()
+                self.walk(branch, case.body)
+                if merged is None:
+                    merged = branch
+                else:
+                    merged.merge(branch)
+            if merged is not None:
+                state.merge(merged)
+            return
+        # pass/break/continue/global/nonlocal/import: no effect
+
+    def _loop(self, state: _SegmentState, body: list[ast.stmt], extra_bump: bool) -> None:
+        """Walk a loop body; re-walk once if it suspends, so a read in one
+        iteration feeding a write in the next (across the loop's awaits)
+        is still seen.  Findings dedupe by location, so the second pass
+        never double-reports."""
+        before = state.segment
+        self.walk(state, body)
+        if state.segment > before or extra_bump:
+            if extra_bump:
+                state.segment += 1
+            self.walk(state, body)
+
+
+def find_lost_updates(fn: ast.AsyncFunctionDef) -> list[LostUpdate]:
+    """RA201: writes to ``self`` state tainted by a pre-await read of it."""
+    walker = _LostUpdateWalker()
+    walker.walk(_SegmentState(), fn.body)
+    return sorted(
+        walker.findings.values(),
+        key=lambda f: (getattr(f.node, "lineno", 0), getattr(f.node, "col_offset", 0)),
+    )

@@ -8,11 +8,14 @@ artifact.
 
 Per-line suppression uses the ``# repro: noqa`` pragma::
 
-    busy.pop(0)              # repro: noqa RA001   -- measured: N <= 4 here
+    busy.pop(0)              # repro: noqa: RA001  -- measured: N <= 4 here
     t = now % tau            # repro: noqa         -- suppresses every rule
 
 A bare pragma silences all rules on that line; listing IDs silences only
-those.
+those.  A pragma naming an ID no engine can report (a typo'd
+``RA0001``, a retired rule) is itself a finding — ``RA010`` — because a
+suppression that suppresses nothing is a latent bug that resurfaces the
+moment someone "fixes" the typo.
 """
 
 from __future__ import annotations
@@ -23,13 +26,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from .audit import AUDIT_CHECK_IDS
 from .rules import ALL_RULES, LintContext, Rule, Violation
 
-__all__ = ["LintReport", "lint_paths", "lint_source", "module_path"]
+__all__ = ["KNOWN_RULE_IDS", "LintReport", "lint_paths", "lint_source", "module_path"]
 
 #: matches ``# repro: noqa`` with an optional rule list
 _NOQA = re.compile(
     r"#\s*repro:\s*noqa(?:\s*[:,]?\s*(?P<rules>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*))?",
+)
+
+#: every RA id some engine can report: the lint rules themselves, the
+#: runner's own RA000 (syntax) and RA010 (bad pragma), the structural
+#: audit checks, and the protocol-conformance rules
+KNOWN_RULE_IDS: frozenset[str] = (
+    frozenset(rule.id for rule in ALL_RULES)
+    | {"RA000", "RA010", "RA205", "RA206"}
+    | AUDIT_CHECK_IDS
 )
 
 #: directories never linted when walking a tree
@@ -96,6 +109,38 @@ def _suppressed_lines(source: str) -> dict[int, frozenset[str] | None]:
     return table
 
 
+def _pragma_violations(source: str, path: str) -> list[Violation]:
+    """RA010: noqa pragmas naming rule IDs nothing can ever report."""
+    found: list[Violation] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(line)
+        if match is None or match.group("rules") is None:
+            continue
+        unknown = sorted(
+            r.strip()
+            for r in match.group("rules").split(",")
+            if r.strip() not in KNOWN_RULE_IDS
+        )
+        if unknown:
+            found.append(
+                Violation(
+                    rule_id="RA010",
+                    path=path,
+                    line=lineno,
+                    col=match.start(),
+                    message=(
+                        f"noqa pragma names unknown rule id(s) "
+                        f"{', '.join(unknown)} — it suppresses nothing"
+                    ),
+                    hint=(
+                        "use an existing RA id (see docs/analysis.md) or drop "
+                        "the pragma; a bare '# repro: noqa' suppresses all rules"
+                    ),
+                )
+            )
+    return found
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -126,19 +171,25 @@ def lint_source(
     suppressed = _suppressed_lines(source)
     found: list[Violation] = []
     seen: set[tuple[str, int, int, str]] = set()
+
+    def admit(violation: Violation) -> None:
+        key = (violation.rule_id, violation.line, violation.col, violation.message)
+        if key in seen:
+            return
+        seen.add(key)
+        if violation.line in suppressed:
+            pragma = suppressed[violation.line]
+            if pragma is None or violation.rule_id in pragma:
+                return
+        found.append(violation)
+
     for rule in rules:
         if not rule.applies_to(scope):
             continue
         for violation in rule.check(ctx):
-            key = (violation.rule_id, violation.line, violation.col, violation.message)
-            if key in seen:
-                continue
-            seen.add(key)
-            if violation.line in suppressed:
-                pragma = suppressed[violation.line]
-                if pragma is None or violation.rule_id in pragma:
-                    continue
-            found.append(violation)
+            admit(violation)
+    for violation in _pragma_violations(source, path):
+        admit(violation)
     found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return found
 

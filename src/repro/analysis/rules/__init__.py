@@ -1,15 +1,22 @@
-"""The domain lint rules, RA001 … RA009.
+"""The domain lint rules, RA001 … RA009 and RA201 … RA204.
 
 Every rule carries an ID, a fix hint, and a scope; ``docs/analysis.md``
 documents each one with its rationale and an example.  Suppress a
 finding per line with ``# repro: noqa`` (all rules) or
-``# repro: noqa RA001,RA003`` (specific rules).
+``# repro: noqa: RA001,RA003`` (specific rules) — an unknown ID in a
+pragma is itself a finding (RA010).
 """
 
 from __future__ import annotations
 
 from .base import LintContext, Rule, Violation, in_hot_path, in_simulation
 from .boundaries import OutcomeContractRule, SlotTreeInternalsRule
+from .concurrency import (
+    BlockingCallRule,
+    FireAndForgetTaskRule,
+    LostUpdateRule,
+    UnboundedStreamRule,
+)
 from .determinism import UnseededRandomRule, WallClockRule
 from .performance import FrontOfListRule, SortInLoopRule
 from .service import ActorBoundaryRule
@@ -35,4 +42,8 @@ ALL_RULES: tuple[Rule, ...] = (
     SlotTreeInternalsRule(),
     OutcomeContractRule(),
     ActorBoundaryRule(),
+    LostUpdateRule(),
+    BlockingCallRule(),
+    FireAndForgetTaskRule(),
+    UnboundedStreamRule(),
 )

@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 rendering for ``repro check`` findings.
+
+GitHub code scanning ingests SARIF and annotates pull requests inline,
+so a lint/protocol finding shows up on the offending line of the diff
+instead of inside a CI log.  Only the small stable subset of the format
+is emitted: one run, one driver, one result per
+:class:`~repro.analysis.rules.base.Violation`, with the rule's title and
+fix hint carried as rule metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .rules import ALL_RULES
+from .rules.base import Violation
+
+__all__ = ["render_sarif", "sarif_report"]
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: ids emitted by the runner / cross-file engines rather than Rule objects
+_EXTRA_RULES: dict[str, tuple[str, str]] = {
+    "RA000": ("syntax error", "fix the syntax error; nothing else can be checked"),
+    "RA010": (
+        "noqa pragma names an unknown rule id",
+        "use an existing RA id or drop the pragma",
+    ),
+    "RA205": (
+        "send site disagrees with the protocol registry",
+        "fix the message literal or extend the OpSpec in protocol.py",
+    ),
+    "RA206": (
+        "protocol registry/handler tables are not exhaustive",
+        "add the missing handler or OpSpec entry, or delete the dead one",
+    ),
+}
+
+
+def _rule_descriptors(used: Iterable[str]) -> list[dict[str, Any]]:
+    known: dict[str, tuple[str, str]] = {
+        rule.id: (rule.title, rule.hint) for rule in ALL_RULES
+    }
+    known.update(_EXTRA_RULES)
+    descriptors: list[dict[str, Any]] = []
+    for rule_id in sorted(set(used)):
+        title, hint = known.get(rule_id, (rule_id, ""))
+        descriptors.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": title},
+                "help": {"text": hint},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors
+
+
+def _relative_uri(path: str) -> str:
+    """Repository-relative POSIX path when possible (code scanning needs it)."""
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def sarif_report(violations: Sequence[Violation]) -> dict[str, Any]:
+    """The findings as one SARIF 2.1.0 run (a JSON-serializable dict)."""
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": f"{v.message} (hint: {v.hint})" if v.hint else v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(v.path),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(1, v.line),
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": "docs/analysis.md",
+                        "rules": _rule_descriptors(v.rule_id for v in violations),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(violations: Sequence[Violation]) -> str:
+    """The SARIF run as an indented JSON document (trailing newline)."""
+    return json.dumps(sarif_report(violations), indent=2, sort_keys=True) + "\n"

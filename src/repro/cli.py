@@ -29,11 +29,17 @@ Installed as ``repro`` (see ``pyproject.toml``); also runnable as
     hot functions of the scheduling fast path.
 
 ``repro check``
-    Domain-aware static analysis (AST lint rules ``RA001``…``RA009``)
-    over the source tree, and — with ``--audit`` — a stress replay with
+    Domain-aware static analysis (AST lint rules ``RA001``…``RA009``,
+    async-actor rules ``RA201``…``RA204``) over the source tree;
+    ``--concurrency`` adds the wire-protocol conformance pass
+    (``RA205``/``RA206``) that cross-checks every literal send site and
+    handler table against the declarative registry in
+    ``service/protocol.py``; ``--audit`` replays a stress workload with
     deep structural invariant audits after every calendar mutation.
     Exits non-zero on any finding; ``--format json`` emits the
-    machine-readable report CI uploads as an artifact.
+    machine-readable report CI uploads as an artifact and
+    ``--format sarif`` (or ``--sarif-out``) renders findings as SARIF
+    2.1.0 for code-scanning annotation.
 
 ``repro serve``
     Run the online co-allocation server: a live calendar behind a
@@ -168,9 +174,20 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="files/directories to lint (default: the installed repro package)",
     )
-    chk.add_argument("--format", choices=("text", "json"), default="text")
+    chk.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     chk.add_argument("--out", default=None, help="also write the JSON report to this path")
+    chk.add_argument(
+        "--sarif-out",
+        default=None,
+        help="also write a SARIF 2.1.0 report to this path",
+    )
     chk.add_argument("--no-lint", action="store_true", help="skip the static lint pass")
+    chk.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the wire-protocol conformance pass (RA205/RA206) over "
+        "the service send sites and handler tables",
+    )
     chk.add_argument(
         "--audit",
         action="store_true",
@@ -189,10 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chk.add_argument(
         "--inject",
-        choices=("size", "seckey", "uidmap"),
+        choices=("size", "seckey", "uidmap", "drop-field", "unknown-op", "drop-handler"),
         default=None,
-        help="self-test: corrupt the audited calendar before the final audit "
-        "and require the audit to catch it",
+        help="self-test: corrupt the audited calendar (size/seckey/uidmap, "
+        "needs --audit) or the protocol model (drop-field/unknown-op/"
+        "drop-handler, needs --concurrency) and require the check to catch it",
     )
 
     srv = sub.add_parser("serve", help="run the online co-allocation server")
@@ -515,9 +533,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
+    from .analysis.protocol_check import PROTOCOL_INJECTIONS
+
+    protocol_inject = args.inject if args.inject in PROTOCOL_INJECTIONS else None
+    if protocol_inject is not None:
+        # a protocol self-test only makes sense inside the protocol pass
+        args.concurrency = True
+
     report: dict[str, object] = {}
     failed = False
     text_sections: list[str] = []
+    sarif_findings: list = []
 
     if not args.no_lint:
         from .analysis.lint import lint_paths
@@ -529,7 +555,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
         lint_report = lint_paths(paths)
         report["lint"] = lint_report.to_json()
         text_sections.append(lint_report.to_text())
+        sarif_findings.extend(lint_report.violations)
         failed = failed or not lint_report.ok
+
+    if args.concurrency:
+        from .analysis.protocol_check import run_protocol_check
+
+        protocol_report = run_protocol_check(inject=protocol_inject)
+        report["protocol"] = protocol_report.to_json()
+        text_sections.append(protocol_report.to_text())
+        sarif_findings.extend(protocol_report.violations)
+        failed = failed or not protocol_report.ok
 
     if args.audit:
         audit_section, audit_text, audit_ok = _run_audit_replay(args)
@@ -540,8 +576,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
     report["ok"] = not failed
     if args.out:
         Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    if args.sarif_out or args.format == "sarif":
+        from .analysis.sarif import render_sarif
+
+        sarif_doc = render_sarif(sarif_findings)
+        if args.sarif_out:
+            Path(args.sarif_out).write_text(sarif_doc)
     if args.format == "json":
         print(json.dumps(report, indent=2))
+    elif args.format == "sarif":
+        print(sarif_doc, end="")
     else:
         print("\n\n".join(text_sections) if text_sections else "nothing to check")
     return 1 if failed else 0
@@ -583,7 +627,7 @@ def _run_audit_replay(args: argparse.Namespace) -> tuple[dict, str, bool]:
     section["outcome_checksum"] = result.outcome_checksum
     section["accepted"] = result.accepted
 
-    if args.inject is not None:
+    if args.inject in CORRUPTIONS:
         corrupt, expected_id = CORRUPTIONS[args.inject]
         assert scheduler.calendar is not None
         description = corrupt(scheduler.calendar)

@@ -681,7 +681,9 @@ class AsyncShardedScheduler:
             assert proc.stdout is not None
             port: int | None = None
             while port is None:
-                line = proc.stdout.readline()
+                # the ready line comes over a blocking pipe; reading it
+                # inline would stall the event loop for the shard's boot
+                line = await asyncio.to_thread(proc.stdout.readline)
                 if not line:
                     raise ShardFailureError(
                         f"shard process exited during startup (rc={proc.poll()})"
@@ -720,10 +722,10 @@ class AsyncShardedScheduler:
                 link.proc.terminate()
         for link in self._links:
             try:
-                link.proc.wait(timeout=10)
+                await asyncio.to_thread(link.proc.wait, timeout=10)
             except subprocess.TimeoutExpired:  # pragma: no cover - last resort
                 link.proc.kill()
-                link.proc.wait(timeout=10)
+                await asyncio.to_thread(link.proc.wait, timeout=10)
 
     # -- transport -------------------------------------------------------
 

@@ -33,7 +33,7 @@ from typing import Any, Iterable, Iterator
 
 from ..core.types import Request
 from .metrics import LatencyWindow
-from .protocol import encode
+from .protocol import MAX_LINE_BYTES, encode
 
 __all__ = [
     "LoadgenConfig",
@@ -378,7 +378,11 @@ async def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
     reader = writer = None
     while requests or state.unacked:
         try:
-            reader, writer = await asyncio.open_connection(config.host, config.port)
+            # a probe response listing many periods can exceed asyncio's
+            # 64 KiB default readline limit; bound it like the server does
+            reader, writer = await asyncio.open_connection(
+                config.host, config.port, limit=MAX_LINE_BYTES
+            )
         except OSError:
             attempts += 1
             if attempts > config.reconnect:
@@ -425,7 +429,9 @@ async def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
         # nothing was replayed (empty slice) but the caller still wants
         # the end-of-run status/shutdown exchange
         try:
-            reader, writer = await asyncio.open_connection(config.host, config.port)
+            reader, writer = await asyncio.open_connection(
+                config.host, config.port, limit=MAX_LINE_BYTES
+            )
         except OSError:
             reader = writer = None
     if reader is not None and writer is not None:
@@ -438,7 +444,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
             pass
 
     if config.ledger_out:
-        ledger.dump(config.ledger_out)
+        await asyncio.to_thread(ledger.dump, config.ledger_out)
 
     report: dict[str, Any] = {
         "config": {
@@ -473,7 +479,11 @@ async def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
         "server_shutdown": server_shutdown,
     }
     if config.out:
-        with open(config.out, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        await asyncio.to_thread(_write_report, config.out, report)
     return report
+
+
+def _write_report(path: str, report: dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

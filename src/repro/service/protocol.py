@@ -16,6 +16,18 @@ Responses on one connection come back in request order, so pipelining
 clients may correlate FIFO; ``rid`` (reserve/cancel) and the optional
 pass-through ``seq`` field support out-of-band bookkeeping.
 
+The whole vocabulary — public client ops and internal coordinator→shard
+ops alike — lives in one declarative :data:`REGISTRY` of
+:class:`OpSpec` entries.  Everything else derives from it: runtime
+validation (:func:`decode_line`, :func:`missing_required`), the public
+``OPS`` tuple and internal ``SHARD_OPS`` set, and the static
+protocol-conformance rules ``RA205``/``RA206``
+(:mod:`repro.analysis.protocol_check`), which cross-check every literal
+``{"op": ...}`` send site and every handler table against this registry.
+Adding an op means adding one :class:`OpSpec`; forgetting the handler —
+or sending a field the spec does not know — is a lint failure, not a
+runtime surprise.
+
 Validation here is *structural* (field presence and types).  Domain
 validation — ``l_r > 0``, ``s_r >= q_r``, feasible deadlines — happens in
 :class:`~repro.core.types.Request`, whose ``ValueError`` the server maps
@@ -25,6 +37,7 @@ to the same ``MALFORMED`` error code.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from typing import Any
 
 from ..core.types import Request
@@ -36,9 +49,13 @@ __all__ = [
     "OPS",
     "SHARD_MAX_LINE_BYTES",
     "SHARD_OPS",
+    "FIELD_TYPES",
+    "OpSpec",
+    "REGISTRY",
     "ProtocolError",
     "decode_line",
     "encode",
+    "missing_required",
     "request_from_payload",
 ]
 
@@ -55,42 +72,109 @@ MAX_LINE_BYTES = 1 << 20
 #: a busy 10k-reservation calendar legitimately ships multi-MiB lines.
 SHARD_MAX_LINE_BYTES = 64 << 20
 
-#: every operation the server understands
-OPS = ("reserve", "probe", "cancel", "status", "snapshot", "shutdown")
+#: wire-type vocabulary: spec tag -> accepted Python types.  ``bool`` is
+#: excluded from ``int``/``number`` (JSON ``true`` is not a count).
+FIELD_TYPES: dict[str, tuple[type, ...]] = {
+    "int": (int,),
+    "number": (int, float),
+    "str": (str,),
+    "list": (list,),
+    "dict": (dict,),
+}
 
-#: coordinator -> shard operations on the internal shard link (same NDJSON
-#: framing; trusted, so shards validate only the op name — a malformed
-#: internal message is a coordinator bug, answered with ``ok: false``)
-SHARD_OPS = frozenset(
-    {
+
+@dataclass(frozen=True, slots=True)
+class OpSpec:
+    """One operation's wire contract: fields as ``(name, type tag)`` pairs.
+
+    ``internal=True`` marks coordinator→shard ops: same NDJSON framing,
+    but trusted (only the coordinator speaks them) and never accepted on
+    the public listener.
+    """
+
+    name: str
+    required: tuple[tuple[str, str], ...] = ()
+    optional: tuple[tuple[str, str], ...] = ()
+    internal: bool = False
+
+    def __post_init__(self) -> None:
+        for fname, tag in self.required + self.optional:
+            if tag not in FIELD_TYPES:
+                raise ValueError(f"{self.name}.{fname}: unknown type tag {tag!r}")
+
+    @property
+    def field_names(self) -> frozenset[str]:
+        """Every field this op may carry (beyond ``op`` and ``seq``)."""
+        return frozenset(name for name, _ in self.required + self.optional)
+
+
+_SPECS: tuple[OpSpec, ...] = (
+    # -- public client ops (order is the wire-documented OPS order) ------
+    OpSpec(
+        "reserve",
+        required=(("rid", "int"), ("sr", "number"), ("lr", "number"), ("nr", "int")),
+        optional=(("qr", "number"), ("deadline", "number")),
+    ),
+    OpSpec(
+        "probe",
+        required=(("ta", "number"), ("tb", "number")),
+        optional=(("limit", "int"),),
+    ),
+    OpSpec("cancel", required=(("rid", "int"),)),
+    OpSpec("status"),
+    OpSpec("snapshot", optional=(("path", "str"),)),
+    OpSpec("shutdown"),
+    # -- internal coordinator -> shard ops -------------------------------
+    OpSpec(
         "shard_load",
+        required=(("lo", "int"), ("state", "dict"), ("hwm", "int")),
+        internal=True,
+    ),
+    OpSpec(
         "shard_ladder",
+        required=(("now", "number"), ("nr", "int"), ("attempts", "list"), ("hwm", "int")),
+        internal=True,
+    ),
+    OpSpec(
         "shard_commit",
-        "shard_abort",
+        required=(
+            ("rid", "int"),
+            ("now", "number"),
+            ("start", "number"),
+            ("end", "number"),
+            ("picks", "list"),
+            ("remnant_uids", "list"),
+            ("hwm", "int"),
+        ),
+        internal=True,
+    ),
+    OpSpec("shard_abort", required=(("rid", "int"), ("now", "number")), internal=True),
+    OpSpec(
         "shard_release",
+        required=(("now", "number"), ("windows", "list"), ("hwm", "int")),
+        internal=True,
+    ),
+    OpSpec(
         "shard_range",
-        "shard_export",
-        "shard_status",
-        "shard_shutdown",
-    }
+        required=(("now", "number"), ("ta", "number"), ("tb", "number")),
+        internal=True,
+    ),
+    OpSpec("shard_export", internal=True),
+    OpSpec("shard_status", internal=True),
+    OpSpec("shard_shutdown", internal=True),
 )
 
-#: required fields per op (beyond "op"), with the accepted types
-_NUMBER = (int, float)
-_REQUIRED: dict[str, tuple[tuple[str, tuple[type, ...]], ...]] = {
-    "reserve": (("rid", (int,)), ("sr", _NUMBER), ("lr", _NUMBER), ("nr", (int,))),
-    "probe": (("ta", _NUMBER), ("tb", _NUMBER)),
-    "cancel": (("rid", (int,)),),
-    "status": (),
-    "snapshot": (),
-    "shutdown": (),
-}
+#: the single source of truth for the wire vocabulary, by op name
+REGISTRY: dict[str, OpSpec] = {spec.name: spec for spec in _SPECS}
 
-_OPTIONAL: dict[str, tuple[tuple[str, tuple[type, ...]], ...]] = {
-    "reserve": (("qr", _NUMBER), ("deadline", _NUMBER)),
-    "probe": (("limit", (int,)),),
-    "snapshot": (("path", (str,)),),
-}
+#: every operation the public server understands, in documented order
+OPS: tuple[str, ...] = tuple(s.name for s in _SPECS if not s.internal)
+
+#: coordinator -> shard operations on the internal shard link (same NDJSON
+#: framing; trusted, so shards validate only op name and field presence —
+#: a malformed internal message is a coordinator bug, answered with
+#: ``ok: false``)
+SHARD_OPS: frozenset[str] = frozenset(s.name for s in _SPECS if s.internal)
 
 
 class ProtocolError(MalformedRequestError):
@@ -104,8 +188,16 @@ def encode(message: dict[str, Any]) -> bytes:
     ).encode("utf-8")
 
 
+def _check_type(op: str, name: str, value: Any, tag: str) -> None:
+    types = FIELD_TYPES[tag]
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise ProtocolError(
+            f"{op}: field {name!r} must be {' or '.join(t.__name__ for t in types)}"
+        )
+
+
 def decode_line(raw: bytes) -> dict[str, Any]:
-    """Parse and structurally validate one request line.
+    """Parse and structurally validate one public request line.
 
     Returns the message dict (with ``op`` guaranteed present and known,
     required fields present with the right JSON types).  Raises
@@ -122,22 +214,31 @@ def decode_line(raw: bytes) -> dict[str, Any]:
     if not isinstance(message, dict):
         raise ProtocolError(f"expected a JSON object, got {type(message).__name__}")
     op = message.get("op")
-    if op not in OPS:
+    if not isinstance(op, str) or op not in OPS:
         raise ProtocolError(f"unknown op {op!r} (expected one of {', '.join(OPS)})")
-    for name, types in _REQUIRED[op]:
+    spec = REGISTRY[op]
+    for name, tag in spec.required:
         if name not in message:
             raise ProtocolError(f"{op}: missing required field {name!r}")
-        if not isinstance(message[name], types) or isinstance(message[name], bool):
-            raise ProtocolError(
-                f"{op}: field {name!r} must be {' or '.join(t.__name__ for t in types)}"
-            )
-    for name, types in _OPTIONAL.get(op, ()):
+        _check_type(op, name, message[name], tag)
+    for name, tag in spec.optional:
         if name in message and message[name] is not None:
-            if not isinstance(message[name], types) or isinstance(message[name], bool):
-                raise ProtocolError(
-                    f"{op}: field {name!r} must be {' or '.join(t.__name__ for t in types)}"
-                )
+            _check_type(op, name, message[name], tag)
     return message
+
+
+def missing_required(op: str, message: dict[str, Any]) -> list[str]:
+    """Required fields of ``op`` absent from ``message`` (unknown op: empty).
+
+    The shard actor uses this for its light-touch validation of the
+    trusted internal link: field *presence* is checked (a missing field
+    is a coordinator bug worth a loud ``ok: false``), field types are
+    not (the coordinator constructs them; RA205 checks the literals).
+    """
+    spec = REGISTRY.get(op)
+    if spec is None:
+        return []
+    return [name for name, _ in spec.required if name not in message]
 
 
 def request_from_payload(message: dict[str, Any]) -> Request:

@@ -42,7 +42,7 @@ import sys
 from typing import Any
 
 from ..core.calendar import AvailabilityCalendar
-from .protocol import SHARD_MAX_LINE_BYTES, SHARD_OPS
+from .protocol import SHARD_MAX_LINE_BYTES, SHARD_OPS, missing_required
 from .snapshot import state_checksum
 
 __all__ = ["ShardMap", "ShardState", "fresh_calendar_state", "main"]
@@ -129,6 +129,12 @@ class ShardState:
         op = str(message.get("op", ""))
         if op not in SHARD_OPS:
             return {"ok": False, "error": f"unknown shard op {op!r}"}
+        missing = missing_required(op, message)
+        if missing:
+            return {
+                "ok": False,
+                "error": f"{op}: missing required field(s) {', '.join(missing)}",
+            }
         if op != "shard_load" and self.calendar is None:
             return {"ok": False, "error": f"{op} before shard_load"}
         try:

@@ -1,0 +1,7 @@
+"""Fixture: time.sleep inside a coroutine — exactly one RA202."""
+
+import time
+
+
+async def throttle(interval):
+    time.sleep(interval)

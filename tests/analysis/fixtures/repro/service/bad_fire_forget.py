@@ -1,0 +1,7 @@
+"""Fixture: dropped create_task — exactly one RA203."""
+
+import asyncio
+
+
+async def kick(job):
+    asyncio.create_task(job())

@@ -1,0 +1,8 @@
+"""Fixture: RMW of self state across an await — exactly one RA201."""
+
+
+class Metrics:
+    async def bump(self, sampler):
+        depth = self.depth
+        await sampler.flush()
+        self.depth = depth + 1

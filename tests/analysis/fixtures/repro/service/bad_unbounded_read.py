@@ -1,0 +1,8 @@
+"""Fixture: open_connection with the 64 KiB default — exactly one RA204."""
+
+import asyncio
+
+
+async def connect(host, port):
+    reader, writer = await asyncio.open_connection(host, port)
+    return reader, writer

@@ -51,6 +51,71 @@ class TestLintMode:
         assert [v["rule"] for v in printed["lint"]["violations"]] == ["RA003"]
 
 
+class TestConcurrencyMode:
+    def test_shipped_service_conforms(self, capsys):
+        rc = main(["check", "--no-lint", "--concurrency"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conform to the registry" in out
+
+    def test_combined_lint_and_protocol_over_src(self, capsys):
+        rc = main(["check", "--concurrency", "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert report["ok"] is True
+        assert report["lint"]["ok"] is True
+        assert report["protocol"]["ok"] is True
+
+    @pytest.mark.parametrize(
+        "kind,check_id",
+        [
+            ("drop-field", "RA205"),
+            ("unknown-op", "RA206"),
+            ("drop-handler", "RA206"),
+        ],
+    )
+    def test_injected_drift_is_caught(self, capsys, kind, check_id):
+        # --concurrency is implied by a protocol injection kind
+        rc = main(["check", "--no-lint", "--inject", kind, "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 1  # an injected run never exits 0
+        assert report["protocol"]["injected"]["caught"] is True
+        assert check_id in {v["rule"] for v in report["protocol"]["violations"]}
+
+
+class TestSarifOutput:
+    def test_sarif_format_on_violations(self, capsys):
+        rc = main(
+            ["check", str(FIXTURES / "core" / "bad_front_pop.py"), "--format", "sarif"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "RA001"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 7 and region["startColumn"] >= 1
+        assert any(r["id"] == "RA001" for r in run["tool"]["driver"]["rules"])
+
+    def test_sarif_out_artifact_alongside_text(self, capsys, tmp_path):
+        artifact = tmp_path / "check.sarif"
+        rc = main(
+            [
+                "check",
+                str(FIXTURES / "core" / "clean.py"),
+                "--concurrency",
+                "--sarif-out",
+                str(artifact),
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(artifact.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"] == []
+
+
 class TestAuditMode:
     def test_clean_audit_exits_zero(self, capsys):
         rc = main(

@@ -26,6 +26,10 @@ CASES = [
     ("apps/bad_internals.py", "RA007", 5),
     ("apps/bad_outcome.py", "RA008", 8),
     ("service/bad_actor_call.py", "RA009", 5),
+    ("service/bad_lost_update.py", "RA201", 8),
+    ("service/bad_blocking.py", "RA202", 7),
+    ("service/bad_fire_forget.py", "RA203", 7),
+    ("service/bad_unbounded_read.py", "RA204", 7),
 ]
 
 
@@ -46,6 +50,41 @@ def test_clean_fixture_passes_every_rule():
 def test_noqa_fixture_fully_suppressed():
     report = lint_paths([FIXTURES / "core" / "suppressed.py"])
     assert report.ok
+
+
+def test_clean_async_fixture_passes_every_concurrency_rule():
+    report = lint_paths([FIXTURES / "service" / "clean_async.py"])
+    assert report.ok, report.to_text()
+
+
+def test_noqa_colon_form_scopes_to_listed_rules():
+    source = (
+        "import time\n\n\n"
+        "async def nap(d):\n"
+        "    time.sleep(d)  # repro: noqa: RA202  -- measured: sub-ms tick\n"
+    )
+    assert lint_source(source, module="service/x.py") == []
+    # listing a different (known) rule does not suppress RA202
+    other = source.replace("RA202", "RA201")
+    assert [v.rule_id for v in lint_source(other, module="service/x.py")] == ["RA202"]
+
+
+def test_unknown_rule_id_in_noqa_is_ra010():
+    violations = lint_source("x = 1  # repro: noqa: RA999\n", module="core/x.py")
+    assert [(v.rule_id, v.line) for v in violations] == [("RA010", 1)]
+    assert "RA999" in violations[0].message
+
+
+def test_bare_noqa_is_never_ra010():
+    assert lint_source("x = 1  # repro: noqa\n", module="core/x.py") == []
+
+
+def test_known_rule_ids_cover_every_engine():
+    from repro.analysis import KNOWN_RULE_IDS
+
+    assert {"RA001", "RA009", "RA201", "RA204", "RA205", "RA206"} <= KNOWN_RULE_IDS
+    assert "RA101" in KNOWN_RULE_IDS  # audit checks are suppressible ids too
+    assert "RA999" not in KNOWN_RULE_IDS
 
 
 def test_noqa_listing_other_rule_does_not_suppress():
