@@ -52,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI smoke scale: 2000 requests on 128 servers (explicit flags still win)",
     )
     parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="replay the workload N times and report the median throughput "
+        "(single runs on a shared host swing ±10-15%%; medians are what "
+        "regression hunts should compare)",
+    )
+    parser.add_argument(
         "--out",
         default=str(_REPO_ROOT / "BENCH_hotpath.json"),
         help="result JSON path (default: BENCH_hotpath.json at the repo root)",
@@ -65,6 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run(args: argparse.Namespace) -> dict:
+    from repro.core.slot_tree import backend_info
+
     n_requests = args.requests
     n_servers = args.servers
     if args.quick:
@@ -81,12 +91,23 @@ def run(args: argparse.Namespace) -> dict:
         tau=args.tau,
         load=args.load,
     )
-    scheduler = OnlineScheduler(n_servers=n_servers, tau=args.tau, q_slots=args.q_slots)
-    result: ReplayResult = replay(scheduler, requests)
+    repeat = max(1, args.repeat)
+    results: list[ReplayResult] = []
+    for _ in range(repeat):
+        scheduler = OnlineScheduler(n_servers=n_servers, tau=args.tau, q_slots=args.q_slots)
+        results.append(replay(scheduler, requests))
+    checksums = {r.outcome_checksum for r in results}
+    if len(checksums) != 1:
+        raise AssertionError(f"non-deterministic replay: {sorted(checksums)}")
+    # the median run is the record: per-run throughput on a shared host
+    # swings far more than any code change under test
+    by_throughput = sorted(results, key=lambda r: r.requests_per_sec)
+    result = by_throughput[len(results) // 2]
 
     record = {
         "benchmark": "hotpath-replay",
         "quick": bool(args.quick),
+        "backend": backend_info()["backend"],
         "n_servers": n_servers,
         "requests": n_requests,
         "rho": args.rho,
@@ -94,8 +115,10 @@ def run(args: argparse.Namespace) -> dict:
         "tau": args.tau,
         "q_slots": args.q_slots,
         "seed": args.seed,
+        "repeats": repeat,
         "elapsed_sec": round(result.elapsed_sec, 4),
         "requests_per_sec": round(result.requests_per_sec, 1),
+        "requests_per_sec_all": [round(r.requests_per_sec, 1) for r in results],
         "p50_latency_us": round(result.latency_percentile(50.0), 2),
         "p99_latency_us": round(result.latency_percentile(99.0), 2),
         "accepted": result.accepted,

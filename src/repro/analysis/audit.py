@@ -50,12 +50,13 @@ from __future__ import annotations
 from bisect import insort
 from typing import TYPE_CHECKING, Callable
 
+from ..core._kernel import NIL
 from ..core.slot_tree import ALPHA
 from ..core.types import INF, IdlePeriod, Reservation
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep core import-light
     from ..core.calendar import AvailabilityCalendar
-    from ..core.slot_tree import TwoDimTree, _Node
+    from ..core.slot_tree import TwoDimTree
 
 __all__ = [
     "AUDIT_CHECK_IDS",
@@ -120,11 +121,28 @@ class AuditError(AssertionError):
 
 
 def audit_tree(tree: "TwoDimTree", label: str = "tree") -> list[AuditFinding]:
-    """Audit one slot tree; returns findings (empty == every invariant holds)."""
+    """Audit one slot tree; returns findings (empty == every invariant holds).
+
+    Reads the array layout directly: the tree's
+    :class:`~repro.core._kernel.TreeKernel` stores nodes as integer ids
+    into parallel ``keys``/``size``/``left``/``right``/``parent``/``secs``
+    arrays (``left[i] == NIL`` marks a leaf), and period objects are
+    resolved through the wrapper's uid map — so the leaf-key checks
+    (RA103/RA106) validate against ``by_uid`` rather than a per-leaf
+    period pointer, and RA105 additionally ties the kernel's cached
+    ``count`` to the actual leaf population.
+    """
     findings: list[AuditFinding] = []
-    root = tree._root
+    kernel = tree._kernel
     by_uid = tree._by_uid
-    if root is None:
+    keys: list[tuple[float, int]] = kernel.keys
+    size: list[int] = kernel.size
+    left: list[int] = kernel.left
+    right: list[int] = kernel.right
+    parent: list[int] = kernel.parent
+    secs: list[list[tuple[float, int]]] = kernel.secs
+    root: int = kernel.root
+    if root == NIL:
         if by_uid:
             findings.append(
                 AuditFinding(
@@ -133,57 +151,76 @@ def audit_tree(tree: "TwoDimTree", label: str = "tree") -> list[AuditFinding]:
                     f"uid map retains {len(by_uid)} entrie(s) for an empty tree",
                 )
             )
+        if kernel.count != 0:
+            findings.append(
+                AuditFinding("RA101", label, f"empty tree caches count {kernel.count}")
+            )
         return findings
-    if root.parent is not None:
+    if parent[root] != NIL:
         findings.append(AuditFinding("RA107", label, "root has a parent pointer"))
 
-    leaves: list[_Node] = []
+    leaf_keys: list[tuple[float, int]] = []
 
-    def check(node: "_Node") -> tuple[int, tuple[float, float], tuple[float, float]]:
+    def check(node: int) -> tuple[int, tuple[float, int], tuple[float, int]]:
         """Returns (size, min_key, max_key) of the subtree; appends findings."""
-        where = f"{label}/node@key={node.key}"
-        if node.period is not None:  # leaf
-            leaves.append(node)
-            if node.size != 1:
+        where = f"{label}/node@key={keys[node]}"
+        lc = left[node]
+        rc = right[node]
+        if lc == NIL:  # leaf
+            leaf_keys.append(keys[node])
+            if rc != NIL:
+                findings.append(AuditFinding("RA107", where, "leaf has a right child"))
+            if size[node] != 1:
                 findings.append(
-                    AuditFinding("RA101", where, f"leaf size {node.size} != 1")
+                    AuditFinding("RA101", where, f"leaf size {size[node]} != 1")
                 )
-            expected_key = (node.period.st, node.period.uid)
-            if node.key != expected_key:
-                findings.append(
-                    AuditFinding(
-                        "RA103", where, f"leaf key {node.key} != period key {expected_key}"
-                    )
-                )
-            expected_sec = [(node.period.et, node.period.uid)]
-            if node.sec_keys != expected_sec:
+            uid = keys[node][1]
+            period = by_uid.get(uid)
+            if period is None:
                 findings.append(
                     AuditFinding(
-                        "RA106",
-                        where,
-                        f"leaf sec_keys {node.sec_keys} != {expected_sec}",
+                        "RA105", where, f"uid {uid} stored in tree but absent from uid map"
                     )
                 )
-            return 1, node.key, node.key
-        if node.left is None or node.right is None:
+            else:
+                expected_key = (period.st, period.uid)
+                if keys[node] != expected_key:
+                    findings.append(
+                        AuditFinding(
+                            "RA103",
+                            where,
+                            f"leaf key {keys[node]} != period key {expected_key}",
+                        )
+                    )
+                expected_sec = [(period.et, period.uid)]
+                if secs[node] != expected_sec:
+                    findings.append(
+                        AuditFinding(
+                            "RA106",
+                            where,
+                            f"leaf sec keys {secs[node]} != {expected_sec}",
+                        )
+                    )
+            return 1, keys[node], keys[node]
+        if rc == NIL:
             findings.append(AuditFinding("RA107", where, "internal node missing a child"))
-            return node.size, node.key, node.key
-        for child, side in ((node.left, "left"), (node.right, "right")):
-            if child.parent is not node:
+            return size[node], keys[node], keys[node]
+        for child, side in ((lc, "left"), (rc, "right")):
+            if parent[child] != node:
                 findings.append(
                     AuditFinding(
                         "RA107", where, f"{side} child's parent pointer does not point back"
                     )
                 )
-        ls, lmin, lmax = check(node.left)
-        rs, rmin, rmax = check(node.right)
-        if node.size != ls + rs:
+        ls, lmin, lmax = check(lc)
+        rs, rmin, rmax = check(rc)
+        if size[node] != ls + rs:
             findings.append(
                 AuditFinding(
-                    "RA101", where, f"size {node.size} != left {ls} + right {rs}"
+                    "RA101", where, f"size {size[node]} != left {ls} + right {rs}"
                 )
             )
-        if not (lmax <= node.key < rmin):
+        if not (lmax <= keys[node] < rmin):
             findings.append(
                 AuditFinding(
                     "RA102",
@@ -201,16 +238,16 @@ def audit_tree(tree: "TwoDimTree", label: str = "tree") -> list[AuditFinding]:
                     f"alpha*size={limit:.1f}",
                 )
             )
-        sec = node.sec_keys
+        sec = secs[node]
         if any(sec[i] > sec[i + 1] for i in range(len(sec) - 1)):
-            findings.append(AuditFinding("RA104", where, "sec_keys not sorted ascending"))
-        expected = sorted(node.left.sec_keys + node.right.sec_keys)
+            findings.append(AuditFinding("RA104", where, "sec keys not sorted ascending"))
+        expected = sorted(secs[lc] + secs[rc])
         if sorted(sec) != expected:
             findings.append(
                 AuditFinding(
                     "RA106",
                     where,
-                    "sec_keys do not hold exactly the children's (et, uid) keys",
+                    "sec keys do not hold exactly the children's (et, uid) keys",
                 )
             )
         return ls + rs, lmin, rmax
@@ -218,33 +255,32 @@ def audit_tree(tree: "TwoDimTree", label: str = "tree") -> list[AuditFinding]:
     check(root)
 
     # leaves were collected left-to-right; verify global ordering
-    for a, b in zip(leaves, leaves[1:]):
-        if a.key >= b.key:
+    for a, b in zip(leaf_keys, leaf_keys[1:]):
+        if a >= b:
             findings.append(
                 AuditFinding(
                     "RA103",
                     label,
-                    f"leaves out of order: {a.key} before {b.key}",
+                    f"leaves out of order: {a} before {b}",
                 )
             )
             break
 
-    # uid-map bijection
-    leaf_periods = {leaf.period.uid: leaf.period for leaf in leaves if leaf.period is not None}
-    for uid, period in leaf_periods.items():
-        mapped = by_uid.get(uid)
-        if mapped is None:
-            findings.append(
-                AuditFinding("RA105", label, f"uid {uid} stored in tree but absent from uid map")
+    # the kernel's cached population vs the actual leaf count
+    if kernel.count != len(leaf_keys):
+        findings.append(
+            AuditFinding(
+                "RA101",
+                label,
+                f"kernel caches count {kernel.count} but the tree holds {len(leaf_keys)} leaves",
             )
-        elif mapped is not period:
-            findings.append(
-                AuditFinding(
-                    "RA105", label, f"uid map entry for {uid} is not the stored period object"
-                )
-            )
+        )
+
+    # uid-map bijection (identity holds by construction: periods are only
+    # reachable through the map, so membership equality is the whole check)
+    leaf_uids = {key[1] for key in leaf_keys}
     for uid in by_uid:
-        if uid not in leaf_periods:
+        if uid not in leaf_uids:
             findings.append(
                 AuditFinding("RA105", label, f"uid map holds stray uid {uid} with no leaf")
             )
@@ -285,7 +321,13 @@ def audit_calendar(cal: "AvailabilityCalendar") -> list[AuditFinding]:
     for q, tree in cal._trees.items():
         findings.extend(audit_tree(tree, label=f"slot {q}"))
         lo, hi = q * cal.tau, (q + 1) * cal.tau
-        for p in tree.periods():
+        # resolve stored uids defensively: a corrupted uid map (missing
+        # entry) is already reported as RA105 by audit_tree and must not
+        # abort the remaining cross-structure checks
+        stored = (tree._by_uid.get(uid) for uid in tree._kernel.uids_inorder())
+        for p in stored:
+            if p is None:
+                continue
             if not cal.dense and p.et == INF:
                 findings.append(
                     AuditFinding(
@@ -550,19 +592,23 @@ def _pick_tree(
 def corrupt_size_field(cal: "AvailabilityCalendar") -> str:
     """Break a size field; the audit must report RA101."""
     tree = _pick_tree(cal, lambda t: len(t) >= 2)
-    root = tree._root
-    assert root is not None
-    root.size += 1
-    return f"incremented root size to {root.size} in a tree of {len(root.sec_keys)} leaves"
+    kernel = tree._kernel
+    assert kernel.root != NIL
+    kernel.size[kernel.root] += 1
+    return (
+        f"incremented root size to {kernel.size[kernel.root]} in a tree of "
+        f"{len(kernel.secs[kernel.root])} leaves"
+    )
 
 
 def corrupt_secondary_key(cal: "AvailabilityCalendar") -> str:
     """Drift a secondary key; the audit must report RA106 (and usually RA104)."""
     tree = _pick_tree(cal, lambda t: len(t) >= 2)
-    root = tree._root
-    assert root is not None and root.sec_keys
-    et, uid = root.sec_keys[0]
-    root.sec_keys[0] = (et + 1.0, uid)
+    kernel = tree._kernel
+    sec = kernel.secs[kernel.root]
+    assert kernel.root != NIL and sec
+    et, uid = sec[0]
+    sec[0] = (et + 1.0, uid)
     return f"drifted secondary key of uid {uid} from et={et} to et={et + 1.0}"
 
 

@@ -18,12 +18,26 @@ from .base import LintContext, Rule, Violation
 
 __all__ = ["SlotTreeInternalsRule", "OutcomeContractRule"]
 
-#: attributes that exist only on slot-tree internals
-_PRIVATE_ATTRS = frozenset({"sec_keys", "_root", "_by_uid", "_find_leaf", "_rebuild"})
+#: attributes that exist only on slot-tree internals — node-backed names
+#: (``sec_keys``/``_root``) and array-kernel names (``_kernel``/``secs``)
+_PRIVATE_ATTRS = frozenset(
+    {"sec_keys", "_root", "_by_uid", "_find_leaf", "_rebuild", "_kernel", "secs"}
+)
 
-#: modules allowed to touch them: the tree itself and the designated
-#: invariant auditor (whose whole job is inspecting internals)
-_ALLOWED_MODULES = ("core/slot_tree.py", "analysis/audit.py")
+#: names private to the kernel/tree modules that must not be imported
+#: elsewhere (``_Node`` is the node-backed reference's node class;
+#: ``TreeKernel`` is the array kernel's storage class)
+_PRIVATE_IMPORTS = frozenset({"_Node", "TreeKernel"})
+
+#: modules allowed to touch them: the tree itself (array wrapper, kernel,
+#: and the node-backed reference) and the designated invariant auditor
+#: (whose whole job is inspecting internals)
+_ALLOWED_MODULES = (
+    "core/slot_tree.py",
+    "core/slot_tree_nodes.py",
+    "core/_kernel.py",
+    "analysis/audit.py",
+)
 
 
 class SlotTreeInternalsRule(Rule):
@@ -44,9 +58,9 @@ class SlotTreeInternalsRule(Rule):
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ImportFrom):
                 for alias in node.names:
-                    if alias.name == "_Node":
+                    if alias.name in _PRIVATE_IMPORTS:
                         yield self.violation(
-                            ctx, node, "_Node is private to core/slot_tree.py"
+                            ctx, node, f"{alias.name} is private to the slot-tree modules"
                         )
             elif isinstance(node, ast.Attribute) and node.attr in _PRIVATE_ATTRS:
                 yield self.violation(

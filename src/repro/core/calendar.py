@@ -46,6 +46,10 @@ __all__ = ["AvailabilityCalendar"]
 #: sentinel uid bound making ``(t, _UID_HIGH)`` compare after any real key
 _UID_HIGH = math.inf
 
+#: per-slot update batches accumulated by one :meth:`allocate` call:
+#: slot index -> (periods to remove from that slot's tree, periods to add)
+_SlotBatches = dict[int, tuple[list[IdlePeriod], list[IdlePeriod]]]
+
 
 class AvailabilityCalendar:
     """Tracks when each of ``n_servers`` is free, indexed for co-allocation.
@@ -273,7 +277,16 @@ class AvailabilityCalendar:
             return range(0)
         return range(first, last + 1)
 
-    def _index_period(self, period: IdlePeriod) -> None:
+    def _index_period(self, period: IdlePeriod, batches: _SlotBatches | None = None) -> None:
+        """Register ``period`` with every derived index.
+
+        With ``batches`` given (the batch-reserve path), per-slot tree
+        insertions are *recorded* under their slot instead of applied —
+        :meth:`allocate` flushes each slot's accumulated operations as one
+        fused :meth:`~repro.core.slot_tree.TwoDimTree.apply_batch` call.
+        Tail-index and pending bookkeeping stay immediate either way
+        (they are O(log N) array work with no rebalancing to fuse).
+        """
         if period.et == INF:
             idx = bisect_right(self._inf_keys, (period.st, period.uid))
             self._inf_keys.insert(idx, (period.st, period.uid))
@@ -283,16 +296,20 @@ class AvailabilityCalendar:
                 return
             # dense (paper-literal) mode: the trailing period also lives
             # in the tree of every remaining slot
-        trees = self._trees
-        for q in self._overlapping_slots(period):
-            trees[q].insert(period)
+        if batches is None:
+            trees = self._trees
+            for q in self._overlapping_slots(period):
+                trees[q].insert(period)
+        else:
+            for q in self._overlapping_slots(period):
+                batches.setdefault(q, ([], []))[1].append(period)
         if period.et != INF and period.et > self.horizon_end:
             bucket_slot = max(self.slot_of(period.st), self._base_slot + self.q_slots)
             self._pending[period.uid] = period
             self._pending_slot[period.uid] = bucket_slot
             self._pending_buckets.setdefault(bucket_slot, {})[period.uid] = period
 
-    def _unindex_period(self, period: IdlePeriod) -> None:
+    def _unindex_period(self, period: IdlePeriod, batches: _SlotBatches | None = None) -> None:
         if period.et == INF:
             idx = bisect_right(self._inf_keys, (period.st, period.uid)) - 1
             assert idx >= 0 and self._inf_keys[idx] == (period.st, period.uid)
@@ -301,9 +318,13 @@ class AvailabilityCalendar:
             self.counter.add("remove")
             if not self.dense:
                 return
-        trees = self._trees
-        for q in self._overlapping_slots(period):
-            trees[q].remove(period)
+        if batches is None:
+            trees = self._trees
+            for q in self._overlapping_slots(period):
+                trees[q].remove(period)
+        else:
+            for q in self._overlapping_slots(period):
+                batches.setdefault(q, ([], []))[0].append(period)
         if self._pending.pop(period.uid, None) is not None:
             bucket_slot = self._pending_slot.pop(period.uid)
             bucket = self._pending_buckets[bucket_slot]
@@ -311,14 +332,14 @@ class AvailabilityCalendar:
             if not bucket:
                 del self._pending_buckets[bucket_slot]
 
-    def _add_period(self, period: IdlePeriod) -> None:
+    def _add_period(self, period: IdlePeriod, batches: _SlotBatches | None = None) -> None:
         keys = self._server_keys[period.server]
         idx = bisect_right(keys, period.st)
         keys.insert(idx, period.st)
         self._server_periods[period.server].insert(idx, period)
-        self._index_period(period)
+        self._index_period(period, batches)
 
-    def _drop_period(self, period: IdlePeriod) -> None:
+    def _drop_period(self, period: IdlePeriod, batches: _SlotBatches | None = None) -> None:
         keys = self._server_keys[period.server]
         periods = self._server_periods[period.server]
         idx = bisect_left(keys, period.st)
@@ -329,7 +350,7 @@ class AvailabilityCalendar:
             raise ValueError(f"{period} is not registered on server {period.server}")
         del keys[idx]
         del periods[idx]
-        self._unindex_period(period)
+        self._unindex_period(period, batches)
 
     # ------------------------------------------------------------------
     # allocation and release
@@ -355,6 +376,17 @@ class AvailabilityCalendar:
         order (the slot trees' tie-break) matches the single-calendar
         creation order exactly.  Raises ``ValueError`` if the list runs
         out before every remnant is created.
+
+        This is the batch-reserve path: the ``O(n_r · Q)`` slot-tree
+        updates one request implies are accumulated per slot while the
+        authoritative lists and the tail/pending indexes update in the
+        usual order, then each touched slot tree applies its removals and
+        insertions as one fused
+        :meth:`~repro.core.slot_tree.TwoDimTree.apply_batch` pass with
+        deferred rebalancing.  Remnant uids are created in exactly the
+        sequential order (left remnant then right remnant, period by
+        period), and Phase-2 selection is a pure function of stored
+        periods — so fusing changes no scheduling outcome.
         """
         uid_iter = iter(remnant_uids) if remnant_uids is not None else None
 
@@ -366,18 +398,23 @@ class AvailabilityCalendar:
                 raise ValueError("remnant_uids exhausted before all remnants were made")
             return IdlePeriod(server=server, st=st, et=et, uid=uid)
 
-        reservations: list[Reservation] = []
         for period in periods:
             if not period.is_feasible(start, end):
                 raise ValueError(
                     f"period {period} cannot host [{start}, {end}) on server {period.server}"
                 )
-            self._drop_period(period)
+        batches: _SlotBatches = {}
+        reservations: list[Reservation] = []
+        for period in periods:
+            self._drop_period(period, batches)
             if period.st < start:
-                self._add_period(fresh(period.server, period.st, start))
+                self._add_period(fresh(period.server, period.st, start), batches)
             if end < period.et:
-                self._add_period(fresh(period.server, end, period.et))
+                self._add_period(fresh(period.server, end, period.et), batches)
             reservations.append(Reservation(rid=rid, server=period.server, start=start, end=end))
+        trees = self._trees
+        for q, (removals, inserts) in batches.items():
+            trees[q].apply_batch(removals, inserts)
         return reservations
 
     def release(

@@ -81,6 +81,22 @@ class OpCounter:
         if retrieved:
             c["retrieve"] += retrieved
 
+    def add_batch(self, inserts: int, removals: int, visits: int, probes: int) -> None:
+        """One fused batch of tree updates (the batch-reserve path): the
+        category totals match the equivalent sequence of
+        :meth:`add_insert`/:meth:`add_remove` calls, at one call per batch.
+        Rebuild leaf counts are flushed separately — deferred rebalancing
+        legitimately rebuilds fewer leaves than the sequential schedule."""
+        c = self.counts
+        if inserts:
+            c["insert"] += inserts
+        if removals:
+            c["remove"] += removals
+        if visits:
+            c["node_visit"] += visits
+        if probes:
+            c["secondary_probe"] += probes
+
     def total(self) -> int:
         """Total operations across every category."""
         return sum(self.counts.values())
@@ -118,6 +134,9 @@ class _NullCounter(OpCounter):
         pass
 
     def add_search(self, visits: int, marks: int, probes: int, retrieved: int) -> None:  # noqa: D102
+        pass
+
+    def add_batch(self, inserts: int, removals: int, visits: int, probes: int) -> None:  # noqa: D102
         pass
 
 

@@ -1,4 +1,4 @@
-"""The 2-dimensional availability tree of Section 4.1.
+"""The 2-dimensional availability tree of Section 4.1 — array-backed.
 
 One :class:`TwoDimTree` exists per time slot; it stores every idle period
 that overlaps the slot.  The *primary* dimension is a leaf-oriented,
@@ -18,6 +18,34 @@ the paper's bounds hold: Phase 1 visits ``O(log N)`` nodes and marks
 ``O(log N)`` subtrees, Phase 2 costs ``O((log N)^2)``, and updates are
 amortized ``O(log^2 N)`` tree work plus the array shifts.
 
+Since the array-backed rewrite, the tree itself lives in
+:class:`repro.core._kernel.TreeKernel` as struct-of-arrays storage — node
+ids indexing parallel lists — which mypyc compiles to a C extension when
+the package is built with ``REPRO_MYPYC=1`` (see ``docs/algorithm.md``).
+This module is the thin uncompiled boundary around it: it owns the
+uid → :class:`~repro.core.types.IdlePeriod` map (the kernel speaks
+``(st, et, uid)`` primitives only), flushes the kernel's per-operation
+accounting into the shared :class:`~repro.core.opcount.OpCounter`, and —
+because it stays pure python — remains monkeypatchable by the differ's
+bug injectors and the audit engine's mutation wrappers.
+
+Backend selection happens once, at import:
+
+* normally ``repro.core._kernel`` is imported the usual way, resolving to
+  the compiled extension when one was built and the pure-python source
+  otherwise;
+* ``REPRO_PURE_CORE=1`` in the environment forces the pure-python source
+  to be loaded even when the compiled extension exists — the
+  checksum-gated fallback (CI asserts both backends produce bit-identical
+  outcome checksums) and the escape hatch ``repro profile`` uses, since
+  compiled frames are invisible to cProfile.
+
+:func:`backend_info` reports which backend this process actually runs.
+
+The node-backed implementation this replaced is preserved verbatim as
+:mod:`repro.core.slot_tree_nodes`; the hypothesis equivalence suite keeps
+the two in lock-step.
+
 Invariants (exercised by ``validate()`` and the property tests):
 
 * leaves appear in ascending ``(st, uid)`` order;
@@ -31,81 +59,73 @@ Invariants (exercised by ``validate()`` and the property tests):
 
 from __future__ import annotations
 
+import importlib.util
 import math
-from bisect import bisect_left, insort_left
-from typing import Iterator
+import os
+import sys
+from types import ModuleType
+from typing import Any, Iterator
 
-from .merge import merge_earliest
 from .opcount import NULL_COUNTER, OpCounter
 from .types import IdlePeriod
 
-__all__ = ["TwoDimTree", "ALPHA"]
-
-#: Weight-balance factor: a node with ``size(child) > ALPHA * size(node)``
-#: triggers a partial rebuild of the highest unbalanced subtree.  0.8
-#: trades slightly deeper trees (depth <= log_{1.25} n ~= 3.1 log2 n) for
-#: far fewer rebuilds under the monotone insertion patterns the calendar
-#: produces (remnants carry ever-increasing uids).
-ALPHA = 0.8
-
-#: Sentinel uid used to turn a scalar start-time bound into a search key
-#: that compares *after* every real ``(st, uid)`` key with the same st.
-_UID_HIGH = math.inf
+__all__ = ["TwoDimTree", "ALPHA", "backend_info"]
 
 
-class _Node:
-    """A primary-tree node; leaves carry an idle period, internal nodes a split key.
+def _pure_kernel_module() -> ModuleType:
+    """Load ``_kernel.py`` from source, bypassing any compiled extension.
 
-    ``sec_keys`` is the secondary dimension: the ``(et, uid)`` keys of
-    every idle period below the node, ascending.  The periods themselves
-    are resolved through the owning tree's uid map — storing keys only
-    halves the per-ancestor update work and the rebuild merge volume.
+    Registered under its own name (``repro.core._kernel_pure``) so the
+    compiled module — if present — keeps its identity for anything that
+    imported it directly.
     """
-
-    __slots__ = ("key", "size", "left", "right", "parent", "period", "sec_keys")
-
-    def __init__(self) -> None:
-        self.key: tuple[float, float] = (0.0, 0.0)
-        self.size = 1
-        self.left: _Node | None = None
-        self.right: _Node | None = None
-        self.parent: _Node | None = None
-        self.period: IdlePeriod | None = None
-        self.sec_keys: list[tuple[float, int]] = []
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.period is not None
-
-    @staticmethod
-    def leaf(period: IdlePeriod) -> "_Node":
-        node = _Node()
-        node.key = (period.st, period.uid)
-        node.period = period
-        node.sec_keys = [(period.et, period.uid)]
-        return node
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_kernel.py")
+    spec = importlib.util.spec_from_file_location("repro.core._kernel_pure", path)
+    if spec is None or spec.loader is None:  # pragma: no cover - broken install
+        raise ImportError(f"cannot load pure-python kernel from {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["repro.core._kernel_pure"] = module
+    spec.loader.exec_module(module)
+    return module
 
 
-def _collect(node: _Node) -> tuple[list[_Node], list[_Node]]:
-    """Leaves below ``node`` in ascending key order, plus the internal
-    nodes of the subtree (recycled by rebuilds to avoid allocation)."""
-    leaves: list[_Node] = []
-    internals: list[_Node] = []
-    leaves_append = leaves.append
-    internals_append = internals.append
-    stack = [node]
-    stack_append = stack.append
-    stack_pop = stack.pop
-    while stack:
-        cur = stack_pop()
-        if cur.period is not None:
-            leaves_append(cur)
-        else:
-            internals_append(cur)
-            # push right first so left is processed first
-            stack_append(cur.right)  # type: ignore[arg-type]
-            stack_append(cur.left)  # type: ignore[arg-type]
-    return leaves, internals
+#: True when ``REPRO_PURE_CORE`` demands the pure-python kernel.
+_FORCE_PURE: bool = os.environ.get("REPRO_PURE_CORE", "").strip().lower() not in (
+    "",
+    "0",
+    "off",
+    "false",
+    "no",
+)
+
+from . import _kernel as _kernel_mod  # noqa: E402 - needs _FORCE_PURE first
+
+_impl: ModuleType = (
+    _pure_kernel_module() if _FORCE_PURE and _kernel_mod.IS_COMPILED else _kernel_mod
+)
+
+_TreeKernel: Any = _impl.TreeKernel
+_NIL: int = _impl.NIL
+
+#: Weight-balance factor — re-exported from the kernel; see there.
+ALPHA: float = _impl.ALPHA
+
+
+def backend_info() -> dict[str, object]:
+    """Which slot-tree kernel this process runs.
+
+    ``backend`` is ``"compiled"`` (mypyc extension) or ``"pure-python"``;
+    ``forced_pure`` records whether ``REPRO_PURE_CORE`` overrode a
+    compiled build.  Benchmarks embed this next to their checksums so a
+    recorded number always names the backend that produced it.
+    """
+    compiled = bool(_impl.IS_COMPILED)
+    return {
+        "backend": "compiled" if compiled else "pure-python",
+        "compiled": compiled,
+        "forced_pure": _FORCE_PURE,
+        "module": str(getattr(_impl, "__file__", "<unknown>")),
+    }
 
 
 class TwoDimTree:
@@ -118,10 +138,10 @@ class TwoDimTree:
         operation counts; defaults to a do-nothing counter.
     """
 
-    __slots__ = ("_root", "_counter", "_by_uid")
+    __slots__ = ("_kernel", "_counter", "_by_uid")
 
     def __init__(self, counter: OpCounter = NULL_COUNTER) -> None:
-        self._root: _Node | None = None
+        self._kernel: Any = _TreeKernel()
         self._counter = counter
         #: uid -> period for everything stored; resolves secondary keys
         self._by_uid: dict[int, IdlePeriod] = {}
@@ -131,19 +151,18 @@ class TwoDimTree:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return self._root.size if self._root is not None else 0
+        return int(self._kernel.count)
 
     def __contains__(self, period: IdlePeriod) -> bool:
-        leaf, visits = self._find_leaf(period)
+        node, visits = self._kernel.find(period.st, period.uid)
         if visits:
             self._counter.add("node_visit", visits)
-        return leaf is not None
+        return bool(node != _NIL)
 
     def periods(self) -> Iterator[IdlePeriod]:
         """All stored idle periods in ascending start-time order."""
-        if self._root is None:
-            return iter(())
-        return (leaf.period for leaf in _collect(self._root)[0])  # type: ignore[misc]
+        by_uid = self._by_uid
+        return (by_uid[uid] for uid in self._kernel.uids_inorder())
 
     # ------------------------------------------------------------------
     # updates
@@ -151,73 +170,55 @@ class TwoDimTree:
 
     def insert(self, period: IdlePeriod) -> None:
         """Insert an idle period (O(log^2 N) amortized)."""
-        new_leaf = _Node()
-        key = (period.st, period.uid)
-        sec_key = (period.et, period.uid)
-        new_leaf.key = key
-        new_leaf.period = period
-        new_leaf.sec_keys = [sec_key]
+        k = self._kernel
         self._by_uid[period.uid] = period
-        if self._root is None:
-            self._root = new_leaf
-            self._counter.add_insert(0, 0)
-            return
-        # single fused descent: push the size increment and the secondary
-        # insertion into every node passed, and spot the highest
-        # α-unbalanced ancestor on the way down (the descent child's final
-        # size is its current size + 1 — for the split leaf too, which
-        # becomes an internal node of size 2 — so the post-update balance
-        # test can run before the update completes)
-        node = self._root
-        visits = 0
-        probes = 0
-        unbal: _Node | None = None
-        while node.period is None:
-            visits += 1
-            size = node.size + 1
-            node.size = size
-            insort_left(node.sec_keys, sec_key)
-            # len(sec_keys) == subtree size on every node, so the probe
-            # cost needs no len() call
-            probes += size.bit_length()
-            left = node.left
-            child = left if key <= node.key else node.right
-            if unbal is None:
-                limit = ALPHA * size
-                other = node.right if child is left else left
-                if child.size + 1 > limit or other.size > limit:  # type: ignore[union-attr]
-                    unbal = node
-            node = child  # type: ignore[assignment]
-        # split the leaf into an internal node with two leaf children
-        old_leaf = node
-        internal = _Node()
-        if key < old_leaf.key:
-            internal.left, internal.right = new_leaf, old_leaf
-            internal.key = key
-        else:
-            internal.left, internal.right = old_leaf, new_leaf
-            internal.key = old_leaf.key
-        internal.size = 2
-        old_sec = old_leaf.sec_keys[0]
-        if sec_key < old_sec:
-            internal.sec_keys = [sec_key, old_sec]
-        else:
-            internal.sec_keys = [old_sec, sec_key]
-        new_leaf.parent = internal
-        old_parent = old_leaf.parent
-        old_leaf.parent = internal
-        internal.parent = old_parent
-        if old_parent is None:
-            self._root = internal
-        elif old_parent.left is old_leaf:
-            old_parent.left = internal
-        else:
-            old_parent.right = internal
+        k.insert(period.st, period.et, period.uid)
         # batched accounting: totals are identical to counting each
         # elementary step as it happens, at a fraction of the call overhead
-        self._counter.add_insert(visits, probes)
-        if unbal is not None:
-            self._rebuild(unbal)
+        self._counter.add_insert(k.last_visits, k.last_probes)
+        if k.last_rebuilt:
+            self._counter.add("rebuild", k.last_rebuilt)
+
+    def remove(self, period: IdlePeriod) -> None:
+        """Remove an idle period; raises ``KeyError`` if absent."""
+        k = self._kernel
+        if not k.remove(period.st, period.et, period.uid):
+            self._counter.add_remove(k.last_visits, 0)
+            raise KeyError(f"idle period uid={period.uid} not in tree")
+        del self._by_uid[period.uid]
+        self._counter.add_remove(k.last_visits, k.last_probes)
+        if k.last_rebuilt:
+            self._counter.add("rebuild", k.last_rebuilt)
+
+    def apply_batch(self, removals: list[IdlePeriod], inserts: list[IdlePeriod]) -> None:
+        """Apply one allocation's removals and insertions in a single pass.
+
+        The batch-reserve fast path: every tree update one request makes
+        against this slot is fused into one kernel call with *deferred*
+        rebalancing — each operation's descent/walk runs as usual, but
+        partial rebuilds are postponed to a single flush that rebuilds
+        only the nodes still unbalanced under the final sizes (typically
+        one rebuild per batch instead of one per ~3 operations).  Since
+        Phase-2 selection is a pure function of stored periods, the
+        different intermediate tree shapes change no outcome.  Raises
+        ``KeyError`` when a removal is absent, like :meth:`remove`.
+        """
+        k = self._kernel
+        ok = k.apply_batch(
+            [(p.st, p.et, p.uid) for p in removals],
+            [(p.st, p.et, p.uid) for p in inserts],
+        )
+        if not ok:
+            self._counter.add_remove(k.last_visits, 0)
+            raise KeyError("batch removal of an idle period not in tree")
+        by_uid = self._by_uid
+        for p in removals:
+            del by_uid[p.uid]
+        for p in inserts:
+            by_uid[p.uid] = p
+        self._counter.add_batch(len(inserts), len(removals), k.last_visits, k.last_probes)
+        if k.last_rebuilt:
+            self._counter.add("rebuild", k.last_rebuilt)
 
     def bulk_load(self, periods: list[IdlePeriod]) -> None:
         """Replace the tree contents with ``periods`` in O(k log k).
@@ -227,98 +228,31 @@ class TwoDimTree:
         waste an O(log N) factor.
         """
         self._by_uid = {p.uid: p for p in periods}
-        if not periods:
-            self._root = None
-            return
-        leaves = [_Node.leaf(p) for p in sorted(periods, key=lambda p: (p.st, p.uid))]
-        self._counter.add("rebuild", len(leaves))
-        self._root = self._build(leaves, 0, len(leaves), [])
-        self._root.parent = None
-
-    def remove(self, period: IdlePeriod) -> None:
-        """Remove an idle period; raises ``KeyError`` if absent."""
-        leaf, visits = self._find_leaf(period)
-        if leaf is None:
-            self._counter.add_remove(visits, 0)
-            raise KeyError(f"idle period uid={period.uid} not in tree")
-        del self._by_uid[period.uid]
-        parent = leaf.parent
-        if parent is None:
-            self._root = None
-            self._counter.add_remove(visits, 0)
-            return
-        sibling = parent.right if parent.left is leaf else parent.left
-        assert sibling is not None
-        grand = parent.parent
-        sibling.parent = grand
-        if grand is None:
-            self._root = sibling
-        elif grand.left is parent:
-            grand.left = sibling
-        else:
-            grand.right = sibling
-        # single fused upward walk: sizes below the current ancestor are
-        # already final, so the balance test runs in the same pass; the
-        # *last* unbalanced node seen is the highest one, as the inlined
-        # _rebalance wants
-        sec_key = (period.et, period.uid)
-        probes = 0
-        unbal: _Node | None = None
-        anc = grand
-        while anc is not None:
-            size = anc.size - 1
-            anc.size = size
-            keys = anc.sec_keys
-            idx = bisect_left(keys, sec_key)
-            del keys[idx]
-            probes += (size + 1).bit_length()
-            limit = ALPHA * size
-            if anc.left.size > limit or anc.right.size > limit:  # type: ignore[union-attr]
-                unbal = anc
-            anc = anc.parent
-        self._counter.add_remove(visits, probes)
-        if unbal is not None:
-            self._rebuild(unbal)
+        self._kernel.bulk_load([(p.st, p.et, p.uid) for p in periods])
+        if periods:
+            self._counter.add("rebuild", len(periods))
 
     # ------------------------------------------------------------------
     # searches (the two phases of Section 4.2)
     # ------------------------------------------------------------------
 
-    def phase1(self, sr: float) -> tuple[int, list[_Node]]:
+    def phase1(self, sr: float) -> tuple[int, list[int]]:
         """Locate every *candidate* idle period (``st <= sr``).
 
-        Returns the candidate count and the marked subtree roots in
-        marking order (ascending start ranges).  Phase 2 merges their
-        secondary indexes into one canonical feasibility order, so the
-        partition produced here is an implementation detail — only the
-        union of the marked leaves matters.
+        Returns the candidate count and the marked subtree roots (kernel
+        node ids) in marking order (ascending start ranges).  Phase 2
+        merges their secondary indexes into one canonical feasibility
+        order, so the partition produced here is an implementation detail
+        — only the union of the marked leaves matters.  Marks are only
+        valid until the next update of this tree.
         """
-        bound = (sr, _UID_HIGH)
-        count = 0
-        marks: list[_Node] = []
-        marks_append = marks.append
-        visits = 0
-        node = self._root
-        while node is not None:
-            visits += 1
-            if node.period is not None:
-                if node.key <= bound:
-                    marks_append(node)
-                    count += node.size
-                break
-            if node.key <= bound:
-                # every leaf in the left subtree starts at or before sr
-                left = node.left
-                marks_append(left)  # type: ignore[arg-type]
-                count += left.size  # type: ignore[union-attr]
-                node = node.right
-            else:
-                node = node.left
-        self._counter.add_search(visits, len(marks), 0, 0)
-        return count, marks
+        k = self._kernel
+        count, marks = k.phase1(sr)
+        self._counter.add_search(k.last_visits, len(marks), 0, 0)
+        return int(count), list(marks)
 
     def phase2(
-        self, marks: list[_Node], er: float, need: int | float, partial: bool = False
+        self, marks: list[int], er: float, need: int | float, partial: bool = False
     ) -> list[IdlePeriod] | None:
         """Among the marked candidates, find ``need`` periods with ``et >= er``.
 
@@ -346,25 +280,16 @@ class TwoDimTree:
         feasible period (range searches), in ascending ``(et, uid)``
         order.
         """
-        bound = (er, -1)
-        by_uid = self._by_uid
-        probes = 0
-        avail = 0
-        runs: list[tuple[list[tuple[float, int]], int]] = []
-        for node in marks:
-            keys = node.sec_keys
-            idx = bisect_left(keys, bound)
-            probes += node.size.bit_length()
-            if idx < len(keys):
-                avail += len(keys) - idx
-                runs.append((keys, idx))
-        need_int = avail if need == math.inf else int(need)
-        if avail < need_int and not partial:
-            self._counter.add_search(0, 0, probes, 0)
+        k = self._kernel
+        need_int = -1 if need == math.inf else int(need)
+        chosen = k.phase2(marks, er, need_int, partial)
+        if chosen is None:
+            self._counter.add_search(0, 0, k.last_probes, 0)
             return None
-        chosen = [by_uid[k[1]] for k in merge_earliest(runs, need_int)]
-        self._counter.add_search(0, 0, probes, len(chosen))
-        return chosen
+        by_uid = self._by_uid
+        out = [by_uid[key[1]] for key in chosen]
+        self._counter.add_search(0, 0, k.last_probes, len(out))
+        return out
 
     def find_feasible(self, sr: float, er: float, nr: int) -> list[IdlePeriod] | None:
         """Run both phases for a request occupying ``[sr, er)`` on ``nr`` servers."""
@@ -382,94 +307,6 @@ class TwoDimTree:
         _, marks = self.phase1(ta)
         found = self.phase2(marks, tb, math.inf)
         return found if found is not None else []
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-
-    def _find_leaf(self, period: IdlePeriod) -> tuple[_Node | None, int]:
-        """Locate the leaf holding ``period``; returns ``(leaf, visits)``
-        so the caller can fold the visit count into its own accounting."""
-        key = (period.st, period.uid)
-        visits = 0
-        node = self._root
-        while node is not None and node.period is None:
-            visits += 1
-            node = node.left if key <= node.key else node.right
-        if node is not None and node.period.uid == period.uid:  # type: ignore[union-attr]
-            return node, visits
-        return None, visits
-
-    def _rebuild(self, node: _Node) -> None:
-        # capture the attachment point first: `node` itself enters the
-        # recycling pool and may be rewired while the subtree is rebuilt
-        parent = node.parent
-        was_left = parent is not None and parent.left is node
-        # the rebuilt root covers the same leaf set, so its merged
-        # secondary array is the old root's, verbatim — _build never
-        # mutates a recycled node's old array, it only rebinds
-        top_keys = node.sec_keys
-        leaves, pool = _collect(node)
-        self._counter.add("rebuild", len(leaves))
-        fresh = self._build(leaves, 0, len(leaves), pool, top_keys)
-        fresh.parent = parent
-        if parent is None:
-            self._root = fresh
-        elif was_left:
-            parent.left = fresh
-        else:
-            parent.right = fresh
-
-    def _build(
-        self,
-        leaves: list[_Node],
-        lo: int,
-        hi: int,
-        pool: list[_Node],
-        keys: list[tuple[float, int]] | None = None,
-    ) -> _Node:
-        """Build a perfectly balanced subtree over ``leaves[lo:hi]`` (already
-        ordered), recycling internal nodes from ``pool`` when available.
-        ``keys``, when given, is the node's known merged secondary array
-        (the largest merge of a rebuild, skipped rather than recomputed)."""
-        if hi - lo == 1:
-            leaf = leaves[lo]
-            leaf.left = leaf.right = None
-            return leaf
-        mid = (lo + hi + 1) // 2  # left gets the extra leaf; key = max of left
-        node = pool.pop() if pool else _Node()
-        node.period = None
-        # expand single-leaf children inline: over half of all recursive
-        # calls would otherwise be the trivial base case above
-        if mid - lo == 1:
-            left = leaves[lo]
-            left.left = left.right = None
-        else:
-            left = self._build(leaves, lo, mid, pool)
-        if hi - mid == 1:
-            right = leaves[mid]
-            right.left = right.right = None
-        else:
-            right = self._build(leaves, mid, hi, pool)
-        node.left, node.right = left, right
-        left.parent = right.parent = node
-        node.key = leaves[mid - 1].key
-        node.size = hi - lo
-        if keys is not None:
-            node.sec_keys = keys
-            return node
-        # merge the children's secondary arrays; when the runs do not
-        # interleave (frequent: later-starting periods tend to end later)
-        # a plain concatenation suffices, otherwise the concatenation is
-        # two sorted runs, which timsort merges in linear time
-        lk, rk = left.sec_keys, right.sec_keys
-        if lk[-1] < rk[0]:
-            node.sec_keys = lk + rk
-        elif rk[-1] < lk[0]:
-            node.sec_keys = rk + lk
-        else:
-            node.sec_keys = sorted(lk + rk)
-        return node
 
     # ------------------------------------------------------------------
     # verification (test support)

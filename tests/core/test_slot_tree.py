@@ -12,11 +12,14 @@ from repro.core.types import INF, IdlePeriod
 from ..conftest import make_periods
 
 
-def _subtree_periods(node):
-    """Every idle period stored at the leaves below ``node``."""
-    if node.period is not None:
-        return [node.period]
-    return _subtree_periods(node.left) + _subtree_periods(node.right)
+def _subtree_periods(tree, node):
+    """Every idle period stored at the leaves below kernel node id ``node``."""
+    kernel = tree._kernel
+    if kernel.left[node] == -1:  # leaf
+        return [tree._by_uid[kernel.keys[node][1]]]
+    return _subtree_periods(tree, kernel.left[node]) + _subtree_periods(
+        tree, kernel.right[node]
+    )
 
 
 def naive_candidates(periods, sr):
@@ -136,7 +139,7 @@ class TestPhase1:
         tree.bulk_load(periods)
         sr = 50.0
         _, marks = tree.phase1(sr)
-        marked = [p for node in marks for p in _subtree_periods(node)]
+        marked = [p for node in marks for p in _subtree_periods(tree, node)]
         assert sorted(p.uid for p in marked) == sorted(
             p.uid for p in naive_candidates(periods, sr)
         )

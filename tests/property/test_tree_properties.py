@@ -115,11 +115,13 @@ class TestStructuralInvariants:
         if not periods:
             return
 
+        kernel = tree._kernel
+
         def depth(node):
-            if node is None or node.is_leaf:
+            if node == -1 or kernel.left[node] == -1:  # empty or leaf
                 return 1
-            return 1 + max(depth(node.left), depth(node.right))
+            return 1 + max(depth(kernel.left[node]), depth(kernel.right[node]))
 
         # alpha-weight-balance implies depth <= log_{1/alpha}(n) + O(1)
         bound = math.log(max(len(periods), 2), 4.0 / 3.0) + 2
-        assert depth(tree._root) <= bound
+        assert depth(kernel.root) <= bound
