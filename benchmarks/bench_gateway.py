@@ -1,0 +1,295 @@
+"""Acceptance benchmark for the HTTP front door (`repro gateway`).
+
+Boots real subprocesses and replays an SWF-derived trace through the
+gateway twice:
+
+* **Run A (uninterrupted)** — ``repro serve`` behind ``repro gateway``,
+  the full trace over HTTP (``repro loadgen --transport http``),
+  shadow-ledger validated end to end, plus a ``/metrics`` scrape whose
+  request counter must equal the number of requests sent.
+* **Run B (kill-promote)** — the primary runs with a decision log and a
+  ``repro follow`` warm standby tails it.  Replay the first half over
+  HTTP, ``SIGKILL`` the primary (no snapshot, no drain), ``repro
+  promote`` the follower, front the promoted service with a fresh
+  gateway, and replay the second half with the first half's ledger
+  preloaded.  The final checksum must equal run A's: failover through
+  the replication path is decision-identical to a server that never
+  died.
+
+Both replays must finish with zero shadow-ledger violations.  Results
+land in ``BENCH_gateway.json`` at the repository root.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py             # full: 10k requests
+    PYTHONPATH=src python benchmarks/bench_gateway.py --jobs 2000 # CI smoke scale
+
+A plain script like ``bench_service.py``: the JSON artifact is the
+product, and the subprocess orchestration does not fit pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    import repro  # noqa: F401
+
+_ENV = dict(
+    os.environ,
+    PYTHONPATH=str(Path(repro.__file__).resolve().parents[1]),
+)
+
+_READY = re.compile(r"listening on [0-9.]+:(\d+)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=10_000, help="requests to replay")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--servers", type=int, default=128, help="system size N")
+    parser.add_argument("--tau", type=float, default=900.0)
+    parser.add_argument("--q-slots", type=int, default=96)
+    parser.add_argument("--window", type=int, default=64, help="loadgen in-flight window")
+    parser.add_argument(
+        "--out",
+        default=str(_REPO_ROOT / "BENCH_gateway.json"),
+        help="result JSON path (default: BENCH_gateway.json at the repo root)",
+    )
+    return parser
+
+
+def spawn_ready(cmd: list[str]) -> tuple[subprocess.Popen, int]:
+    """Launch a repro subcommand and parse its ephemeral port off stdout."""
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=_ENV, text=True
+    )
+    line = proc.stdout.readline()
+    match = _READY.search(line or "")
+    if match is None:
+        proc.kill()
+        raise RuntimeError(f"subprocess failed to boot: {line!r} ({cmd[3]})")
+    return proc, int(match.group(1))
+
+
+def start_server(args: argparse.Namespace, log_dir: str | None) -> tuple[subprocess.Popen, int]:
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--servers", str(args.servers),
+        "--tau", str(args.tau),
+        "--q-slots", str(args.q_slots),
+    ]
+    if log_dir:
+        cmd += ["--log-dir", log_dir]
+    return spawn_ready(cmd)
+
+
+def start_gateway(backend_port: int) -> tuple[subprocess.Popen, int]:
+    # the bench measures decision identity and throughput, not the edge
+    # limiter: a replay must never be 429'd into divergence
+    return spawn_ready(
+        [
+            sys.executable, "-m", "repro.cli", "gateway",
+            "--backend-port", str(backend_port),
+            "--rate", "1000000", "--burst", "1000000",
+        ]
+    )
+
+
+def start_follower(primary_port: int, work: Path) -> tuple[subprocess.Popen, int]:
+    return spawn_ready(
+        [
+            sys.executable, "-m", "repro.cli", "follow",
+            "--primary-port", str(primary_port),
+            "--poll-interval", "0.05",
+            "--log-dir", str(work / "follower-log"),
+        ]
+    )
+
+
+def loadgen(args: argparse.Namespace, port: int, out: Path, **extra: object) -> dict:
+    """Run ``repro loadgen --transport http`` and return its report."""
+    cmd = [
+        sys.executable, "-m", "repro.cli", "loadgen",
+        "--port", str(port),
+        "--transport", "http",
+        "--swf", extra.pop("swf"),
+        "--seed", str(args.seed),
+        "--window", str(args.window),
+        "--out", str(out),
+    ]
+    for flag, value in extra.items():
+        if value is True:
+            cmd.append(f"--{flag.replace('_', '-')}")
+        elif value is not None:
+            cmd += [f"--{flag.replace('_', '-')}", str(value)]
+    completed = subprocess.run(cmd, env=_ENV, capture_output=True, text=True)
+    if completed.returncode not in (0, 1):  # 1 = ledger violations, reported below
+        raise RuntimeError(
+            f"loadgen failed rc={completed.returncode}:\n{completed.stderr}"
+        )
+    if not out.exists():
+        raise RuntimeError(
+            f"loadgen wrote no report (rc={completed.returncode}):\n{completed.stderr}"
+        )
+    return json.loads(out.read_text())
+
+
+def rpc(port: int, message: dict) -> dict:
+    """One blocking NDJSON request/response (promote, follower_status)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall((json.dumps(message) + "\n").encode())
+        chunks = b""
+        while not chunks.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks += chunk
+    return json.loads(chunks)
+
+
+def scrape_metrics(port: int) -> str:
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=10) as fh:
+        return fh.read().decode("utf-8")
+
+
+def counter_value(metrics: str, name: str) -> float:
+    """Sum every labeled sample of one counter family."""
+    total = 0.0
+    for line in metrics.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def wait_follower_caught_up(ctl_port: int, timeout: float = 30.0) -> dict:
+    deadline = time.perf_counter() + timeout
+    status = rpc(ctl_port, {"op": "follower_status"})
+    while time.perf_counter() < deadline:
+        status = rpc(ctl_port, {"op": "follower_status"})
+        if status.get("hwm", 0) > 0 and status.get("primary_up"):
+            return status
+        time.sleep(0.1)
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    work = Path(tempfile.mkdtemp(prefix="bench_gateway_"))
+    trace = work / "trace.swf"
+
+    generate = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "generate",
+         "--jobs", str(args.jobs), "--seed", str(args.seed), "--out", str(trace)],
+        env=_ENV, capture_output=True, text=True,
+    )
+    if generate.returncode != 0:
+        raise RuntimeError(f"trace generation failed:\n{generate.stderr}")
+
+    # ---- run A: uninterrupted, full trace over HTTP ------------------
+    server_a, server_a_port = start_server(args, log_dir=None)
+    gateway_a, gateway_a_port = start_gateway(server_a_port)
+    t0 = time.perf_counter()
+    report_a = loadgen(args, gateway_a_port, work / "run_a.json", swf=str(trace))
+    wall_a = time.perf_counter() - t0
+    metrics = scrape_metrics(gateway_a_port)
+    requests_seen = counter_value(metrics, "repro_gateway_requests_total")
+    metrics_ok = (
+        requests_seen >= args.jobs  # data-plane requests (+ the status call)
+        and "repro_gateway_request_seconds{quantile=" in metrics
+        and "repro_gateway_backend_up 1" in metrics
+    )
+    gateway_a.send_signal(signal.SIGTERM)
+    rpc(server_a_port, {"op": "shutdown"})
+    server_a.wait(timeout=30)
+    gateway_a.wait(timeout=30)
+
+    # ---- run B: SIGKILL the primary mid-trace, promote the follower --
+    half = args.jobs // 2
+    primary, primary_port = start_server(args, log_dir=str(work / "primary-log"))
+    follower, follower_ctl = start_follower(primary_port, work)
+    gateway_b, gateway_b_port = start_gateway(primary_port)
+
+    t0 = time.perf_counter()
+    report_b1 = loadgen(
+        args, gateway_b_port, work / "run_b1.json",
+        swf=str(trace), limit=half, ledger_out=str(work / "ledger.json"),
+    )
+    caught_up = wait_follower_caught_up(follower_ctl)
+    primary.send_signal(signal.SIGKILL)  # no snapshot, no drain, no goodbye
+    primary.wait(timeout=30)
+    gateway_b.send_signal(signal.SIGTERM)
+    gateway_b.wait(timeout=30)
+
+    promoted = rpc(follower_ctl, {"op": "promote"})
+    if not promoted.get("ok"):
+        raise RuntimeError(f"promote failed: {promoted}")
+    gateway_b2, gateway_b2_port = start_gateway(int(promoted["port"]))
+    report_b2 = loadgen(
+        args, gateway_b2_port, work / "run_b2.json",
+        swf=str(trace), offset=half, ledger_in=str(work / "ledger.json"),
+    )
+    wall_b = time.perf_counter() - t0
+    final_status = rpc(int(promoted["port"]), {"op": "status"})
+    gateway_b2.send_signal(signal.SIGTERM)
+    rpc(int(promoted["port"]), {"op": "shutdown"})
+    follower.wait(timeout=30)
+    gateway_b2.wait(timeout=30)
+
+    checksums_agree = (
+        report_a["accepted_checksum"]
+        == report_a["server_status"]["accepted_checksum"]
+        == final_status["accepted_checksum"]
+        == report_b2["accepted_checksum"]
+    )
+    violations = (
+        report_a["violations_total"]
+        + report_b1["violations_total"]
+        + report_b2["violations_total"]
+    )
+    result = {
+        "bench": "gateway",
+        "jobs": args.jobs,
+        "seed": args.seed,
+        "servers": args.servers,
+        "uninterrupted": {
+            "wall_s": round(wall_a, 3),
+            "throughput_rps": round(args.jobs / wall_a, 1),
+            "accepted": report_a["accepted"],
+            "rejected": report_a["rejected"],
+            "checksum": report_a["accepted_checksum"],
+            "metrics_requests_total": requests_seen,
+            "metrics_ok": metrics_ok,
+        },
+        "kill_promote": {
+            "wall_s": round(wall_b, 3),
+            "promoted_hwm": promoted["hwm"],
+            "follower_hwm_at_kill": caught_up.get("hwm"),
+            "checksum": report_b2["accepted_checksum"],
+        },
+        "violations_total": violations,
+        "checksums_agree": checksums_agree,
+        "ok": bool(checksums_agree and violations == 0 and metrics_ok),
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -5,19 +5,21 @@ registry (:data:`repro.service.protocol.REGISTRY`).  This module
 cross-checks the *code* against that registry, both directions:
 
 * **RA205 — send sites.**  Every literal ``{"op": ...}`` dict
-  constructed in the four service modules (``server.py``,
-  ``coordinator.py``, ``shards.py``, ``loadgen.py``) is a message
-  somebody will put on the wire.  The op must be registered, required
-  fields must be present (unless a ``**`` splat may supply them),
-  literal field values must have the spec'd JSON type, and no field may
-  be unknown to the spec.  Dicts carrying a literal ``ok`` key are
-  *responses* (they echo the op, their payload schema is the handler's
-  business) and only get the op-is-known check.
+  constructed in the service modules (``server.py``, ``coordinator.py``,
+  ``shards.py``, ``loadgen.py``) and the gateway modules (``app.py``,
+  ``follower.py``) is a message somebody will put on the wire.  The op
+  must be registered, required fields must be present (unless a ``**``
+  splat may supply them), literal field values must have the spec'd
+  JSON type, and no field may be unknown to the spec.  Dicts carrying a
+  literal ``ok`` key are *responses* (they echo the op, their payload
+  schema is the handler's business) and only get the op-is-known check.
 
 * **RA206 — exhaustiveness.**  Registry and handler tables must agree
-  both ways: every registered public op has a server
+  both ways, per role: every registered public op has a server
   ``_actor_apply_<op>`` method and vice versa; every registered shard
-  op has a ``ShardState._op_<op>`` method and vice versa; and every
+  op has a ``ShardState._op_<op>`` method and vice versa; every
+  registered follower op has a ``_ctl_<op>`` method in
+  ``gateway/follower.py`` and vice versa; and every
   :class:`~repro.errors.ErrorCode` member (except ``OK``) is carried on
   the wire by some ``ReproError`` subclass' ``code`` attribute.
 
@@ -42,6 +44,7 @@ from ..service.protocol import FIELD_TYPES, OpSpec, REGISTRY
 from .rules.base import Violation
 
 __all__ = [
+    "GATEWAY_SEND_SITE_MODULES",
     "PROTOCOL_INJECTIONS",
     "ProtocolModel",
     "ProtocolReport",
@@ -52,6 +55,10 @@ __all__ = [
 
 #: the modules whose literal ``{"op": ...}`` constructions go on the wire
 SEND_SITE_MODULES = ("server.py", "coordinator.py", "shards.py", "loadgen.py")
+
+#: gateway modules with wire send sites, resolved against the sibling
+#: ``gateway`` package (skipped when absent, e.g. in fixture trees)
+GATEWAY_SEND_SITE_MODULES = ("app.py", "follower.py")
 
 _HINT_205 = (
     "make the send site agree with protocol.REGISTRY: fix the message literal, "
@@ -80,6 +87,12 @@ class ProtocolModel:
     shards_path: str = ""
     shards_class_line: int = 1
     shard_handlers: dict[str, int] = field(default_factory=dict)
+    follower_path: str = ""
+    follower_class_line: int = 1
+    follower_handlers: dict[str, int] = field(default_factory=dict)
+    #: ``False`` when no follower module exists (fixture trees): the
+    #: follower half of the exhaustiveness check is skipped then
+    follower_present: bool = False
     errors_path: str = ""
     error_codes: dict[str, int] = field(default_factory=dict)  # member -> line
     mapped_codes: set[str] = field(default_factory=set)
@@ -168,6 +181,17 @@ def collect_model(
     model.shards_path = str(shards_file)
     shards_tree = ast.parse(shards_file.read_text(encoding="utf-8"), filename=str(shards_file))
     model.shard_handlers, model.shards_class_line = _handler_table(shards_tree, "_op_")
+
+    follower_file = service_dir.parent / "gateway" / "follower.py"
+    model.follower_path = str(follower_file)
+    if follower_file.exists():
+        model.follower_present = True
+        follower_tree = ast.parse(
+            follower_file.read_text(encoding="utf-8"), filename=str(follower_file)
+        )
+        model.follower_handlers, model.follower_class_line = _handler_table(
+            follower_tree, "_ctl_"
+        )
 
     model.errors_path = str(errors_path)
     errors_tree = ast.parse(errors_path.read_text(encoding="utf-8"), filename=str(errors_path))
@@ -292,8 +316,9 @@ def _exhaustiveness(model: ProtocolModel) -> list[Violation]:
             )
         )
 
-    public = {name for name, spec in model.registry.items() if not spec.internal}
-    internal = {name for name, spec in model.registry.items() if spec.internal}
+    public = {name for name, spec in model.registry.items() if spec.role == "public"}
+    internal = {name for name, spec in model.registry.items() if spec.role == "shard"}
+    follower = {name for name, spec in model.registry.items() if spec.role == "follower"}
 
     for op in sorted(public - set(model.server_handlers)):
         emit(
@@ -319,6 +344,19 @@ def _exhaustiveness(model: ProtocolModel) -> list[Violation]:
             model.shard_handlers[op],
             f"handler _op_{op} serves an op missing from protocol.REGISTRY",
         )
+    if model.follower_present:
+        for op in sorted(follower - set(model.follower_handlers)):
+            emit(
+                model.follower_path,
+                model.follower_class_line,
+                f"registered follower op {op!r} has no _ctl_{op} handler",
+            )
+        for op in sorted(set(model.follower_handlers) - follower):
+            emit(
+                model.follower_path,
+                model.follower_handlers[op],
+                f"handler _ctl_{op} serves an op missing from protocol.REGISTRY",
+            )
     for code in sorted(set(model.error_codes) - model.mapped_codes - {"OK"}):
         emit(
             model.errors_path,
@@ -352,11 +390,18 @@ def _inject_drop_handler(model: ProtocolModel) -> str:
     return "removed the server's _actor_apply_cancel handler from the model"
 
 
+def _inject_drop_follower_handler(model: ProtocolModel) -> str:
+    model.follower_present = True
+    model.follower_handlers.pop("promote", None)
+    return "removed the follower's _ctl_promote handler from the model"
+
+
 #: injection name -> (mutator, rule id the check must then report)
 PROTOCOL_INJECTIONS: dict[str, tuple[Callable[[ProtocolModel], str], str]] = {
     "drop-field": (_inject_drop_field, "RA205"),
     "unknown-op": (_inject_unknown_op, "RA206"),
     "drop-handler": (_inject_drop_handler, "RA206"),
+    "drop-follower-handler": (_inject_drop_follower_handler, "RA206"),
 }
 
 
@@ -437,8 +482,10 @@ def run_protocol_check(
 
     report = ProtocolReport(injected=injected)
     base = Path(model.server_path).parent
-    for name in SEND_SITE_MODULES:
-        module_file = base / name
+    gateway_base = base.parent / "gateway"
+    candidates = [base / name for name in SEND_SITE_MODULES]
+    candidates += [gateway_base / name for name in GATEWAY_SEND_SITE_MODULES]
+    for module_file in candidates:
         if not module_file.exists():
             continue
         source = module_file.read_text(encoding="utf-8")

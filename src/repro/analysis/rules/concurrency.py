@@ -9,10 +9,11 @@ an explicit size bound, because ``asyncio``'s default ``limit`` is
 (RA204 — the exact bug class the sharded-service PR hit and fixed by
 hand).  These rules make all four invariants lintable.
 
-Scope: ``service/`` and ``verify/`` — the two packages that run
-coroutines.  RA201 additionally exempts the single-writer actor loop
-(any coroutine whose name contains ``actor``), mirroring RA009: the
-actor owns the state, so its cross-await updates cannot race anything.
+Scope: ``service/``, ``gateway/`` and ``verify/`` — the packages that
+run coroutines.  RA201 additionally exempts the single-writer actor
+loop (any coroutine whose name contains ``actor``), mirroring RA009:
+the actor owns the state, so its cross-await updates cannot race
+anything.
 """
 
 from __future__ import annotations
@@ -38,7 +39,7 @@ __all__ = [
 
 
 def _in_async_scope(module: str) -> bool:
-    return module.startswith("service/") or module.startswith("verify/")
+    return module.startswith(("service/", "gateway/", "verify/"))
 
 
 class LostUpdateRule(Rule):
@@ -53,7 +54,7 @@ class LostUpdateRule(Rule):
     )
 
     def applies_to(self, module: str) -> bool:
-        return module.startswith("service/")
+        return module.startswith(("service/", "gateway/"))
 
     def check(self, ctx: LintContext) -> Iterator[Violation]:
         for coroutine in iter_coroutines(ctx.tree):

@@ -69,6 +69,24 @@ Installed as ``repro`` (see ``pyproject.toml``); also runnable as
     Exit codes are the shared :class:`repro.errors.ErrorCode` enum — 0
     granted, 2 malformed request, 3 rejected after the ``R_max`` retry
     policy, 6 load-shed (``BUSY``).
+
+``repro gateway``
+    The production front door: an asyncio HTTP/1.1 server translating
+    JSON endpoints (``POST /v1/reserve|probe|cancel``, ``GET
+    /v1/status``) onto the TCP service, with bearer-token tenancy,
+    per-tenant token-bucket rate limits, ``/healthz`` and Prometheus
+    ``/metrics``.  See ``docs/gateway.md``.
+
+``repro follow``
+    A warm-standby follower: tails the primary's decision log
+    (``log_tail``) to maintain a replica calendar, verifying every
+    replayed verdict, and exposes a control port for ``follower_status``
+    and ``promote``.
+
+``repro promote``
+    Failover client: tell a follower to stop tailing and serve its
+    replayed state as a primary.  Prints the promoted service's port,
+    replication cursor and accepted checksum.
 """
 
 from __future__ import annotations
@@ -206,11 +224,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chk.add_argument(
         "--inject",
-        choices=("size", "seckey", "uidmap", "drop-field", "unknown-op", "drop-handler"),
+        choices=(
+            "size",
+            "seckey",
+            "uidmap",
+            "drop-field",
+            "unknown-op",
+            "drop-handler",
+            "drop-follower-handler",
+        ),
         default=None,
         help="self-test: corrupt the audited calendar (size/seckey/uidmap, "
         "needs --audit) or the protocol model (drop-field/unknown-op/"
-        "drop-handler, needs --concurrency) and require the check to catch it",
+        "drop-handler/drop-follower-handler, needs --concurrency) and "
+        "require the check to catch it",
     )
 
     srv = sub.add_parser("serve", help="run the online co-allocation server")
@@ -253,10 +280,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition the calendar across K shard subprocesses "
         "(1 = single in-process calendar; decisions are identical either way)",
     )
+    srv.add_argument(
+        "--log-dir",
+        default=None,
+        help="decision-log directory for follower replication "
+        "(None disables the log and the log_tail op)",
+    )
+    srv.add_argument(
+        "--log-segment-bytes",
+        type=int,
+        default=1 << 20,
+        help="rotate decision-log segments at this size",
+    )
 
     lg = sub.add_parser("loadgen", help="replay a trace against a running server")
     lg.add_argument("--host", default="127.0.0.1")
     lg.add_argument("--port", type=int, required=True)
+    lg.add_argument(
+        "--transport",
+        choices=("tcp", "http"),
+        default="tcp",
+        help="tcp = NDJSON to the service; http = pipelined POST /v1/reserve "
+        "through a repro gateway at --host:--port",
+    )
+    lg.add_argument(
+        "--token", default=None, help="bearer token (http transport only)"
+    )
     lg.add_argument("--swf", default=None, help="replay this SWF log")
     lg.add_argument("--workload", choices=_WORKLOADS, default="KTH")
     lg.add_argument("--jobs", type=int, default=2000)
@@ -302,7 +351,11 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument(
         "--plan",
         default="all",
-        help="chaos plan: kill-restart, duplicate, reorder, kill-shard, or all",
+        help="chaos plan: kill-restart, duplicate, reorder, kill-shard, "
+        "front-door (replay through a repro gateway over HTTP), "
+        "kill-promote (SIGKILL the primary, promote a log-tailing "
+        "follower), or all (the first three, plus kill-shard when "
+        "sharded; front-door and kill-promote are explicit-only)",
     )
     fz.add_argument(
         "--shrink",
@@ -346,6 +399,73 @@ def build_parser() -> argparse.ArgumentParser:
     rsv.add_argument("--duration", type=float, required=True, help="temporal size l_r")
     rsv.add_argument("--nodes", type=int, required=True, help="spatial size n_r")
     rsv.add_argument("--deadline", type=float, default=None)
+
+    gw = sub.add_parser("gateway", help="run the HTTP/JSON front door")
+    gw.add_argument("--host", default="127.0.0.1")
+    gw.add_argument("--port", type=int, default=0, help="HTTP port (0 = ephemeral)")
+    gw.add_argument("--backend-host", default="127.0.0.1")
+    gw.add_argument(
+        "--backend-port", type=int, required=True, help="the TCP service to front"
+    )
+    gw.add_argument(
+        "--token-file",
+        default=None,
+        help="token:tenant lines; omitted = open mode (every caller is "
+        "tenant 'anonymous')",
+    )
+    gw.add_argument(
+        "--rate", type=float, default=1000.0, help="token-bucket refill per tenant (req/s)"
+    )
+    gw.add_argument(
+        "--burst", type=float, default=2000.0, help="token-bucket capacity per tenant"
+    )
+
+    fol = sub.add_parser("follow", help="run a warm-standby decision-log follower")
+    fol.add_argument("--host", default="127.0.0.1")
+    fol.add_argument("--port", type=int, default=0, help="control port (0 = ephemeral)")
+    fol.add_argument("--primary-host", default="127.0.0.1")
+    fol.add_argument(
+        "--primary-port", type=int, required=True, help="the primary's TCP port"
+    )
+    fol.add_argument("--follower-id", default="follower-1")
+    fol.add_argument(
+        "--poll-interval", type=float, default=0.25, help="seconds between empty polls"
+    )
+    fol.add_argument(
+        "--batch-limit", type=int, default=512, help="records per log_tail request"
+    )
+    fol.add_argument(
+        "--bootstrap-snapshot",
+        default=None,
+        help="primary snapshot to bootstrap from (omitted = fresh, from the "
+        "primary's status geometry; requires an uncompacted log)",
+    )
+    fol.add_argument(
+        "--snapshot-path",
+        default=None,
+        help="snapshot file for the service started on promotion",
+    )
+    fol.add_argument(
+        "--log-dir",
+        default=None,
+        help="decision-log directory for the service started on promotion",
+    )
+    fol.add_argument(
+        "--promote-port",
+        type=int,
+        default=0,
+        help="default TCP port for the promoted service (0 = ephemeral)",
+    )
+
+    pro = sub.add_parser("promote", help="promote a follower to serving primary")
+    pro.add_argument("--host", default="127.0.0.1")
+    pro.add_argument("--port", type=int, required=True, help="the follower's control port")
+    pro.add_argument(
+        "--promote-port",
+        type=int,
+        default=0,
+        help="TCP port for the promoted service (0 = follower's default)",
+    )
 
     return parser
 
@@ -709,6 +829,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         metrics_interval=args.metrics_interval,
         shards=args.shards,
+        log_dir=args.log_dir,
+        log_segment_bytes=args.log_segment_bytes,
     )
     try:
         crashed = asyncio.run(serve_forever(config))
@@ -724,6 +846,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     from .service.loadgen import LoadgenConfig, run_loadgen
 
+    if args.transport == "http" and args.shutdown:
+        print(
+            "loadgen: --shutdown needs --transport tcp "
+            "(the gateway deliberately exposes no shutdown endpoint)",
+            file=sys.stderr,
+        )
+        return int(ErrorCode.MALFORMED)
     config = LoadgenConfig(
         host=args.host,
         port=args.port,
@@ -740,6 +869,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         ledger_out=args.ledger_out,
         out=args.out,
         shutdown=args.shutdown,
+        transport=args.transport,
+        token=args.token,
     )
     report = asyncio.run(run_loadgen(config))
     lat = report["latency_ms"]
@@ -930,6 +1061,77 @@ def _cmd_reserve(args: argparse.Namespace) -> int:
     return int((response.get("error") or {}).get("exit_code", ErrorCode.INTERNAL))
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .gateway import GatewayConfig, serve_gateway
+
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        backend_host=args.backend_host,
+        backend_port=args.backend_port,
+        token_file=args.token_file,
+        rate=args.rate,
+        burst=args.burst,
+    )
+    try:
+        asyncio.run(serve_gateway(config))
+    except KeyboardInterrupt:
+        pass
+    return int(ErrorCode.OK)
+
+
+def _cmd_follow(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .gateway import FollowerConfig, serve_follower
+
+    config = FollowerConfig(
+        host=args.host,
+        port=args.port,
+        primary_host=args.primary_host,
+        primary_port=args.primary_port,
+        follower_id=args.follower_id,
+        poll_interval=args.poll_interval,
+        batch_limit=args.batch_limit,
+        bootstrap_snapshot=args.bootstrap_snapshot,
+        snapshot_path=args.snapshot_path,
+        log_dir=args.log_dir,
+        promote_port=args.promote_port,
+    )
+    try:
+        crashed = asyncio.run(serve_follower(config))
+    except KeyboardInterrupt:
+        return int(ErrorCode.OK)
+    return int(ErrorCode.INTERNAL) if crashed else int(ErrorCode.OK)
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .service.loadgen import _rpc
+    from .service.protocol import MAX_LINE_BYTES
+
+    async def _one_shot() -> dict:
+        reader, writer = await asyncio.open_connection(
+            args.host, args.port, limit=MAX_LINE_BYTES
+        )
+        message: dict = {"op": "promote"}
+        if args.promote_port:
+            message["port"] = args.promote_port
+        response = await _rpc(reader, writer, message)
+        writer.close()
+        return response
+
+    response = asyncio.run(_one_shot())
+    print(json.dumps(response, indent=2, sort_keys=True))
+    if response.get("ok"):
+        return int(ErrorCode.OK)
+    return int((response.get("error") or {}).get("exit_code", ErrorCode.INTERNAL))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
@@ -944,6 +1146,9 @@ def main(argv: list[str] | None = None) -> int:
         "loadgen": _cmd_loadgen,
         "fuzz": _cmd_fuzz,
         "reserve": _cmd_reserve,
+        "gateway": _cmd_gateway,
+        "follow": _cmd_follow,
+        "promote": _cmd_promote,
     }
     return commands[args.command](args)
 

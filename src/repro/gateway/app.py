@@ -1,0 +1,381 @@
+"""The asyncio HTTP/JSON gateway behind ``repro gateway``.
+
+A production front door for the TCP reservation service: JSON-over-HTTP
+endpoints (``POST /v1/reserve|probe|cancel``, ``GET /v1/status``),
+bearer-token tenancy with per-tenant token buckets
+(:mod:`repro.gateway.auth`), liveness at ``GET /healthz`` and Prometheus
+text exposition at ``GET /metrics`` — all stdlib asyncio, no framework.
+
+Request validation is *derived from* the wire registry
+(:func:`repro.service.protocol.validate_payload`): the HTTP surface has
+no second schema to drift from the NDJSON one.  Responses pass the
+backend's JSON body through **verbatim** (the HTTP layer only adds the
+status code and headers), so every checksum/ledger tool that reads TCP
+responses reads gateway responses unchanged.
+
+Status mapping: ``ok`` and domain *rejections* are 200 (a reject is a
+successful decision, not a transport failure); ``MALFORMED`` 400,
+``NOT_FOUND`` 404, ``CONFLICT`` 409, ``BUSY`` 429 (with ``Retry-After``
+equal to the admission controller's own ``retry_after`` — one back-off
+source, never two), ``SHUTTING_DOWN`` 503, anything else 500; a dead
+backend is 502.  The gateway's own token-bucket limit is also 429,
+rendered through the same :func:`~repro.gateway.http.format_retry_after`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Any
+
+from ..errors import BusyError, error_payload
+from ..service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode,
+    validate_payload,
+)
+from .auth import TenantLimiter, TokenTable
+from .http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    HttpRequest,
+    format_retry_after,
+    json_response,
+    read_request,
+    response_bytes,
+)
+from .prom import PromRegistry
+
+__all__ = ["GatewayConfig", "Gateway", "serve_gateway"]
+
+#: error code -> HTTP status for proxied backend errors
+_STATUS_FOR = {
+    "MALFORMED": 400,
+    "NOT_FOUND": 404,
+    "CONFLICT": 409,
+    "REJECTED": 200,  # a domain verdict, not a transport failure
+    "BUSY": 429,
+    "SHUTTING_DOWN": 503,
+    "INTERNAL": 500,
+}
+
+#: the data-plane ops POSTable under /v1/ (rate-limited per tenant)
+_DATA_OPS = ("reserve", "probe", "cancel")
+
+
+@dataclass(slots=True)
+class GatewayConfig:
+    """Operational knobs for one gateway instance (see ``docs/gateway.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the chosen port is printed on boot
+    backend_host: str = "127.0.0.1"
+    backend_port: int = 0  # the TCP reservation service to front
+    token_file: str | None = None  # token:tenant lines; None = open mode
+    rate: float = 1000.0  # tokens/second refill per tenant
+    burst: float = 2000.0  # bucket capacity per tenant
+    max_body: int = MAX_BODY_BYTES
+    status_timeout: float = 2.0  # budget for the backend status probe in /metrics
+
+
+class Gateway:
+    """One HTTP front door over one TCP backend connection."""
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self.config = config
+        if config.token_file:
+            self.tokens = TokenTable.from_file(Path(config.token_file))
+        else:
+            self.tokens = TokenTable()
+        self.limiter = TenantLimiter(config.rate, config.burst)
+        self._server: asyncio.base_events.Server | None = None
+        #: the single multiplexed backend NDJSON connection (lazily opened,
+        #: dropped on any transport error and reopened on the next call)
+        self._backend: tuple[asyncio.StreamReader, asyncio.StreamWriter] | None = None
+        self._backend_lock = asyncio.Lock()
+
+        self.registry = PromRegistry()
+        self.requests_total = self.registry.counter(
+            "repro_gateway_requests_total", "Requests by tenant and endpoint"
+        )
+        self.rejects_total = self.registry.counter(
+            "repro_gateway_rejects_total",
+            "Requests refused at the edge, by tenant and reason",
+        )
+        self.replayed_total = self.registry.counter(
+            "repro_gateway_replayed_total",
+            "Duplicate rids answered from the backend decision log",
+        )
+        self.latency = self.registry.summary(
+            "repro_gateway_request_seconds",
+            "Gateway request latency (reservoir percentiles), seconds",
+        )
+        self.backend_up = self.registry.gauge(
+            "repro_gateway_backend_up", "1 when the backend TCP service answers"
+        )
+        self.service_gauges = {
+            name: self.registry.gauge(f"repro_service_{name}", help_text)
+            for name, help_text in (
+                ("accepted_total", "Backend accepted reservations (sampled)"),
+                ("rejected_total", "Backend rejected reservations (sampled)"),
+                ("shed_total", "Backend admission sheds (sampled)"),
+                ("replayed_total", "Backend decision-log replays (sampled)"),
+                ("decided", "Backend decision-table size (sampled)"),
+                ("service_latency_ms", "Backend actor service latency, by quantile"),
+            )
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "gateway not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_BODY_BYTES,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._backend is not None:
+            _, writer = self._backend
+            self._backend = None
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, self.config.max_body)
+                except HttpError as exc:
+                    writer.write(_error_response(exc.status, exc.message, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                started = perf_counter()
+                response = await self._dispatch(request)
+                self.latency.observe(perf_counter() - started)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+
+    async def _dispatch(self, request: HttpRequest) -> bytes:
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return _error_response(405, "healthz is GET-only")
+            return json_response(200, {"ok": True, "backend": self._backend is not None})
+        if request.path == "/metrics":
+            if request.method != "GET":
+                return _error_response(405, "metrics is GET-only")
+            return await self._handle_metrics()
+        if request.path == "/v1/status":
+            if request.method != "GET":
+                return _error_response(405, "status is GET-only")
+            return await self._handle_op(request, "status", rate_limited=False)
+        for op in _DATA_OPS:
+            if request.path == f"/v1/{op}":
+                if request.method != "POST":
+                    return _error_response(405, f"{op} is POST-only")
+                return await self._handle_op(request, op, rate_limited=True)
+        return _error_response(404, f"no route for {request.path!r}")
+
+    # ------------------------------------------------------------------
+    # the data plane
+    # ------------------------------------------------------------------
+
+    async def _handle_op(
+        self, request: HttpRequest, op: str, rate_limited: bool
+    ) -> bytes:
+        tenant = self.tokens.authenticate(request.headers.get("authorization"))
+        if tenant is None:
+            self.rejects_total.inc(tenant="unknown", reason="unauthorized")
+            return json_response(
+                401,
+                {"ok": False, "op": op, "error": _edge_error("unauthorized")},
+                extra_headers=(("WWW-Authenticate", 'Bearer realm="repro"'),),
+            )
+        self.requests_total.inc(tenant=tenant, endpoint=op)
+        if rate_limited:
+            retry_after = self.limiter.acquire(tenant)
+            if retry_after > 0.0:
+                self.rejects_total.inc(tenant=tenant, reason="rate_limited")
+                busy = BusyError(
+                    f"tenant {tenant!r} exceeded {self.limiter.rate:g} req/s",
+                    retry_after=retry_after,
+                )
+                return json_response(
+                    429,
+                    {"ok": False, "op": op, "error": busy.payload()},
+                    extra_headers=(("Retry-After", format_retry_after(retry_after)),),
+                )
+        try:
+            message = validate_payload(op, request.json())
+        except (ProtocolError, HttpError) as exc:
+            self.rejects_total.inc(tenant=tenant, reason="malformed")
+            # same MALFORMED payload the TCP front door would answer, so
+            # response classification is transport-independent
+            malformed = (
+                exc if isinstance(exc, ProtocolError) else ProtocolError(exc.message)
+            )
+            return json_response(
+                400, {"ok": False, "op": op, "error": error_payload(malformed)}
+            )
+        try:
+            response = await self._backend_rpc(message)
+        except (ConnectionError, OSError) as exc:
+            self.rejects_total.inc(tenant=tenant, reason="backend_down")
+            self.backend_up.set(0)
+            return json_response(
+                502,
+                {"ok": False, "op": op, "error": _edge_error("backend_down", str(exc))},
+            )
+        self.backend_up.set(1)
+        return self._render_backend(op, tenant, response)
+
+    def _render_backend(self, op: str, tenant: str, response: dict[str, Any]) -> bytes:
+        """Backend JSON out as HTTP, body verbatim."""
+        if response.get("ok"):
+            if response.get("replayed"):
+                self.replayed_total.inc(tenant=tenant)
+            return json_response(200, response)
+        error = response.get("error") or {}
+        status = _STATUS_FOR.get(error.get("code"), 500)
+        headers: tuple[tuple[str, str], ...] = ()
+        if status == 429:
+            # the admission controller's own estimate, passed through:
+            # the header and the body can never advertise different
+            # back-offs for the same overload state
+            self.rejects_total.inc(tenant=tenant, reason="busy")
+            retry_after = error.get("retry_after")
+            if retry_after is not None:
+                headers = (("Retry-After", format_retry_after(float(retry_after))),)
+        return json_response(status, response, extra_headers=headers)
+
+    async def _backend_rpc(self, message: dict[str, Any]) -> dict[str, Any]:
+        """One exchange on the shared backend connection (FIFO via lock).
+
+        Retries once through a fresh connection: the only state an op
+        could leave behind on a half-dead socket is a ``reserve`` or
+        ``cancel`` the backend decided but could not answer — and those
+        are rid-keyed exactly-once, so the resend returns the recorded
+        verdict instead of double-applying.
+        """
+        for attempt in (0, 1):
+            async with self._backend_lock:
+                try:
+                    if self._backend is None:
+                        self._backend = await asyncio.open_connection(
+                            self.config.backend_host,
+                            self.config.backend_port,
+                            limit=MAX_LINE_BYTES,
+                        )
+                    reader, writer = self._backend
+                    writer.write(encode(message))
+                    await writer.drain()
+                    raw = await reader.readline()
+                    if not raw:
+                        raise ConnectionError("backend closed the connection")
+                    return json.loads(raw.decode("utf-8"))
+                except (ConnectionError, OSError, ValueError):
+                    self._backend = None
+                    if attempt:
+                        raise
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    async def _handle_metrics(self) -> bytes:
+        """Render the registry, refreshing service-level gauges first."""
+        try:
+            status = await asyncio.wait_for(
+                self._backend_rpc({"op": "status"}), timeout=self.config.status_timeout
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            self.backend_up.set(0)
+        else:
+            self.backend_up.set(1)
+            metrics = status.get("metrics", {})
+            gauges = self.service_gauges
+            gauges["accepted_total"].set(metrics.get("accepted", 0))
+            gauges["rejected_total"].set(metrics.get("rejected_total", 0))
+            gauges["shed_total"].set(metrics.get("shed", 0))
+            gauges["replayed_total"].set(metrics.get("replayed", 0))
+            gauges["decided"].set(status.get("decided", 0))
+            latency = metrics.get("service_latency", {})
+            for quantile in ("50", "95", "99"):
+                gauges["service_latency_ms"].set(
+                    latency.get(f"p{quantile}_ms", 0.0), quantile=f"0.{quantile}"
+                )
+        return response_bytes(
+            200,
+            self.registry.render().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+
+def _edge_error(reason: str, detail: str = "") -> dict[str, Any]:
+    """An error payload minted at the gateway (not proxied from the backend)."""
+    messages = {
+        "unauthorized": "missing or unknown bearer token",
+        "backend_down": f"backend unavailable: {detail}" if detail else "backend unavailable",
+    }
+    codes = {"unauthorized": 401, "backend_down": 502}
+    return {
+        "code": reason.upper(),
+        "http_status": codes[reason],
+        "message": messages[reason],
+    }
+
+
+def _error_response(status: int, message: str, keep_alive: bool = True) -> bytes:
+    return json_response(
+        status,
+        {"ok": False, "error": {"code": "HTTP", "http_status": status, "message": message}},
+        keep_alive=keep_alive,
+    )
+
+
+async def serve_gateway(config: GatewayConfig, ready_line: bool = True) -> None:
+    """Boot a gateway and serve until cancelled."""
+    gateway = Gateway(config)
+    await gateway.start()
+    if ready_line:
+        mode = "open (no tokens)" if gateway.tokens.open_mode else "bearer-token"
+        print(
+            f"repro gateway: listening on {config.host}:{gateway.port} -> "
+            f"backend {config.backend_host}:{config.backend_port} "
+            f"(auth: {mode}, rate: {config.rate:g}/s burst {config.burst:g})",
+            flush=True,
+        )
+    try:
+        await asyncio.Event().wait()
+    except asyncio.CancelledError:
+        await gateway.stop()
+        raise

@@ -1,0 +1,119 @@
+"""Bearer-token tenancy and per-tenant token-bucket rate limits.
+
+The gateway's edge policy, grounded in the per-tenant admission
+arguments of "Heavy Traffic Optimal Resource Allocation Algorithms for
+Cloud Computing Clusters" (PAPERS.md): identity comes from a static
+bearer-token table (``token`` → ``tenant``), and each tenant draws from
+an independent token bucket, so one tenant's burst cannot starve
+another's steady stream *before* the shared admission controller ever
+sees it.  A limited request is answered ``429`` with the bucket's own
+``retry_after`` — the time until one token is available — rendered
+through the same :func:`~repro.gateway.http.format_retry_after` helper
+as proxied admission ``BUSY`` responses.
+
+With no tokens configured the gateway runs **open**: every request is
+tenant ``anonymous`` (still rate-limited as one tenant).  That is the
+right default for the benchmarks and the wrong one for production;
+``docs/gateway.md`` says so loudly.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+__all__ = ["ANONYMOUS", "TenantLimiter", "TokenBucket", "TokenTable"]
+
+#: the tenant of record when no token table is configured (open mode)
+ANONYMOUS = "anonymous"
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock=time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"refill rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst capacity must be at least 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def acquire(self) -> float:
+        """Take one token: ``0.0`` on success, else seconds until one refills."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return round((1.0 - self._tokens) / self.rate, 4)
+
+
+class TenantLimiter:
+    """One lazily-created bucket per tenant, all with the same policy."""
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def acquire(self, tenant: str) -> float:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.rate, self.burst, clock=self._clock
+            )
+        return bucket.acquire()
+
+
+class TokenTable:
+    """Static bearer-token table: ``token`` → ``tenant``."""
+
+    def __init__(self, tokens: dict[str, str] | None = None) -> None:
+        self._tokens = dict(tokens or {})
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TokenTable":
+        """One ``token:tenant`` pair per line; ``#`` comments and blanks skipped."""
+        tokens: dict[str, str] = {}
+        for lineno, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            token, sep, tenant = line.partition(":")
+            if not sep or not token or not tenant:
+                raise ValueError(f"{path}:{lineno}: expected 'token:tenant', got {line!r}")
+            tokens[token.strip()] = tenant.strip()
+        return cls(tokens)
+
+    @property
+    def open_mode(self) -> bool:
+        """No tokens configured: every caller is :data:`ANONYMOUS`."""
+        return not self._tokens
+
+    def authenticate(self, authorization: str | None) -> str | None:
+        """The tenant for an ``Authorization`` header value, or ``None``.
+
+        Open mode admits everyone as :data:`ANONYMOUS` (header ignored);
+        otherwise only ``Bearer <known-token>`` authenticates.
+        """
+        if self.open_mode:
+            return ANONYMOUS
+        if not authorization:
+            return None
+        scheme, _, token = authorization.partition(" ")
+        if scheme.lower() != "bearer" or not token.strip():
+            return None
+        return self._tokens.get(token.strip())

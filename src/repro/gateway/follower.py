@@ -1,0 +1,417 @@
+"""Warm-standby follower: tails the decision log, promotable to primary.
+
+State-machine replication on the cheap, bought entirely with properties
+the service already proves elsewhere:
+
+* the primary's decision log (:mod:`repro.service.declog`) carries every
+  write decision as ``(message, verdict)``;
+* the scheduler is deterministic, so replaying ``message`` through the
+  *same* decision functions (:func:`~repro.service.declog.decide_reserve`
+  / :func:`~repro.service.declog.decide_cancel`) reproduces ``verdict``
+  bit-for-bit — the follower asserts this on every record and
+  crash-stops on divergence rather than serving a silently wrong
+  calendar;
+* promotion (``repro promote``) hands the replayed state to a real
+  :class:`~repro.service.server.ReservationService` — the exact code
+  path of a restart-from-snapshot, so failover is decision-identical by
+  the same argument (and verified end-to-end by the ``kill-promote``
+  chaos plan).
+
+Replication is asynchronous: decisions acknowledged by the primary but
+not yet tailed are lost on failover — and re-decided identically when
+at-least-once clients resend them, because the decision table is
+rid-keyed exactly-once.  The follower polls ``log_tail`` with its
+cursor; a torn or garbled answer (primary died mid-reply) just drops
+the connection and re-requests from the last good cursor.  A cursor
+below the primary's compaction ``base`` is unrecoverable from the log
+alone; the follower crash-stops with instructions to re-bootstrap from
+a snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConflictError, ReproError, error_payload
+from ..facade import CoAllocationScheduler
+from ..service.protocol import (
+    FOLLOWER_OPS,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode,
+)
+from ..service.declog import decide_cancel, decide_reserve
+from ..service.server import ReservationService, ServiceConfig, accepted_checksum
+from ..service.snapshot import read_snapshot
+
+__all__ = [
+    "Follower",
+    "FollowerConfig",
+    "ReplicationDivergenceError",
+    "ReplicationGapError",
+    "serve_follower",
+]
+
+
+class ReplicationDivergenceError(ReproError):
+    """Replaying a logged message did not reproduce the logged verdict."""
+
+
+class ReplicationGapError(ReproError):
+    """The primary compacted past this follower's cursor (re-bootstrap)."""
+
+
+@dataclass(slots=True)
+class FollowerConfig:
+    """Operational knobs for one follower (see ``docs/gateway.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # control listener (follower_status / promote)
+    primary_host: str = "127.0.0.1"
+    primary_port: int = 0
+    follower_id: str = "follower-1"
+    poll_interval: float = 0.25  # seconds between empty-tail polls
+    batch_limit: int = 512  # records per log_tail request
+    bootstrap_snapshot: str | None = None  # primary snapshot to start from
+    snapshot_path: str | None = None  # handed to the service on promotion
+    log_dir: str | None = None  # the promoted service's own decision log
+    promote_port: int = 0  # default port for the promoted service
+
+
+class Follower:
+    """Replays the primary's decision log into a warm standby calendar."""
+
+    def __init__(self, config: FollowerConfig) -> None:
+        self.config = config
+        self.scheduler: CoAllocationScheduler | None = None
+        self.decided: dict[int, dict[str, Any]] = {}
+        #: records ``1..cursor`` are applied
+        self.cursor = 0
+        self.applied = {"reserve": 0, "cancel": 0}
+        self.primary_up = False
+        self.promoted = False
+        self.failed: str | None = None  # crash-stop reason, if any
+        self._conn: tuple[asyncio.StreamReader, asyncio.StreamWriter] | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._tail_task: asyncio.Task | None = None
+        self._service: ReservationService | None = None
+        self._service_watch: asyncio.Task | None = None
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+
+    def bootstrap_from_snapshot(self, path: str | Path) -> None:
+        """Adopt a primary snapshot: its state *and* its log position."""
+        state = read_snapshot(path)
+        self.scheduler = CoAllocationScheduler.from_state(state["scheduler"])
+        self.decided = {
+            int(rid): entry for rid, entry in state.get("decided", {}).items()
+        }
+        self.cursor = int(state.get("log_hwm", 0))
+
+    def bootstrap_fresh(self, status: dict[str, Any]) -> None:
+        """Start from an empty calendar with the primary's geometry."""
+        self.scheduler = CoAllocationScheduler(
+            n_servers=int(status["n_servers"]),
+            tau=float(status["tau"]),
+            q_slots=int(status["q_slots"]),
+            delta_t=float(status["delta_t"]),
+            r_max=int(status["r_max"]),
+        )
+        self.decided = {}
+        self.cursor = 0
+
+    # ------------------------------------------------------------------
+    # the replication core (sync, driven by the tail actor loop and tests)
+    # ------------------------------------------------------------------
+
+    def apply_record(self, record: dict[str, Any]) -> None:
+        """Apply one log record, verifying hwm continuity and the verdict."""
+        assert self.scheduler is not None, "follower not bootstrapped"
+        hwm = int(record["hwm"])
+        if hwm != self.cursor + 1:
+            raise ReplicationGapError(
+                f"record hwm {hwm} does not follow cursor {self.cursor}"
+            )
+        kind = record["kind"]
+        message = record["message"]
+        if kind == "reserve":
+            verdict = decide_reserve(self.scheduler, message)
+        elif kind == "cancel":
+            verdict = decide_cancel(self.scheduler, int(message["rid"]))
+        else:
+            raise ReplicationDivergenceError(f"unknown record kind {kind!r}")
+        if verdict != record["verdict"]:
+            raise ReplicationDivergenceError(
+                f"record {hwm} ({kind} rid={message.get('rid')}): local verdict "
+                f"{verdict!r} != logged verdict {record['verdict']!r} — the "
+                f"follower would serve a different calendar than the primary"
+            )
+        if kind == "reserve":
+            self.decided[int(message["rid"])] = verdict
+        self.applied[kind] += 1
+        self.cursor = hwm
+
+    def export_service_state(self) -> dict[str, Any]:
+        """The replayed state in exact snapshot format (for promotion)."""
+        assert self.scheduler is not None, "follower not bootstrapped"
+        return {
+            "scheduler": self.scheduler.export_state(),
+            "decided": {str(rid): self.decided[rid] for rid in sorted(self.decided)},
+            "log_hwm": self.cursor,
+        }
+
+    # ------------------------------------------------------------------
+    # tailing the primary (single-writer: only this task mutates state,
+    # hence the actor naming — mirrors the service's RA201/RA009 carve-out)
+    # ------------------------------------------------------------------
+
+    async def _primary_rpc(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self._conn is None:
+            self._conn = await asyncio.open_connection(
+                self.config.primary_host,
+                self.config.primary_port,
+                limit=MAX_LINE_BYTES,
+            )
+        reader, writer = self._conn
+        try:
+            writer.write(encode(message))
+            await writer.drain()
+            raw = await reader.readline()
+        except (ConnectionError, OSError):
+            self._conn = None
+            raise
+        if not raw:
+            self._conn = None
+            raise ConnectionError("primary closed the connection")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            # a torn reply (primary died mid-line): treat as a lost
+            # connection and re-request from the last good cursor
+            self._conn = None
+            raise ConnectionError(f"garbled reply from primary: {exc}") from exc
+
+    async def _tail_actor_loop(self) -> None:
+        """Poll ``log_tail`` and fold records into the standby calendar."""
+        while not self.promoted and self.failed is None:
+            try:
+                response = await self._primary_rpc(
+                    {
+                        "op": "log_tail",
+                        "cursor": self.cursor,
+                        "limit": self.config.batch_limit,
+                        "follower_id": self.config.follower_id,
+                    }
+                )
+            except (ConnectionError, OSError):
+                self.primary_up = False
+                await asyncio.sleep(self.config.poll_interval)
+                continue
+            self.primary_up = True
+            if not response.get("ok"):
+                # log disabled or a server-side error: nothing to tail yet
+                await asyncio.sleep(self.config.poll_interval)
+                continue
+            if int(response["base"]) > self.cursor:
+                self.failed = (
+                    f"primary compacted to base {response['base']} past cursor "
+                    f"{self.cursor}: re-bootstrap this follower from a snapshot"
+                )
+                print(f"repro follow: {self.failed}", file=sys.stderr, flush=True)
+                break
+            records = response.get("records", [])
+            try:
+                for record in records:
+                    self.apply_record(record)
+            except ReproError as exc:
+                self.failed = str(exc)
+                print(f"repro follow: {self.failed}", file=sys.stderr, flush=True)
+                break
+            if not records:
+                await asyncio.sleep(self.config.poll_interval)
+
+    # ------------------------------------------------------------------
+    # the control listener (follower_status / promote)
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "follower not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_control,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self._tail_task = asyncio.create_task(
+            self._tail_actor_loop(), name="repro-follower-tail"
+        )
+
+    async def stop(self) -> None:
+        if self._tail_task is not None:
+            self._tail_task.cancel()
+            try:
+                await self._tail_task
+            except asyncio.CancelledError:
+                pass
+        if self._service is not None:
+            await self._service.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._conn is not None:
+            self._conn[1].close()
+            self._conn = None
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def _watch_promoted(self, service: ReservationService) -> None:
+        await service.wait_stopped()
+        self._stopped.set()
+
+    async def _handle_control(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                if not raw.strip():
+                    continue
+                try:
+                    message = decode_line(raw, ops=FOLLOWER_OPS)
+                except ProtocolError as exc:
+                    response: dict[str, Any] = {"ok": False, "error": error_payload(exc)}
+                else:
+                    handler = getattr(self, f"_ctl_{message['op']}")
+                    try:
+                        response = await handler(message)
+                    except Exception as exc:  # answer, never kill the listener
+                        response = {
+                            "ok": False,
+                            "op": message["op"],
+                            "error": error_payload(exc),
+                        }
+                writer.write(encode(response))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    async def _ctl_follower_status(self, message: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "op": "follower_status",
+            "follower_id": self.config.follower_id,
+            "hwm": self.cursor,
+            "applied": dict(self.applied),
+            "decided": len(self.decided),
+            "primary_up": self.primary_up,
+            "promoted": self.promoted,
+            "failed": self.failed,
+            "accepted_checksum": accepted_checksum(self.decided),
+        }
+
+    async def _ctl_promote(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Failover: stop tailing, serve the replayed state as a primary."""
+        if self.promoted:
+            raise ConflictError("already promoted")
+        if self.failed is not None:
+            raise ConflictError(f"follower crash-stopped: {self.failed}")
+        self.promoted = True
+        if self._tail_task is not None:
+            self._tail_task.cancel()
+            try:
+                await self._tail_task
+            except asyncio.CancelledError:
+                pass
+        if self._conn is not None:
+            self._conn[1].close()
+            self._conn = None
+        assert self.scheduler is not None, "follower not bootstrapped"
+        config = ServiceConfig(
+            host=self.config.host,
+            port=int(message.get("port") or self.config.promote_port),
+            n_servers=self.scheduler.n_servers,
+            tau=self.scheduler.calendar.tau,
+            q_slots=self.scheduler.calendar.q_slots,
+            snapshot_path=self.config.snapshot_path,
+            log_dir=self.config.log_dir,
+        )
+        service = ReservationService(config, state=self.export_service_state())
+        await service.start()
+        self._service = service
+        # once the promoted service shuts down (shutdown op), the whole
+        # follower process is done — unblock serve_follower
+        self._service_watch = asyncio.create_task(
+            self._watch_promoted(service), name="repro-follower-service-watch"
+        )
+        print(
+            f"repro follow: promoted, serving on {config.host}:{service.port} "
+            f"(hwm={self.cursor})",
+            flush=True,
+        )
+        return {
+            "ok": True,
+            "op": "promote",
+            "port": service.port,
+            "hwm": self.cursor,
+            "applied": dict(self.applied),
+            "accepted_checksum": accepted_checksum(self.decided),
+        }
+
+
+async def serve_follower(config: FollowerConfig, ready_line: bool = True) -> bool:
+    """Boot a follower; runs until cancelled or the promoted service stops.
+
+    Bootstraps from ``config.bootstrap_snapshot`` when given, else fresh
+    from the primary's ``status`` geometry (retrying until the primary
+    answers, so boot order does not matter).  Returns True when a
+    promoted service crash-stopped (mirrors ``serve_forever``).
+    """
+    follower = Follower(config)
+    if config.bootstrap_snapshot:
+        follower.bootstrap_from_snapshot(config.bootstrap_snapshot)
+    else:
+        while follower.scheduler is None:
+            try:
+                status = await follower._primary_rpc({"op": "status"})
+                follower.bootstrap_fresh(status)
+            except (ConnectionError, OSError):
+                await asyncio.sleep(config.poll_interval)
+    await follower.start()
+    if ready_line:
+        source = (
+            f"snapshot {config.bootstrap_snapshot}"
+            if config.bootstrap_snapshot
+            else "fresh"
+        )
+        print(
+            f"repro follow: listening on {config.host}:{follower.port} "
+            f"(primary {config.primary_host}:{config.primary_port}, "
+            f"cursor={follower.cursor}, bootstrap={source})",
+            flush=True,
+        )
+    try:
+        await follower.wait_stopped()
+    except asyncio.CancelledError:
+        await follower.stop()
+        raise
+    service = follower._service
+    return service.crashed if service is not None else False

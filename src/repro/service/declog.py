@@ -1,0 +1,352 @@
+"""The rid-keyed decision log: segmented on disk, tailed by followers.
+
+Every write decision the actor makes — each fresh ``reserve`` verdict
+(accept, reject, *or* malformed: anything that lands in the exactly-once
+``decided`` table) and every ``cancel`` — is appended to this log as one
+record carrying both the request and the verdict::
+
+    {"hwm": 17, "kind": "reserve",
+     "message": {"rid": 7, "sr": 0.0, "lr": 3600.0, "nr": 4},
+     "verdict": {"ok": true, "start": 0.0, "end": 3600.0, ...}}
+
+Records are numbered by a monotone **high-water mark** (record *i* has
+``hwm == i``); a consumer holding cursor *c* has applied records
+``1..c`` and asks for more with the ``log_tail`` wire op.  Because the
+scheduler is deterministic, a follower that replays ``message`` through
+the same decision code must reproduce ``verdict`` bit-for-bit — the
+follower checks, so any divergence is detected, not silently absorbed.
+
+**Framing.** Each record is a 4-byte big-endian length prefix followed
+by that many bytes of UTF-8 JSON, appended to size-capped segment files
+``seg-<first-hwm>.log``.  A torn tail (partial header, short payload,
+or undecodable JSON — the signature of a crash mid-append) is truncated
+away on open; everything before it is intact.
+
+**Durability model.** The log is flushed but not fsynced: it is a
+*replication* stream, not the recovery source of truth.  Recovery
+correctness comes from snapshots plus at-least-once clients — a decision
+lost with the tail is simply re-decided identically when the client
+resends (the same argument that makes restart-from-snapshot
+decision-identical), and :meth:`DecisionLog.align` renumbers nothing:
+re-appended records get the same hwm the lost originals had.
+
+**Compaction.** A snapshot at hwm *S* makes records ``1..S`` redundant
+for recovery, but an attached follower at cursor *c < S* still needs
+``c+1..S``; :meth:`DecisionLog.compact` therefore drops only whole
+segments below ``min(S, min follower cursor)``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import ErrorCode, MalformedRequestError, NotFoundError
+from .protocol import request_from_payload
+
+__all__ = [
+    "DecisionLog",
+    "decide_reserve",
+    "entry_from_outcome",
+    "decide_cancel",
+    "decision_message",
+]
+
+#: 4-byte big-endian record length prefix
+_HEADER = 4
+
+#: ``reserve`` wire fields a log record preserves (``op``/``seq`` are
+#: connection bookkeeping, not part of the decision)
+_RESERVE_FIELDS = ("rid", "qr", "sr", "lr", "nr", "deadline")
+
+
+# ----------------------------------------------------------------------
+# the decision functions (shared by the primary actor and the follower)
+# ----------------------------------------------------------------------
+
+
+def entry_from_outcome(outcome: Any) -> dict[str, Any]:
+    """The decision-table entry for one ``schedule_detailed`` outcome."""
+    if outcome.allocation is None:
+        return {
+            "ok": False,
+            "error": {
+                "code": ErrorCode.REJECTED.wire,
+                "exit_code": int(ErrorCode.REJECTED),
+                "message": (
+                    f"rejected after {outcome.attempts} attempt(s) ({outcome.reason})"
+                ),
+                "reason": outcome.reason,
+                "attempts": outcome.attempts,
+            },
+        }
+    allocation = outcome.allocation
+    return {
+        "ok": True,
+        "start": allocation.start,
+        "end": allocation.end,
+        "servers": sorted(allocation.servers),
+        "attempts": allocation.attempts,
+        "delay": allocation.delay,
+    }
+
+
+def decide_reserve(scheduler: Any, message: dict[str, Any]) -> dict[str, Any]:
+    """Decide one fresh ``reserve`` against an in-process scheduler.
+
+    This is *the* unsharded decision path: the primary actor calls it for
+    rids not yet in the decision table, and the follower calls it again
+    for every logged record — determinism makes both produce the same
+    entry, and the follower asserts they do.
+    """
+    try:
+        request = request_from_payload(message)
+    except MalformedRequestError as exc:
+        return {"ok": False, "error": exc.payload()}
+    # the virtual clock: simulated time only ever advances from
+    # request-carried submission times, keeping replays deterministic
+    scheduler.advance(max(scheduler.now, request.qr))
+    return entry_from_outcome(scheduler.schedule_detailed(request))
+
+
+def decide_cancel(scheduler: Any, rid: int) -> dict[str, Any]:
+    """Apply one ``cancel`` against an in-process scheduler."""
+    try:
+        scheduler.cancel(rid)
+    except NotFoundError as exc:
+        return {"ok": False, "error": exc.payload()}
+    return {"ok": True}
+
+
+def decision_message(kind: str, message: dict[str, Any]) -> dict[str, Any]:
+    """The canonical (replayable) subset of a wire message for the log."""
+    if kind == "reserve":
+        return {
+            name: message[name]
+            for name in _RESERVE_FIELDS
+            if message.get(name) is not None
+        }
+    return {"rid": int(message["rid"])}
+
+
+# ----------------------------------------------------------------------
+# the on-disk log
+# ----------------------------------------------------------------------
+
+
+class DecisionLog:
+    """Length-prefixed, segment-rotated decision log under ``log_dir``."""
+
+    def __init__(self, log_dir: str | Path, segment_bytes: int = 1 << 20) -> None:
+        if segment_bytes < 1:
+            raise ValueError(f"segment size must be positive, got {segment_bytes}")
+        self.dir = Path(log_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = segment_bytes
+        #: hwm of the last record ever appended (0 = empty history)
+        self.hwm = 0
+        #: highest hwm compacted away (retained records have hwm > base)
+        self.base = 0
+        #: retained records, in hwm order (tail is served from memory)
+        self._records: list[dict[str, Any]] = []
+        #: follower_id -> last cursor it reported via ``log_tail``
+        self._cursors: dict[str, int] = {}
+        self._active: Any = None  # open append handle for the last segment
+        self._active_path: Path | None = None
+        self._recover()
+
+    # -- recovery -------------------------------------------------------
+
+    def _segments(self) -> list[Path]:
+        return sorted(self.dir.glob("seg-*.log"))
+
+    def _recover(self) -> None:
+        """Scan segments in order, truncating at the first torn record."""
+        segments = self._segments()
+        if not segments:
+            return
+        first = _segment_first_hwm(segments[0])
+        self.base = first - 1
+        self.hwm = self.base
+        torn = False
+        for path in segments:
+            raw = path.read_bytes()
+            offset = 0
+            good = 0
+            while offset + _HEADER <= len(raw):
+                length = int.from_bytes(raw[offset : offset + _HEADER], "big")
+                end = offset + _HEADER + length
+                if end > len(raw):
+                    break  # short payload: torn tail
+                try:
+                    record = json.loads(raw[offset + _HEADER : end].decode("utf-8"))
+                    if record["hwm"] != self.hwm + 1:
+                        break  # numbering gap: treat like corruption
+                except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+                    break
+                self._records.append(record)
+                self.hwm = record["hwm"]
+                offset = end
+                good = end
+            if good < len(raw):
+                # crash mid-append (or bit rot): drop the tail and stop —
+                # anything in later segments is unreachable without it
+                with path.open("r+b") as handle:
+                    handle.truncate(good)
+                torn = True
+            if torn:
+                break
+        if torn:
+            for path in self._segments():
+                if _segment_first_hwm(path) > self.hwm:
+                    path.unlink()
+
+    # -- appending ------------------------------------------------------
+
+    def append(self, kind: str, message: dict[str, Any], verdict: dict[str, Any]) -> int:
+        """Record one decision; returns its hwm."""
+        record = {
+            "hwm": self.hwm + 1,
+            "kind": kind,
+            "message": message,
+            "verdict": verdict,
+        }
+        payload = json.dumps(
+            record, separators=(",", ":"), sort_keys=True, allow_nan=False
+        ).encode("utf-8")
+        handle = self._handle_for_append(record["hwm"])
+        handle.write(len(payload).to_bytes(_HEADER, "big") + payload)
+        handle.flush()
+        self._records.append(record)
+        self.hwm = record["hwm"]
+        return self.hwm
+
+    def _handle_for_append(self, next_hwm: int) -> Any:
+        if self._active is not None and self._active_path is not None:
+            if self._active.tell() < self.segment_bytes:
+                return self._active
+            self._active.close()
+            self._active = None
+        if self._active is None:
+            if self._active_path is None:
+                # adopt the last existing segment if it still has room
+                segments = self._segments()
+                if segments and segments[-1].stat().st_size < self.segment_bytes:
+                    self._active_path = segments[-1]
+                else:
+                    self._active_path = self.dir / f"seg-{next_hwm:012d}.log"
+            else:
+                self._active_path = self.dir / f"seg-{next_hwm:012d}.log"
+            self._active = self._active_path.open("ab")
+        return self._active
+
+    def close(self) -> None:
+        if self._active is not None:
+            self._active.close()
+            self._active = None
+
+    # -- tailing --------------------------------------------------------
+
+    def tail(self, cursor: int, limit: int) -> list[dict[str, Any]]:
+        """Records with ``cursor < hwm <= cursor + limit`` (may be empty).
+
+        A cursor below :attr:`base` is a gap — the needed records were
+        compacted away — and the *caller* decides what that means (the
+        server reports ``base`` so the follower can detect it).
+        """
+        if cursor >= self.hwm:
+            return []
+        start = max(cursor, self.base) - self.base  # index into _records
+        return self._records[start : start + max(0, limit)]
+
+    def register_cursor(self, follower_id: str, cursor: int) -> None:
+        """Remember a follower's progress; compaction respects it."""
+        self._cursors[follower_id] = cursor
+
+    def forget_follower(self, follower_id: str) -> None:
+        self._cursors.pop(follower_id, None)
+
+    # -- alignment and compaction --------------------------------------
+
+    def align(self, snapshot_hwm: int) -> None:
+        """Make the log agree with a restored snapshot at ``snapshot_hwm``.
+
+        * Log ahead of the snapshot: truncate back — determinism means
+          the dropped suffix is re-appended bit-identically as clients
+          resend, so follower cursors beyond ``snapshot_hwm`` stay valid.
+        * Log behind the snapshot (lost or fresh directory): reset empty
+          at ``base = snapshot_hwm`` — records ``1..snapshot_hwm`` exist
+          only inside the snapshot now, and a follower below that cursor
+          must bootstrap from the snapshot instead.
+        """
+        if self.hwm > snapshot_hwm:
+            self._truncate_to(snapshot_hwm)
+        elif self.hwm < snapshot_hwm:
+            self.close()
+            for path in self._segments():
+                path.unlink()
+            self._records.clear()
+            self._active_path = None
+            self.base = snapshot_hwm
+            self.hwm = snapshot_hwm
+
+    def _truncate_to(self, target: int) -> None:
+        """Drop every record with ``hwm > target`` (memory and disk)."""
+        self.close()
+        for path in self._segments():
+            first = _segment_first_hwm(path)
+            if first > target:
+                path.unlink()
+                continue
+            # scan to the cut point inside this segment
+            raw = path.read_bytes()
+            offset = 0
+            hwm = first - 1
+            while offset + _HEADER <= len(raw) and hwm < target:
+                length = int.from_bytes(raw[offset : offset + _HEADER], "big")
+                offset += _HEADER + length
+                hwm += 1
+            if offset < len(raw):
+                with path.open("r+b") as handle:
+                    handle.truncate(offset)
+        del self._records[max(0, target - self.base) :]
+        self._active_path = None
+        self.hwm = target
+
+    def compact(self, snapshot_hwm: int) -> int:
+        """Drop whole segments covered by the snapshot *and* every follower.
+
+        Returns the number of segments removed.  With no followers
+        attached the snapshot alone bounds compaction.
+        """
+        keep_from = min([snapshot_hwm, *self._cursors.values()])
+        segments = self._segments()
+        removed = 0
+        for index, path in enumerate(segments):
+            if index + 1 < len(segments):
+                last_hwm = _segment_first_hwm(segments[index + 1]) - 1
+            else:
+                break  # never drop the active (last) segment
+            if last_hwm > keep_from:
+                break
+            path.unlink()
+            removed += 1
+            del self._records[: last_hwm - self.base]
+            self.base = last_hwm
+        return removed
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "hwm": self.hwm,
+            "base": self.base,
+            "segments": len(self._segments()),
+            "followers": dict(sorted(self._cursors.items())),
+        }
+
+
+def _segment_first_hwm(path: Path) -> int:
+    try:
+        return int(path.stem.split("-", 1)[1])
+    except (IndexError, ValueError):
+        raise ValueError(f"not a decision-log segment name: {path.name}") from None

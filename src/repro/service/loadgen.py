@@ -17,6 +17,12 @@ compared end to end.
 
 On connection loss the client reconnects and resends every unacknowledged
 request; the server's rid-keyed decision log makes that exactly-once.
+
+``transport="http"`` replays the same trace through the HTTP/JSON
+gateway (``repro gateway``) instead: requests become pipelined
+``POST /v1/reserve`` exchanges on one keep-alive connection, and because
+the gateway passes backend bodies through verbatim, the shadow ledger,
+checksums and report are computed by exactly the same code either way.
 """
 
 from __future__ import annotations
@@ -65,6 +71,8 @@ class LoadgenConfig:
     shutdown: bool = False  # send a shutdown op once the replay drains
     reconnect: int = 5  # reconnect attempts on connection loss
     report_violations: int = 50  # violations listed verbatim in the report
+    transport: str = "tcp"  # "tcp" (NDJSON) or "http" (via repro gateway)
+    token: str | None = None  # bearer token for the http transport
 
 
 class ShadowLedger:
@@ -250,6 +258,61 @@ class _ConnectionLost(Exception):
     pass
 
 
+# ----------------------------------------------------------------------
+# the HTTP transport: the same replay through the repro gateway
+# ----------------------------------------------------------------------
+
+
+def _http_post(message: dict[str, Any], config: LoadgenConfig) -> bytes:
+    """One pipelined keep-alive ``POST /v1/<op>`` carrying the wire message.
+
+    The body is the NDJSON message verbatim (``validate_payload`` accepts
+    a matching ``op`` field), so the TCP and HTTP transports replay
+    byte-identical payload semantics.
+    """
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    head = (
+        f"POST /v1/{message['op']} HTTP/1.1\r\n"
+        f"host: {config.host}:{config.port}\r\n"
+        "content-type: application/json\r\n"
+        f"content-length: {len(body)}\r\n"
+    )
+    if config.token:
+        head += f"authorization: Bearer {config.token}\r\n"
+    return head.encode("latin-1") + b"\r\n" + body
+
+
+def _http_get(path: str, config: LoadgenConfig) -> bytes:
+    head = f"GET {path} HTTP/1.1\r\nhost: {config.host}:{config.port}\r\n"
+    if config.token:
+        head += f"authorization: Bearer {config.token}\r\n"
+    return (head + "\r\n").encode("latin-1")
+
+
+async def _read_http_json(reader: asyncio.StreamReader) -> dict[str, Any]:
+    """One HTTP response off the stream; returns the parsed JSON body.
+
+    The gateway proxies backend bodies verbatim, so downstream response
+    handling (ledger, counters, checksums) is transport-agnostic.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+        raise _ConnectionLost(f"gateway closed mid-response: {exc}") from exc
+    content_length = 0
+    for line in head.decode("latin-1").split("\r\n")[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    if content_length == 0:
+        return {}
+    try:
+        body = await reader.readexactly(content_length)
+    except asyncio.IncompleteReadError as exc:
+        raise _ConnectionLost(f"gateway closed mid-body: {exc}") from exc
+    return json.loads(body.decode("utf-8"))
+
+
 async def _sender(
     writer: asyncio.StreamWriter,
     requests: deque,
@@ -274,16 +337,19 @@ async def _sender(
                     window_free.clear()
                     await window_free.wait()
             request = requests.popleft()
-            payload = encode(
-                {
-                    "op": "reserve",
-                    "rid": request.rid,
-                    "qr": request.qr,
-                    "sr": request.sr,
-                    "lr": request.lr,
-                    "nr": request.nr,
-                    **({"deadline": request.deadline} if request.deadline else {}),
-                }
+            message = {
+                "op": "reserve",
+                "rid": request.rid,
+                "qr": request.qr,
+                "sr": request.sr,
+                "lr": request.lr,
+                "nr": request.nr,
+                **({"deadline": request.deadline} if request.deadline else {}),
+            }
+            payload = (
+                _http_post(message, config)
+                if config.transport == "http"
+                else encode(message)
             )
             state.unacked.append((request.rid, payload, request))
             state.send_wall[request.rid] = perf_counter()
@@ -304,13 +370,17 @@ async def _reader(
     ledger: ShadowLedger,
     window_free: asyncio.Event,
     total: int,
+    config: LoadgenConfig,
 ) -> None:
     """Consume FIFO responses until every request is acknowledged."""
     while state.completed < total:
-        raw = await reader.readline()
-        if not raw:
-            raise _ConnectionLost("server closed the connection")
-        response = json.loads(raw)
+        if config.transport == "http":
+            response = await _read_http_json(reader)
+        else:
+            raw = await reader.readline()
+            if not raw:
+                raise _ConnectionLost("server closed the connection")
+            response = json.loads(raw)
         if not state.unacked:
             raise _ConnectionLost(f"unsolicited response: {response!r}")
         rid, _, request = state.unacked.popleft()
@@ -395,7 +465,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
             _sender(writer, requests, state, config, window_free, pacer)
         )
         consume = asyncio.create_task(
-            _reader(reader, state, ledger, window_free, target)
+            _reader(reader, state, ledger, window_free, target, config)
         )
         done, pending_tasks = await asyncio.wait(
             {sender, consume}, return_when=asyncio.FIRST_EXCEPTION
@@ -436,11 +506,18 @@ async def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
             reader = writer = None
     if reader is not None and writer is not None:
         try:
-            server_status = await _rpc(reader, writer, {"op": "status"})
-            if config.shutdown:
-                server_shutdown = await _rpc(reader, writer, {"op": "shutdown"})
+            if config.transport == "http":
+                # shutdown is deliberately not exposed at the HTTP edge
+                # (the CLI rejects --shutdown with --transport http)
+                writer.write(_http_get("/v1/status", config))
+                await writer.drain()
+                server_status = await _read_http_json(reader)
+            else:
+                server_status = await _rpc(reader, writer, {"op": "status"})
+                if config.shutdown:
+                    server_shutdown = await _rpc(reader, writer, {"op": "shutdown"})
             writer.close()
-        except (ConnectionError, OSError):
+        except (ConnectionError, OSError, _ConnectionLost):
             pass
 
     if config.ledger_out:
@@ -451,6 +528,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
             "host": config.host,
             "port": config.port,
             "source": config.swf or f"{config.workload} x{config.jobs} seed={config.seed}",
+            "transport": config.transport,
             "rho": config.rho,
             "rate": config.rate,
             "window": config.window,

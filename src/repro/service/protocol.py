@@ -47,6 +47,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "OPS",
+    "FOLLOWER_OPS",
     "SHARD_MAX_LINE_BYTES",
     "SHARD_OPS",
     "FIELD_TYPES",
@@ -57,6 +58,7 @@ __all__ = [
     "encode",
     "missing_required",
     "request_from_payload",
+    "validate_payload",
 ]
 
 #: bumped on any incompatible wire change; ``status`` reports it
@@ -83,24 +85,37 @@ FIELD_TYPES: dict[str, tuple[type, ...]] = {
 }
 
 
+#: listener vocabularies an op may belong to
+ROLES = ("public", "shard", "follower")
+
+
 @dataclass(frozen=True, slots=True)
 class OpSpec:
     """One operation's wire contract: fields as ``(name, type tag)`` pairs.
 
-    ``internal=True`` marks coordinator→shard ops: same NDJSON framing,
-    but trusted (only the coordinator speaks them) and never accepted on
-    the public listener.
+    ``role`` names the listener that accepts the op: ``"public"`` (the
+    actor/coordinator front door, also proxied by the HTTP gateway),
+    ``"shard"`` (trusted coordinator→shard ops — only the coordinator
+    speaks them, never accepted on the public listener), or
+    ``"follower"`` (the warm-standby follower's control listener).
     """
 
     name: str
     required: tuple[tuple[str, str], ...] = ()
     optional: tuple[tuple[str, str], ...] = ()
-    internal: bool = False
+    role: str = "public"
 
     def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise ValueError(f"{self.name}: unknown role {self.role!r}")
         for fname, tag in self.required + self.optional:
             if tag not in FIELD_TYPES:
                 raise ValueError(f"{self.name}.{fname}: unknown type tag {tag!r}")
+
+    @property
+    def internal(self) -> bool:
+        """Whether this op rides the trusted coordinator→shard link."""
+        return self.role == "shard"
 
     @property
     def field_names(self) -> frozenset[str]:
@@ -124,16 +139,21 @@ _SPECS: tuple[OpSpec, ...] = (
     OpSpec("status"),
     OpSpec("snapshot", optional=(("path", "str"),)),
     OpSpec("shutdown"),
+    OpSpec(
+        "log_tail",
+        required=(("cursor", "int"),),
+        optional=(("limit", "int"), ("follower_id", "str")),
+    ),
     # -- internal coordinator -> shard ops -------------------------------
     OpSpec(
         "shard_load",
         required=(("lo", "int"), ("state", "dict"), ("hwm", "int")),
-        internal=True,
+        role="shard",
     ),
     OpSpec(
         "shard_ladder",
         required=(("now", "number"), ("nr", "int"), ("attempts", "list"), ("hwm", "int")),
-        internal=True,
+        role="shard",
     ),
     OpSpec(
         "shard_commit",
@@ -146,35 +166,41 @@ _SPECS: tuple[OpSpec, ...] = (
             ("remnant_uids", "list"),
             ("hwm", "int"),
         ),
-        internal=True,
+        role="shard",
     ),
-    OpSpec("shard_abort", required=(("rid", "int"), ("now", "number")), internal=True),
+    OpSpec("shard_abort", required=(("rid", "int"), ("now", "number")), role="shard"),
     OpSpec(
         "shard_release",
         required=(("now", "number"), ("windows", "list"), ("hwm", "int")),
-        internal=True,
+        role="shard",
     ),
     OpSpec(
         "shard_range",
         required=(("now", "number"), ("ta", "number"), ("tb", "number")),
-        internal=True,
+        role="shard",
     ),
-    OpSpec("shard_export", internal=True),
-    OpSpec("shard_status", internal=True),
-    OpSpec("shard_shutdown", internal=True),
+    OpSpec("shard_export", role="shard"),
+    OpSpec("shard_status", role="shard"),
+    OpSpec("shard_shutdown", role="shard"),
+    # -- warm-standby follower control ops -------------------------------
+    OpSpec("follower_status", role="follower"),
+    OpSpec("promote", optional=(("port", "int"),), role="follower"),
 )
 
 #: the single source of truth for the wire vocabulary, by op name
 REGISTRY: dict[str, OpSpec] = {spec.name: spec for spec in _SPECS}
 
 #: every operation the public server understands, in documented order
-OPS: tuple[str, ...] = tuple(s.name for s in _SPECS if not s.internal)
+OPS: tuple[str, ...] = tuple(s.name for s in _SPECS if s.role == "public")
 
 #: coordinator -> shard operations on the internal shard link (same NDJSON
 #: framing; trusted, so shards validate only op name and field presence —
 #: a malformed internal message is a coordinator bug, answered with
 #: ``ok: false``)
-SHARD_OPS: frozenset[str] = frozenset(s.name for s in _SPECS if s.internal)
+SHARD_OPS: frozenset[str] = frozenset(s.name for s in _SPECS if s.role == "shard")
+
+#: operations the warm-standby follower's control listener understands
+FOLLOWER_OPS: tuple[str, ...] = tuple(s.name for s in _SPECS if s.role == "follower")
 
 
 class ProtocolError(MalformedRequestError):
@@ -196,14 +222,16 @@ def _check_type(op: str, name: str, value: Any, tag: str) -> None:
         )
 
 
-def decode_line(raw: bytes) -> dict[str, Any]:
-    """Parse and structurally validate one public request line.
+def decode_line(raw: bytes, ops: tuple[str, ...] = OPS) -> dict[str, Any]:
+    """Parse and structurally validate one request line against ``ops``.
 
     Returns the message dict (with ``op`` guaranteed present and known,
     required fields present with the right JSON types).  Raises
     :class:`ProtocolError` otherwise — the server answers ``MALFORMED``
     and keeps the connection alive (framing is line-based, so one bad
-    line does not poison the stream).
+    line does not poison the stream).  ``ops`` defaults to the public
+    vocabulary; the follower's control listener passes
+    :data:`FOLLOWER_OPS`.
     """
     if len(raw) > MAX_LINE_BYTES:
         raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
@@ -214,8 +242,8 @@ def decode_line(raw: bytes) -> dict[str, Any]:
     if not isinstance(message, dict):
         raise ProtocolError(f"expected a JSON object, got {type(message).__name__}")
     op = message.get("op")
-    if not isinstance(op, str) or op not in OPS:
-        raise ProtocolError(f"unknown op {op!r} (expected one of {', '.join(OPS)})")
+    if not isinstance(op, str) or op not in ops:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {', '.join(ops)})")
     spec = REGISTRY[op]
     for name, tag in spec.required:
         if name not in message:
@@ -225,6 +253,40 @@ def decode_line(raw: bytes) -> dict[str, Any]:
         if name in message and message[name] is not None:
             _check_type(op, name, message[name], tag)
     return message
+
+
+def validate_payload(op: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """Strictly validate an ``op`` body built from an untrusted source.
+
+    The HTTP gateway derives its request validation from the registry
+    through this function — there is deliberately no second schema.  It
+    is stricter than :func:`decode_line`: *unknown fields are rejected*
+    (an HTTP client sending ``{"ridd": 7}`` gets a 400, not a silently
+    ignored typo).  Returns the message dict with ``op`` filled in.
+    Raises :class:`ProtocolError` on any structural problem.
+    """
+    spec = REGISTRY.get(op)
+    if spec is None or spec.role != "public":
+        raise ProtocolError(f"unknown op {op!r} (expected one of {', '.join(OPS)})")
+    allowed = spec.field_names | {"seq"}
+    for name in payload:
+        if name == "op":
+            if payload[name] != op:
+                raise ProtocolError(f"{op}: body 'op' field disagrees with endpoint")
+            continue
+        if name not in allowed:
+            raise ProtocolError(
+                f"{op}: unknown field {name!r} "
+                f"(known fields: {', '.join(sorted(allowed - {'seq'})) or 'none'})"
+            )
+    for name, tag in spec.required:
+        if name not in payload:
+            raise ProtocolError(f"{op}: missing required field {name!r}")
+        _check_type(op, name, payload[name], tag)
+    for name, tag in spec.optional:
+        if name in payload and payload[name] is not None:
+            _check_type(op, name, payload[name], tag)
+    return {**payload, "op": op}
 
 
 def missing_required(op: str, message: dict[str, Any]) -> list[str]:

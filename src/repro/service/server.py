@@ -52,7 +52,6 @@ from time import perf_counter
 from typing import Any
 
 from ..errors import (
-    ErrorCode,
     MalformedRequestError,
     NotFoundError,
     ReproError,
@@ -63,6 +62,13 @@ from ..facade import CoAllocationScheduler
 from .admission import AdmissionController
 from .batching import drain_batch
 from .coordinator import AsyncShardedScheduler, ShardFailureError, ShardProtocolError
+from .declog import (
+    DecisionLog,
+    decide_cancel,
+    decide_reserve,
+    decision_message,
+    entry_from_outcome,
+)
 from .metrics import ServiceMetrics
 from .protocol import (
     MAX_LINE_BYTES,
@@ -99,6 +105,9 @@ class ServiceConfig:
     metrics_interval: float = 0.0  # seconds; 0 disables the periodic log line
     probe_limit: int = 64  # max idle periods returned per probe
     shards: int = 1  # calendar shard subprocesses (1 = in-process calendar)
+    log_dir: str | None = None  # decision-log directory (None disables the log)
+    log_segment_bytes: int = 1 << 20  # rotate segments at this size
+    log_tail_limit: int = 512  # default/max records per log_tail answer
 
 
 def accepted_checksum(decided: dict[int, dict[str, Any]]) -> str:
@@ -166,6 +175,13 @@ class ReservationService:
         self.admission = AdmissionController(
             max_depth=config.max_queue, max_delay=config.max_delay
         )
+        self._log: DecisionLog | None = None
+        if config.log_dir:
+            self._log = DecisionLog(config.log_dir, config.log_segment_bytes)
+            # a restored snapshot says how far the durable history reached;
+            # a fresh boot starts the numbering at zero either way
+            log_hwm = int(state.get("log_hwm", 0)) if state is not None else 0
+            self._log.align(log_hwm)
         self.metrics = ServiceMetrics()
         self._queue: asyncio.Queue[tuple[dict[str, Any], float, asyncio.Future]] = (
             asyncio.Queue()
@@ -251,6 +267,8 @@ class ReservationService:
                 writer.close()
         if self._sharded:
             await self.scheduler.stop()
+        if self._log is not None:
+            self._log.close()
         self._stopped.set()
 
     # ------------------------------------------------------------------
@@ -436,44 +454,44 @@ class ReservationService:
             response = dict(recorded)
             response.update(op="reserve", rid=rid, replayed=True)
             return response
+        if self._sharded:
+            entry = await self._actor_decide_reserve_sharded(message)
+        else:
+            # the shared decision path (declog.decide_reserve) is exactly
+            # what the warm-standby follower replays against the log
+            entry = decide_reserve(self.scheduler, message)
+        self._decided[rid] = entry
+        self._record_decision("reserve", message, entry)
+        if entry["ok"]:
+            self.metrics.record_accept(entry["attempts"])
+            return {"op": "reserve", "rid": rid, **entry}
+        error = entry["error"]
+        if error.get("code") == "REJECTED":
+            self.metrics.record_reject(error["reason"], error["attempts"])
+        else:
+            self.metrics.malformed += 1
+        return {"ok": False, "op": "reserve", "rid": rid, "error": error}
+
+    async def _actor_decide_reserve_sharded(
+        self, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        """The sharded twin of :func:`~repro.service.declog.decide_reserve`."""
         try:
             request = request_from_payload(message)
         except MalformedRequestError as exc:
-            entry = {"ok": False, "error": exc.payload()}
-            self._decided[rid] = entry
-            self.metrics.malformed += 1
-            return {"ok": False, "op": "reserve", "rid": rid, "error": exc.payload()}
+            return {"ok": False, "error": exc.payload()}
         # the virtual clock: simulated time only ever advances from
         # request-carried submission times, keeping replays deterministic
         self.scheduler.advance(max(self.scheduler.now, request.qr))
-        outcome = self.scheduler.schedule_detailed(request)
-        if asyncio.iscoroutine(outcome):  # sharded backend: await the scatter
-            outcome = await outcome
-        if outcome.allocation is None:
-            error = {
-                "code": ErrorCode.REJECTED.wire,
-                "exit_code": int(ErrorCode.REJECTED),
-                "message": (
-                    f"rejected after {outcome.attempts} attempt(s) ({outcome.reason})"
-                ),
-                "reason": outcome.reason,
-                "attempts": outcome.attempts,
-            }
-            self._decided[rid] = {"ok": False, "error": error}
-            self.metrics.record_reject(outcome.reason, outcome.attempts)
-            return {"ok": False, "op": "reserve", "rid": rid, "error": error}
-        allocation = outcome.allocation
-        entry = {
-            "ok": True,
-            "start": allocation.start,
-            "end": allocation.end,
-            "servers": sorted(allocation.servers),
-            "attempts": allocation.attempts,
-            "delay": allocation.delay,
-        }
-        self._decided[rid] = entry
-        self.metrics.record_accept(allocation.attempts)
-        return {"op": "reserve", "rid": rid, **entry}
+        outcome = await self.scheduler.schedule_detailed(request)
+        return entry_from_outcome(outcome)
+
+    def _record_decision(
+        self, kind: str, message: dict[str, Any], verdict: dict[str, Any]
+    ) -> None:
+        """Append one fresh decision to the replication log (if enabled)."""
+        if self._log is not None:
+            self._log.append(kind, decision_message(kind, message), verdict)
 
     async def _actor_apply_probe(self, message: dict[str, Any]) -> dict[str, Any]:
         ta, tb = float(message["ta"]), float(message["tb"])
@@ -495,13 +513,37 @@ class ReservationService:
 
     async def _actor_apply_cancel(self, message: dict[str, Any]) -> dict[str, Any]:
         rid = int(message["rid"])
-        try:
-            result = self.scheduler.cancel(rid)
-            if asyncio.iscoroutine(result):
-                await result
-        except NotFoundError as exc:
-            return {"ok": False, "op": "cancel", "rid": rid, "error": exc.payload()}
-        return {"ok": True, "op": "cancel", "rid": rid}
+        if self._sharded:
+            try:
+                await self.scheduler.cancel(rid)
+                verdict: dict[str, Any] = {"ok": True}
+            except NotFoundError as exc:
+                verdict = {"ok": False, "error": exc.payload()}
+        else:
+            verdict = decide_cancel(self.scheduler, rid)
+        self._record_decision("cancel", message, verdict)
+        return {"op": "cancel", "rid": rid, **verdict}
+
+    async def _actor_apply_log_tail(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self._log is None:
+            raise MalformedRequestError(
+                "decision log disabled: start the server with --log-dir"
+            )
+        cursor = int(message["cursor"])
+        limit = min(
+            int(message.get("limit") or self.config.log_tail_limit),
+            self.config.log_tail_limit,
+        )
+        follower_id = message.get("follower_id")
+        if follower_id:
+            self._log.register_cursor(str(follower_id), cursor)
+        return {
+            "ok": True,
+            "op": "log_tail",
+            "hwm": self._log.hwm,
+            "base": self._log.base,
+            "records": self._log.tail(cursor, limit),
+        }
 
     async def _actor_apply_status(self, message: dict[str, Any]) -> dict[str, Any]:
         response = {
@@ -512,6 +554,14 @@ class ReservationService:
             "n_servers": self.scheduler.n_servers,
             "tau": self.scheduler.calendar.tau,
             "q_slots": self.scheduler.calendar.q_slots,
+            "delta_t": (
+                self.scheduler.delta_t
+                if self._sharded
+                else self.scheduler.allocator.delta_t
+            ),
+            "r_max": (
+                self.scheduler.r_max if self._sharded else self.scheduler.allocator.r_max
+            ),
             "uptime_s": round(perf_counter() - self._started, 3),
             "restored": self.restored,
             "stopping": self._stopping,
@@ -528,6 +578,8 @@ class ReservationService:
                 "pids": self.scheduler.shard_pids(),
                 "ports": self.scheduler.shard_ports(),
             }
+        if self._log is not None:
+            response["log"] = self._log.summary()
         return response
 
     async def _actor_apply_snapshot(self, message: dict[str, Any]) -> dict[str, Any]:
@@ -541,14 +593,21 @@ class ReservationService:
         self.metrics.snapshots += 1
         if "sharded" in state:
             meta = {**meta, "sharded": state["sharded"]}
+        if self._log is not None:
+            # everything below the snapshot (and every follower cursor)
+            # is now durable elsewhere: drop the covered whole segments
+            meta = {**meta, "log_compacted": self._log.compact(state["log_hwm"])}
         return {"ok": True, "op": "snapshot", **meta}
 
     async def _actor_apply_shutdown(self, message: dict[str, Any]) -> dict[str, Any]:
         self._stopping = True
         meta = None
         if self.config.snapshot_path:
-            meta = write_snapshot(self.config.snapshot_path, await self._actor_state())
+            state = await self._actor_state()
+            meta = write_snapshot(self.config.snapshot_path, state)
             self.metrics.snapshots += 1
+            if self._log is not None:
+                self._log.compact(state["log_hwm"])
         return {
             "ok": True,
             "op": "shutdown",
@@ -573,6 +632,7 @@ class ReservationService:
         state = {
             "scheduler": scheduler_state,
             "decided": {str(rid): self._decided[rid] for rid in sorted(self._decided)},
+            "log_hwm": self._log.hwm if self._log is not None else 0,
         }
         if sharded_meta is not None:
             state["sharded"] = sharded_meta

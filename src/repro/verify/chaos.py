@@ -38,6 +38,20 @@ Plans
     restart from that snapshot must then re-decide ops *s+1..k*
     identically and finish the stream with the same accepted checksum
     as the uninterrupted oracle.
+``front-door`` (explicit ``--plan front-door``)
+    The whole stream is replayed through a real ``repro gateway``
+    subprocess as HTTP/JSON instead of raw NDJSON — the gateway passes
+    backend bodies through verbatim, so the identical oracle/ledger/
+    checksum standards apply to the HTTP surface with zero adaptation.
+``kill-promote`` (explicit ``--plan kill-promote``, unsharded only)
+    The primary runs with ``--log-dir`` and a ``repro follow``
+    subprocess tails its decision log.  After op *k* the primary is
+    SIGKILLed — **no snapshot was ever taken** — and the follower is
+    promoted (``promote`` on its control port).  Ops possibly lost past
+    the follower's replication cursor are resent (the promoted service
+    re-decides or replays them; verdicts must match the pre-kill ones),
+    then the stream finishes against the promoted service, which must
+    end with the same accepted checksum as the uninterrupted oracle.
 
 Everything is driven by ``(stream, plan)``; no wall-clock dependence
 (the service clock is virtual), no randomness outside the plan seed.
@@ -45,6 +59,7 @@ Everything is driven by ``(stream, plan)``; no wall-clock dependence
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import random
@@ -55,6 +70,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, IO
@@ -76,7 +92,7 @@ _RPC_TIMEOUT = 30.0
 class ChaosPlan:
     """One deterministic fault schedule."""
 
-    kind: str  # "kill-restart" | "duplicate" | "reorder" | "kill-shard"
+    kind: str  # kill-restart | duplicate | reorder | kill-shard | front-door | kill-promote
     snapshot_at: int | None = None  # kill-*: snapshot after this op index
     kill_at: int | None = None  # kill-*: SIGKILL after this op index
     duplicate_every: int = 5  # duplicate: resend every n-th reserve
@@ -106,6 +122,15 @@ def default_plans(kind: str | None = None, shards: int = 0) -> list[ChaosPlan]:
         return plans
     if kind == "kill-shard" and shards <= 1:
         raise ValueError("kill-shard plan needs a sharded service (--shards > 1)")
+    if kind in ("front-door", "kill-promote"):
+        # explicit-only plans: they spawn extra subprocesses (gateway /
+        # follower), so "all" does not imply them
+        if kind == "kill-promote" and shards > 1:
+            raise ValueError(
+                "kill-promote plan needs the unsharded service "
+                "(the follower replays a single calendar)"
+            )
+        return [ChaosPlan(kind=kind)]
     matched = [p for p in plans if p.kind == kind]
     if not matched:
         raise ValueError(f"unknown chaos plan {kind!r}")
@@ -122,8 +147,28 @@ def _src_root() -> str:
     return str(Path(__file__).resolve().parents[2])
 
 
+def _spawn_ready(cmd: list[str]) -> tuple[subprocess.Popen, int]:
+    """Launch a repro subcommand and parse the port off its ready line."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env, text=True
+    )
+    assert proc.stdout is not None
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"{' '.join(cmd[3:5])} exited early (rc={proc.poll()})")
+        match = _READY.search(line)
+        if match:
+            return proc, int(match.group(1))
+
+
 def _start_server(
-    config: dict[str, Any], snapshot_path: str, shards: int = 0
+    config: dict[str, Any],
+    snapshot_path: str,
+    shards: int = 0,
+    extra: list[str] | None = None,
 ) -> tuple[subprocess.Popen, int]:
     cmd = [
         sys.executable,
@@ -149,19 +194,64 @@ def _start_server(
         cmd += ["--r-max", str(config["r_max"])]
     if shards > 1:
         cmd += ["--shards", str(shards)]
-    env = dict(os.environ)
-    env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
-    proc = subprocess.Popen(
-        cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env, text=True
-    )
-    assert proc.stdout is not None
-    while True:
-        line = proc.stdout.readline()
-        if not line:
-            raise RuntimeError(f"repro serve exited early (rc={proc.poll()})")
-        match = _READY.search(line)
-        if match:
-            return proc, int(match.group(1))
+    if extra:
+        cmd += extra
+    return _spawn_ready(cmd)
+
+
+def _start_follower(
+    primary_port: int, snapshot_path: str, work: str
+) -> tuple[subprocess.Popen, int]:
+    """A ``repro follow`` subprocess tailing the primary's decision log."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "follow",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
+        "--primary-host",
+        "127.0.0.1",
+        "--primary-port",
+        str(primary_port),
+        "--poll-interval",
+        "0.05",
+        "--snapshot-path",
+        snapshot_path,
+        "--log-dir",
+        str(Path(work) / "follower-log"),
+    ]
+    return _spawn_ready(cmd)
+
+
+def _start_gateway(backend_port: int) -> tuple[subprocess.Popen, int]:
+    """A ``repro gateway`` subprocess fronting the service over HTTP.
+
+    The edge rate limit is set far above any replay rate: this plan
+    tests decision identity through the HTTP surface, not the limiter
+    (the limiter has its own unit tests).
+    """
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "gateway",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
+        "--backend-host",
+        "127.0.0.1",
+        "--backend-port",
+        str(backend_port),
+        "--rate",
+        "1000000",
+        "--burst",
+        "1000000",
+    ]
+    return _spawn_ready(cmd)
 
 
 class _Client:
@@ -185,6 +275,48 @@ class _Client:
             self.sock.close()
         except OSError:
             pass
+
+
+class _HttpClient:
+    """Blocking one-op-at-a-time HTTP client for the gateway front door.
+
+    Same ``rpc(message) -> body`` surface as :class:`_Client`: the
+    gateway passes backend JSON bodies through verbatim, so callers
+    cannot tell the two transports apart.
+    """
+
+    def __init__(self, port: int) -> None:
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=_RPC_TIMEOUT)
+
+    def rpc(self, message: dict[str, Any]) -> dict[str, Any]:
+        body = json.dumps(message).encode("utf-8")
+        self.conn.request(
+            "POST",
+            f"/v1/{message['op']}",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = self.conn.getresponse()
+        return json.loads(response.read().decode("utf-8"))
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def _wait_follower_hwm(ctl: _Client, min_hwm: int, timeout: float = 10.0) -> int:
+    """Poll ``follower_status`` until the cursor reaches ``min_hwm``.
+
+    Best-effort with a deadline: the invariant under test holds for any
+    cursor (lost records are resent), catching up just makes the run
+    exercise real replication instead of an empty promote.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        status = ctl.rpc({"op": "follower_status"})
+        hwm = int(status["hwm"])
+        if hwm >= min_hwm or time.monotonic() > deadline:
+            return hwm
+        time.sleep(0.05)
 
 
 # ----------------------------------------------------------------------
@@ -325,6 +457,11 @@ def run_chaos(
     """
     if plan.kind == "kill-shard" and shards <= 1:
         raise ValueError("kill-shard plan needs a sharded service (shards > 1)")
+    if plan.kind == "kill-promote" and shards > 1:
+        raise ValueError(
+            "kill-promote plan needs the unsharded service "
+            "(the follower replays a single calendar)"
+        )
     ops = [op for op in stream.ops if op["kind"] != "restore"]
     if plan.kind == "reorder":
         rng = random.Random(f"repro-chaos:{plan.seed}")
@@ -343,6 +480,12 @@ def run_chaos(
                 f"{plan.kind} plan needs 0 <= snapshot_at < kill_at < {len(ops)}, "
                 f"got snapshot_at={snapshot_at} kill_at={kill_at}"
             )
+    elif plan.kind == "kill-promote":
+        kill_at = plan.kill_at if plan.kill_at is not None else (2 * len(ops)) // 3
+        if not 0 <= kill_at < len(ops):
+            raise ValueError(
+                f"kill-promote plan needs 0 <= kill_at < {len(ops)}, got {kill_at}"
+            )
 
     owns_dir = work_dir is None
     work = work_dir or tempfile.mkdtemp(prefix="repro-chaos-")
@@ -356,9 +499,25 @@ def run_chaos(
     reserve_count = 0
     shard_kills = 0
     crash_stop_ok = True  # kill-shard: INTERNAL answer + nonzero exit observed
+    follower_proc = gateway_proc = None
+    promote_info: dict[str, Any] | None = None
+    # kill-promote: log_index[h-1] = index of the op that wrote decision-log
+    # record h (fresh reserves and every cancel append one record; probes
+    # and rid replays do not), so a promote at cursor h tells us exactly
+    # which ops may have been lost and must be resent
+    log_index: list[int] = []
+    logged_rids: set[int] = set()
 
-    proc, port = _start_server(stream.config, snapshot_path, shards)
-    client = _Client(port)
+    extra = ["--log-dir", str(Path(work) / "primary-log")] if plan.kind == "kill-promote" else None
+    proc, port = _start_server(stream.config, snapshot_path, shards, extra=extra)
+    if plan.kind == "kill-promote":
+        follower_proc, follower_ctl_port = _start_follower(port, snapshot_path, work)
+    client: Any
+    if plan.kind == "front-door":
+        gateway_proc, gateway_port = _start_gateway(port)
+        client = _HttpClient(gateway_port)
+    else:
+        client = _Client(port)
     try:
         for index, op in enumerate(ops):
             verdict = _normalize(op, client.rpc(_wire(op)))
@@ -388,6 +547,42 @@ def run_chaos(
                             {"index": index, "first": verdict, "duplicate": dup,
                              "replayed": dup_response.get("replayed")}
                         )
+            if plan.kind == "kill-promote":
+                if op["kind"] == "cancel" or (
+                    op["kind"] == "reserve" and int(op["rid"]) not in logged_rids
+                ):
+                    if op["kind"] == "reserve":
+                        logged_rids.add(int(op["rid"]))
+                    log_index.append(index)
+                if index == kill_at:
+                    assert follower_proc is not None
+                    ctl = _Client(follower_ctl_port)
+                    if log_index:
+                        _wait_follower_hwm(ctl, min_hwm=1)
+                    client.close()
+                    proc.send_signal(signal.SIGKILL)
+                    proc.wait(timeout=30)
+                    promote_info = ctl.rpc({"op": "promote"})
+                    ctl.close()
+                    if not promote_info.get("ok"):
+                        raise RuntimeError(f"promote failed: {promote_info!r}")
+                    restarts += 1
+                    client = _Client(int(promote_info["port"]))
+                    hwm = int(promote_info["hwm"])
+                    assert hwm <= len(log_index), (hwm, len(log_index))
+                    # records past the follower's replication cursor died
+                    # with the primary (there is NO snapshot in this plan);
+                    # resend the ops behind them — already-replicated rids
+                    # answer the recorded verdict, lost decisions are
+                    # re-decided and must match the pre-kill ones bit for bit
+                    resend_from = log_index[hwm - 1] + 1 if hwm else 0
+                    for j in range(resend_from, kill_at + 1):
+                        replayed = _normalize(ops[j], client.rpc(_wire(ops[j])))
+                        if _jsonable(replayed) != _jsonable(verdicts[j]):
+                            replay_mismatches.append(
+                                {"index": j, "before_kill": verdicts[j],
+                                 "after_promote": replayed}
+                            )
             if plan.kind in ("kill-restart", "kill-shard"):
                 if index == snapshot_at:
                     client.rpc({"op": "snapshot"})
@@ -413,14 +608,25 @@ def run_chaos(
                                 {"index": j, "before_kill": verdicts[j],
                                  "after_restart": replayed}
                             )
-        status = client.rpc({"op": "status"})
-        shutdown = client.rpc({"op": "shutdown"})
-        client.close()
-        proc.wait(timeout=30)
-    finally:
-        if proc.poll() is None:
-            proc.kill()
+        # the end-of-run status/shutdown exchange is a TCP control-plane
+        # conversation: the gateway deliberately exposes no shutdown
+        end_client = _Client(port) if plan.kind == "front-door" else client
+        status = end_client.rpc({"op": "status"})
+        shutdown = end_client.rpc({"op": "shutdown"})
+        end_client.close()
+        if end_client is not client:
+            client.close()
+        if plan.kind == "kill-promote":
+            # the follower process exits once its promoted service stops
+            assert follower_proc is not None
+            follower_proc.wait(timeout=30)
+        else:
             proc.wait(timeout=30)
+    finally:
+        for child in (proc, follower_proc, gateway_proc):
+            if child is not None and child.poll() is None:
+                child.kill()
+                child.wait(timeout=30)
 
     # oracle replay over the same logical order, and checksum mirror
     oracle = ReferenceScheduler(**stream.config)
@@ -473,6 +679,7 @@ def run_chaos(
         "reserves": reserve_count,
         "accepted": len(ledger.entries),
         "restarts": restarts,
+        "promote": promote_info,
         "shard_kills": shard_kills,
         "crash_stop_ok": crash_stop_ok,
         "duplicate_checks": duplicate_checks,

@@ -14,6 +14,7 @@ import pytest
 import repro.errors
 import repro.service
 from repro.analysis.protocol_check import (
+    GATEWAY_SEND_SITE_MODULES,
     PROTOCOL_INJECTIONS,
     SEND_SITE_MODULES,
     collect_model,
@@ -90,15 +91,22 @@ class TestConformance:
     def test_shipped_service_conforms(self):
         report = run_protocol_check()
         assert report.ok, report.to_text()
-        assert report.files_checked == len(SEND_SITE_MODULES) + 1
+        gateway_dir = SERVICE_DIR.parent / "gateway"
+        gateway_present = sum(
+            1 for name in GATEWAY_SEND_SITE_MODULES if (gateway_dir / name).exists()
+        )
+        assert report.files_checked == len(SEND_SITE_MODULES) + gateway_present + 1
         assert report.injected is None
 
     def test_model_tables_are_complete(self):
         model = collect_model()
-        public = {n for n, s in model.registry.items() if not s.internal}
-        internal = {n for n, s in model.registry.items() if s.internal}
+        public = {n for n, s in model.registry.items() if s.role == "public"}
+        internal = {n for n, s in model.registry.items() if s.role == "shard"}
+        follower = {n for n, s in model.registry.items() if s.role == "follower"}
         assert set(model.server_handlers) == public
         assert set(model.shard_handlers) == internal
+        if model.follower_present:
+            assert set(model.follower_handlers) == follower
         assert set(model.error_codes) - model.mapped_codes == {"OK"}
 
 
@@ -165,7 +173,12 @@ class TestInjections:
         assert kind in report.to_text() and "caught" in report.to_text()
 
     def test_injection_registry_shape(self):
-        assert set(PROTOCOL_INJECTIONS) == {"drop-field", "unknown-op", "drop-handler"}
+        assert set(PROTOCOL_INJECTIONS) == {
+            "drop-field",
+            "unknown-op",
+            "drop-handler",
+            "drop-follower-handler",
+        }
         for mutate, expected in PROTOCOL_INJECTIONS.values():
             assert callable(mutate)
             assert expected in {"RA205", "RA206"}

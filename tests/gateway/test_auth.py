@@ -1,0 +1,79 @@
+"""Token buckets and the bearer-token table (pure units, fake clocks)."""
+
+import pytest
+
+from repro.gateway.auth import ANONYMOUS, TenantLimiter, TokenBucket, TokenTable
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=3, clock=lambda: clock[0])
+        assert [bucket.acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = bucket.acquire()
+        assert retry == pytest.approx(0.1, abs=1e-4)  # 1 token / 10 per sec
+
+    def test_refill_is_proportional_to_elapsed_time(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=4, clock=lambda: clock[0])
+        for _ in range(4):
+            bucket.acquire()
+        assert bucket.acquire() > 0.0
+        clock[0] += 1.0  # 2 tokens refill
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() > 0.0
+
+    def test_bucket_never_exceeds_burst(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=100.0, burst=2, clock=lambda: clock[0])
+        clock[0] += 3600.0  # an hour idle does not bank an hour of tokens
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() > 0.0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=10)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTenantLimiter:
+    def test_tenants_draw_from_independent_buckets(self):
+        clock = [0.0]
+        limiter = TenantLimiter(rate=1.0, burst=1, clock=lambda: clock[0])
+        assert limiter.acquire("a") == 0.0
+        assert limiter.acquire("a") > 0.0  # a's bucket is dry...
+        assert limiter.acquire("b") == 0.0  # ...but b's burst is untouched
+
+
+class TestTokenTable:
+    def test_open_mode_admits_everyone_as_anonymous(self):
+        table = TokenTable()
+        assert table.open_mode
+        assert table.authenticate(None) == ANONYMOUS
+        assert table.authenticate("Bearer whatever") == ANONYMOUS
+
+    def test_bearer_tokens_map_to_tenants(self):
+        table = TokenTable({"s3cret": "alice", "t0ken": "bob"})
+        assert not table.open_mode
+        assert table.authenticate("Bearer s3cret") == "alice"
+        assert table.authenticate("bearer t0ken") == "bob"  # scheme is case-insensitive
+        assert table.authenticate("Bearer nope") is None
+        assert table.authenticate("Basic s3cret") is None
+        assert table.authenticate(None) is None
+        assert table.authenticate("Bearer ") is None
+
+    def test_from_file_parses_token_tenant_lines(self, tmp_path):
+        path = tmp_path / "tokens"
+        path.write_text("# comment\n\n  s3cret : alice \ntok2:bob\n")
+        table = TokenTable.from_file(path)
+        assert table.authenticate("Bearer s3cret") == "alice"
+        assert table.authenticate("Bearer tok2") == "bob"
+
+    def test_from_file_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "tokens"
+        path.write_text("justatoken\n")
+        with pytest.raises(ValueError, match="tokens:1"):
+            TokenTable.from_file(path)

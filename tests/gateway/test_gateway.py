@@ -1,0 +1,303 @@
+"""The HTTP front door: routing, auth, rate limits, verbatim proxying.
+
+Everything runs in one process and one event loop: a real
+:class:`~repro.service.server.ReservationService` behind a real
+:class:`~repro.gateway.app.Gateway`, exercised through the stdlib
+HTTP client in :func:`repro.gateway.http.http_request`.
+"""
+
+import asyncio
+
+from repro.errors import BusyError
+from repro.gateway.app import Gateway, GatewayConfig
+from repro.gateway.http import format_retry_after, http_request
+
+from ..service.harness import SMALL, reserve_msg, rpc, start_service
+
+
+async def start_stack(service_overrides=None, **gateway_overrides):
+    """Boot service + gateway; returns (service, gateway)."""
+    service = await start_service(**(service_overrides or SMALL))
+    gateway = Gateway(
+        GatewayConfig(backend_port=service.port, **gateway_overrides)
+    )
+    await gateway.start()
+    return service, gateway
+
+
+async def http(port, method, path, body=None, headers=()):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        return await http_request(reader, writer, method, path, body, headers)
+    finally:
+        writer.close()
+
+
+async def fetch_metrics(port):
+    """GET /metrics as text (it is Prometheus exposition, not JSON)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = next(
+        int(line.split(":")[1])
+        for line in head.decode().split("\r\n")
+        if line.lower().startswith("content-length")
+    )
+    text = (await reader.readexactly(length)).decode()
+    writer.close()
+    return text
+
+
+class TestRouting:
+    def test_healthz_and_unknown_routes(self):
+        async def scenario():
+            service, gateway = await start_stack()
+            health = await http(gateway.port, "GET", "/healthz")
+            missing = await http(gateway.port, "GET", "/v1/nope")
+            wrong_method = await http(gateway.port, "GET", "/v1/reserve")
+            status_post = await http(gateway.port, "POST", "/v1/status", body={})
+            await gateway.stop()
+            await service.stop()
+            return health, missing, wrong_method, status_post
+
+        health, missing, wrong_method, status_post = asyncio.run(scenario())
+        assert health[0] == 200 and health[2]["ok"] is True
+        assert missing[0] == 404
+        assert wrong_method[0] == 405
+        assert status_post[0] == 405
+
+    def test_keep_alive_serves_many_requests_per_connection(self):
+        async def scenario():
+            service, gateway = await start_stack()
+            reader, writer = await asyncio.open_connection("127.0.0.1", gateway.port)
+            statuses = []
+            for rid in range(1, 6):
+                status, _, body = await http_request(
+                    reader, writer, "POST", "/v1/reserve",
+                    reserve_msg(rid, 0.0, 5.0, 1),
+                )
+                statuses.append((status, body["ok"]))
+            writer.close()
+            await gateway.stop()
+            await service.stop()
+            return statuses
+
+        statuses = asyncio.run(scenario())
+        assert all(status == 200 for status, _ in statuses)
+
+
+class TestProxySemantics:
+    def test_gateway_and_tcp_answer_identically(self):
+        """The HTTP body is the backend's NDJSON response verbatim: the
+        same op via the gateway and via raw TCP yields the same JSON."""
+
+        async def scenario():
+            # two identical services, one fronted, one raw
+            fronted, gateway = await start_stack()
+            raw = await start_service(**SMALL)
+            pairs = []
+            for message in (
+                reserve_msg(1, 0.0, 10.0, 1),
+                reserve_msg(2, 0.0, 10.0, 2),
+                {"op": "probe", "ta": 0.0, "tb": 10.0},
+                {"op": "cancel", "rid": 1},
+                {"op": "cancel", "rid": 999},
+                reserve_msg(2, 0.0, 10.0, 2),  # replay of rid 2
+            ):
+                _, _, via_http = await http(
+                    gateway.port, "POST", f"/v1/{message['op']}", message
+                )
+                via_tcp = await rpc(raw.port, message)
+                pairs.append((via_http, via_tcp))
+            status_http = await http(gateway.port, "GET", "/v1/status")
+            status_tcp = await rpc(raw.port, {"op": "status"})
+            await gateway.stop()
+            await fronted.stop()
+            await raw.stop()
+            return pairs, status_http[2], status_tcp
+
+        pairs, status_http, status_tcp = asyncio.run(scenario())
+        for via_http, via_tcp in pairs:
+            assert via_http == via_tcp
+        assert status_http["accepted_checksum"] == status_tcp["accepted_checksum"]
+
+    def test_error_codes_map_to_http_statuses(self):
+        async def scenario():
+            service, gateway = await start_stack()
+            results = {}
+            # MALFORMED: missing required fields
+            results["malformed"] = await http(
+                gateway.port, "POST", "/v1/reserve", {"rid": 1}
+            )
+            # MALFORMED: unknown field (registry strictness, not a 2nd schema)
+            results["unknown_field"] = await http(
+                gateway.port, "POST", "/v1/reserve",
+                {**reserve_msg(5, 0.0, 5.0, 1), "bogus": True},
+            )
+            # op in the body disagreeing with the endpoint is malformed too
+            results["op_mismatch"] = await http(
+                gateway.port, "POST", "/v1/cancel", reserve_msg(6, 0.0, 5.0, 1)
+            )
+            # NOT_FOUND: cancel of an unknown rid
+            results["not_found"] = await http(
+                gateway.port, "POST", "/v1/cancel", {"rid": 404}
+            )
+            # non-JSON body
+            results["not_json"] = await http(
+                gateway.port, "POST", "/v1/reserve", ["not", "an", "object"]
+            )
+            await gateway.stop()
+            await service.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results["malformed"][0] == 400
+        assert results["malformed"][2]["error"]["code"] == "MALFORMED"
+        assert results["unknown_field"][0] == 400
+        assert results["op_mismatch"][0] == 400
+        assert results["not_found"][0] == 404
+        assert results["not_found"][2]["error"]["code"] == "NOT_FOUND"
+        assert results["not_json"][0] == 400
+
+    def test_dead_backend_is_502(self):
+        async def scenario():
+            service, gateway = await start_stack()
+            await service.stop()  # kill the backend under the gateway
+            response = await http(
+                gateway.port, "POST", "/v1/reserve", reserve_msg(1, 0.0, 5.0, 1)
+            )
+            await gateway.stop()
+            return response
+
+        status, _, body = asyncio.run(scenario())
+        assert status == 502
+        assert body["error"]["code"] == "BACKEND_DOWN"
+
+
+class TestAuth:
+    def test_token_table_gates_requests_and_labels_tenants(self, tmp_path):
+        tokens = tmp_path / "tokens"
+        tokens.write_text("s3cret:alice\n")
+
+        async def scenario():
+            service, gateway = await start_stack(token_file=str(tokens))
+            denied = await http(
+                gateway.port, "POST", "/v1/reserve", reserve_msg(1, 0.0, 5.0, 1)
+            )
+            wrong = await http(
+                gateway.port, "POST", "/v1/reserve", reserve_msg(1, 0.0, 5.0, 1),
+                headers=(("Authorization", "Bearer wrong"),),
+            )
+            granted = await http(
+                gateway.port, "POST", "/v1/reserve", reserve_msg(1, 0.0, 5.0, 1),
+                headers=(("Authorization", "Bearer s3cret"),),
+            )
+            metrics = await fetch_metrics(gateway.port)
+            await gateway.stop()
+            await service.stop()
+            return denied, wrong, granted, metrics
+
+        denied, wrong, granted, metrics = asyncio.run(scenario())
+        assert denied[0] == 401
+        assert "bearer" in denied[1]["www-authenticate"].lower()
+        assert wrong[0] == 401
+        assert granted[0] == 200 and granted[2]["ok"]
+        # authenticated traffic is attributed to its tenant in the metrics
+        assert 'tenant="alice"' in metrics
+        assert 'reason="unauthorized"' in metrics
+
+
+class TestRateLimit:
+    def test_burst_429s_carry_the_buckets_own_retry_after(self):
+        """Satellite: one back-off source. Under a 10x-burst flood every
+        429's Retry-After header must equal the JSON body's retry_after
+        rendered through format_retry_after — never a second estimate."""
+
+        async def scenario():
+            service, gateway = await start_stack(rate=50.0, burst=10.0)
+            responses = []
+            for rid in range(1, 101):  # 10x the burst capacity
+                responses.append(
+                    await http(
+                        gateway.port, "POST", "/v1/probe", {"ta": 0.0, "tb": 1.0}
+                    )
+                )
+            await gateway.stop()
+            await service.stop()
+            return responses
+
+        responses = asyncio.run(scenario())
+        limited = [r for r in responses if r[0] == 429]
+        assert limited, "a 10x burst must trip the per-tenant bucket"
+        for _, headers, body in limited:
+            assert body["error"]["code"] == "BUSY"
+            retry_after = body["error"]["retry_after"]
+            assert retry_after > 0.0
+            assert headers["retry-after"] == format_retry_after(retry_after)
+
+    def test_proxied_busy_reuses_the_admission_controllers_estimate(self):
+        """A backend BUSY (admission shed) becomes 429 with Retry-After
+        equal to the controller's own retry_after — the TCP and HTTP
+        front doors advertise the same back-off for the same overload."""
+
+        async def scenario():
+            service, gateway = await start_stack()
+
+            shed = BusyError("admission queue full", retry_after=1.75)
+
+            async def busy_backend(message):
+                return {"ok": False, "op": message["op"], "error": shed.payload()}
+
+            gateway._backend_rpc = busy_backend
+            response = await http(
+                gateway.port, "POST", "/v1/reserve", reserve_msg(1, 0.0, 5.0, 1)
+            )
+            await gateway.stop()
+            await service.stop()
+            return response, shed.payload()
+
+        (status, headers, body), tcp_payload = asyncio.run(scenario())
+        assert status == 429
+        # byte-identical to what the TCP client sees in the BUSY error...
+        assert body["error"] == tcp_payload
+        # ...and the header is that same number through the one formatter
+        assert headers["retry-after"] == format_retry_after(
+            tcp_payload["retry_after"]
+        )
+
+    def test_status_and_health_are_never_rate_limited(self):
+        async def scenario():
+            service, gateway = await start_stack(rate=50.0, burst=1.0)
+            for _ in range(20):
+                status = await http(gateway.port, "GET", "/v1/status")
+                health = await http(gateway.port, "GET", "/healthz")
+                assert status[0] == 200 and health[0] == 200
+            await gateway.stop()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+
+class TestMetrics:
+    def test_metrics_expose_gateway_and_service_series(self):
+        async def scenario():
+            service, gateway = await start_stack()
+            for rid in range(1, 4):
+                await http(
+                    gateway.port, "POST", "/v1/reserve", reserve_msg(rid, 0.0, 5.0, 1)
+                )
+            text = await fetch_metrics(gateway.port)
+            await gateway.stop()
+            await service.stop()
+            return text
+
+        text = asyncio.run(scenario())
+        assert (
+            'repro_gateway_requests_total{endpoint="reserve",tenant="anonymous"} 3'
+            in text
+        )
+        assert "# TYPE repro_gateway_requests_total counter" in text
+        assert "repro_gateway_backend_up 1" in text
+        assert 'repro_service_accepted_total' in text
+        assert 'repro_gateway_request_seconds{quantile="0.5"}' in text

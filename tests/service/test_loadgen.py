@@ -188,3 +188,42 @@ def test_replay_flags_a_corrupted_server(monkeypatch):
     report = asyncio.run(scenario())
     assert report["violations_total"] > 0
     assert any(v["kind"] == "double_booking" for v in report["violations"])
+
+
+def test_http_transport_matches_tcp_checksum(tmp_path):
+    """The same replay through the HTTP front door (an in-process real
+    Gateway) and through raw TCP yields the same accepted checksum and
+    zero violations — the transport cannot change decisions."""
+    from repro.gateway.app import Gateway, GatewayConfig
+
+    async def tcp_run():
+        service = await start_service(n_servers=16, tau=900.0, q_slots=96)
+        report = await run_loadgen(
+            LoadgenConfig(port=service.port, workload="KTH", jobs=120, seed=5)
+        )
+        await service.stop()
+        return report
+
+    async def http_run():
+        service = await start_service(n_servers=16, tau=900.0, q_slots=96)
+        gateway = Gateway(
+            GatewayConfig(backend_port=service.port, rate=1e6, burst=1e6)
+        )
+        await gateway.start()
+        report = await run_loadgen(
+            LoadgenConfig(
+                port=gateway.port, workload="KTH", jobs=120, seed=5,
+                transport="http",
+            )
+        )
+        await gateway.stop()
+        await service.stop()
+        return report
+
+    via_tcp = asyncio.run(tcp_run())
+    via_http = asyncio.run(http_run())
+    assert via_http["completed"] == via_tcp["completed"] == 120
+    assert via_http["violations_total"] == via_tcp["violations_total"] == 0
+    assert via_http["accepted_checksum"] == via_tcp["accepted_checksum"]
+    assert via_http["server_status"]["accepted_checksum"] == via_tcp["accepted_checksum"]
+    assert via_http["config"]["transport"] == "http"

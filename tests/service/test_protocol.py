@@ -34,6 +34,7 @@ class TestDecodeLine:
             "status": {},
             "snapshot": {},
             "shutdown": {},
+            "log_tail": {"cursor": 0},
         }
         for op in OPS:
             assert decode_line(line({"op": op, **minimal[op]}))["op"] == op
