@@ -292,6 +292,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1 << 20,
         help="rotate decision-log segments at this size",
     )
+    srv.add_argument(
+        "--log-cursor-ttl",
+        type=float,
+        default=900.0,
+        help="forget a follower cursor idle this many seconds, so a dead "
+        "follower stops pinning decision-log compaction",
+    )
 
     lg = sub.add_parser("loadgen", help="replay a trace against a running server")
     lg.add_argument("--host", default="127.0.0.1")
@@ -831,6 +838,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         log_dir=args.log_dir,
         log_segment_bytes=args.log_segment_bytes,
+        log_cursor_ttl=args.log_cursor_ttl,
     )
     try:
         crashed = asyncio.run(serve_forever(config))

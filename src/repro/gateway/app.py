@@ -16,8 +16,8 @@ responses reads gateway responses unchanged.
 Status mapping: ``ok`` and domain *rejections* are 200 (a reject is a
 successful decision, not a transport failure); ``MALFORMED`` 400,
 ``NOT_FOUND`` 404, ``CONFLICT`` 409, ``BUSY`` 429 (with ``Retry-After``
-equal to the admission controller's own ``retry_after`` — one back-off
-source, never two), ``SHUTTING_DOWN`` 503, anything else 500; a dead
+rendered from the admission controller's own ``retry_after`` — one
+back-off source, never two), ``SHUTTING_DOWN`` 503, anything else 500; a dead
 backend is 502.  The gateway's own token-bucket limit is also 429,
 rendered through the same :func:`~repro.gateway.http.format_retry_after`.
 """
@@ -150,10 +150,7 @@ class Gateway:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        if self._backend is not None:
-            _, writer = self._backend
-            self._backend = None
-            writer.close()
+        self._drop_backend()
 
     # ------------------------------------------------------------------
     # connection handling
@@ -267,9 +264,9 @@ class Gateway:
         status = _STATUS_FOR.get(error.get("code"), 500)
         headers: tuple[tuple[str, str], ...] = ()
         if status == 429:
-            # the admission controller's own estimate, passed through:
-            # the header and the body can never advertise different
-            # back-offs for the same overload state
+            # the admission controller's own estimate: the body carries
+            # it verbatim, the header is the same number through the one
+            # formatter — never a second back-off source
             self.rejects_total.inc(tenant=tenant, reason="busy")
             retry_after = error.get("retry_after")
             if retry_after is not None:
@@ -279,12 +276,18 @@ class Gateway:
     async def _backend_rpc(self, message: dict[str, Any]) -> dict[str, Any]:
         """One exchange on the shared backend connection (FIFO via lock).
 
-        Retries once through a fresh connection: the only state an op
-        could leave behind on a half-dead socket is a ``reserve`` or
-        ``cancel`` the backend decided but could not answer — and those
-        are rid-keyed exactly-once, so the resend returns the recorded
-        verdict instead of double-applying.
+        A transport error drops the connection.  Most ops then retry
+        once through a fresh one: ``reserve`` is rid-keyed exactly-once
+        (the resend returns the recorded verdict instead of
+        double-applying) and ``probe``/``status`` are read-only.
+        ``cancel`` is the exception — the backend re-decides a resent
+        cancel, so a first attempt that applied but lost its reply would
+        come back ``NOT_FOUND``; rather than launder a cancel that
+        actually succeeded into a 404, the gateway surfaces the
+        transport error (502) and leaves the retry decision to the
+        caller, who knows the outcome is ambiguous.
         """
+        retriable = message.get("op") != "cancel"
         for attempt in (0, 1):
             async with self._backend_lock:
                 try:
@@ -301,11 +304,25 @@ class Gateway:
                     if not raw:
                         raise ConnectionError("backend closed the connection")
                     return json.loads(raw.decode("utf-8"))
+                except asyncio.CancelledError:
+                    # a timed-out caller (the /metrics status probe) may
+                    # abandon the exchange between write and readline;
+                    # the unread reply would stay buffered and answer
+                    # the *next* rpc on this connection, so drop it
+                    self._drop_backend()
+                    raise
                 except (ConnectionError, OSError, ValueError):
-                    self._backend = None
-                    if attempt:
+                    self._drop_backend()
+                    if attempt or not retriable:
                         raise
         raise AssertionError("unreachable")
+
+    def _drop_backend(self) -> None:
+        """Invalidate and close the pooled backend connection."""
+        if self._backend is not None:
+            _, writer = self._backend
+            self._backend = None
+            writer.close()
 
     # ------------------------------------------------------------------
     # observability

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -152,11 +153,14 @@ def format_retry_after(retry_after: float) -> str:
     Both 429 paths — the gateway's own token-bucket limiter and a
     proxied ``BUSY`` from the admission controller — go through here,
     so the header can never disagree with the JSON body's
-    ``retry_after`` beyond this single formatting rule.  (Deviation
-    from RFC 9110's integer seconds: the value keeps its sub-second
-    precision, which every load generator we control parses as float.)
+    ``retry_after`` beyond this single formatting rule: RFC 9110 allows
+    only integer delta-seconds (or an HTTP-date), so the header is the
+    estimate rounded *up* to a whole second, floored at 1 (a 0 would
+    invite an immediate retry).  Clients that want the sub-second
+    estimate read the JSON body's ``retry_after``, which keeps the
+    precise float.
     """
-    return format(retry_after, "g")
+    return str(max(1, math.ceil(retry_after)))
 
 
 def response_bytes(

@@ -33,14 +33,21 @@ re-appended records get the same hwm the lost originals had.
 **Compaction.** A snapshot at hwm *S* makes records ``1..S`` redundant
 for recovery, but an attached follower at cursor *c < S* still needs
 ``c+1..S``; :meth:`DecisionLog.compact` therefore drops only whole
-segments below ``min(S, min follower cursor)``.
+segments below ``min(S, min follower cursor)``.  A cursor only counts
+while its follower keeps polling: one that has not reported for
+``cursor_ttl`` seconds is forgotten (a live follower refreshes every
+``poll_interval``, orders of magnitude below the TTL), so a dead
+follower cannot pin compaction — and grow the log directory — forever.
+A follower that expires and later returns below ``base`` crash-stops
+with re-bootstrap instructions, exactly like any other cursor gap.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from ..errors import ErrorCode, MalformedRequestError, NotFoundError
 from .protocol import request_from_payload
@@ -138,20 +145,30 @@ def decision_message(kind: str, message: dict[str, Any]) -> dict[str, Any]:
 class DecisionLog:
     """Length-prefixed, segment-rotated decision log under ``log_dir``."""
 
-    def __init__(self, log_dir: str | Path, segment_bytes: int = 1 << 20) -> None:
+    def __init__(
+        self,
+        log_dir: str | Path,
+        segment_bytes: int = 1 << 20,
+        cursor_ttl: float = 900.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if segment_bytes < 1:
             raise ValueError(f"segment size must be positive, got {segment_bytes}")
+        if cursor_ttl <= 0:
+            raise ValueError(f"cursor TTL must be positive, got {cursor_ttl}")
         self.dir = Path(log_dir)
         self.dir.mkdir(parents=True, exist_ok=True)
         self.segment_bytes = segment_bytes
+        self.cursor_ttl = cursor_ttl
+        self._clock = clock
         #: hwm of the last record ever appended (0 = empty history)
         self.hwm = 0
         #: highest hwm compacted away (retained records have hwm > base)
         self.base = 0
         #: retained records, in hwm order (tail is served from memory)
         self._records: list[dict[str, Any]] = []
-        #: follower_id -> last cursor it reported via ``log_tail``
-        self._cursors: dict[str, int] = {}
+        #: follower_id -> (last cursor, last report time) via ``log_tail``
+        self._cursors: dict[str, tuple[int, float]] = {}
         self._active: Any = None  # open append handle for the last segment
         self._active_path: Path | None = None
         self._recover()
@@ -262,10 +279,23 @@ class DecisionLog:
 
     def register_cursor(self, follower_id: str, cursor: int) -> None:
         """Remember a follower's progress; compaction respects it."""
-        self._cursors[follower_id] = cursor
+        self._cursors[follower_id] = (cursor, self._clock())
 
     def forget_follower(self, follower_id: str) -> None:
         self._cursors.pop(follower_id, None)
+
+    def live_cursors(self) -> dict[str, int]:
+        """Cursors reported within the last ``cursor_ttl`` seconds.
+
+        Stale entries are forgotten on the way out: a follower that died
+        without deregistering stops pinning :meth:`compact` once it has
+        missed a TTL's worth of polls.
+        """
+        deadline = self._clock() - self.cursor_ttl
+        for follower_id, (_, seen) in list(self._cursors.items()):
+            if seen < deadline:
+                self.forget_follower(follower_id)
+        return {follower_id: cursor for follower_id, (cursor, _) in self._cursors.items()}
 
     # -- alignment and compaction --------------------------------------
 
@@ -318,9 +348,10 @@ class DecisionLog:
         """Drop whole segments covered by the snapshot *and* every follower.
 
         Returns the number of segments removed.  With no followers
-        attached the snapshot alone bounds compaction.
+        attached the snapshot alone bounds compaction; only *live*
+        cursors (reported within ``cursor_ttl``) hold segments back.
         """
-        keep_from = min([snapshot_hwm, *self._cursors.values()])
+        keep_from = min([snapshot_hwm, *self.live_cursors().values()])
         segments = self._segments()
         removed = 0
         for index, path in enumerate(segments):
@@ -341,7 +372,7 @@ class DecisionLog:
             "hwm": self.hwm,
             "base": self.base,
             "segments": len(self._segments()),
-            "followers": dict(sorted(self._cursors.items())),
+            "followers": dict(sorted(self.live_cursors().items())),
         }
 
 

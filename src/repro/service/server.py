@@ -108,6 +108,7 @@ class ServiceConfig:
     log_dir: str | None = None  # decision-log directory (None disables the log)
     log_segment_bytes: int = 1 << 20  # rotate segments at this size
     log_tail_limit: int = 512  # default/max records per log_tail answer
+    log_cursor_ttl: float = 900.0  # drop follower cursors idle this long (s)
 
 
 def accepted_checksum(decided: dict[int, dict[str, Any]]) -> str:
@@ -177,7 +178,11 @@ class ReservationService:
         )
         self._log: DecisionLog | None = None
         if config.log_dir:
-            self._log = DecisionLog(config.log_dir, config.log_segment_bytes)
+            self._log = DecisionLog(
+                config.log_dir,
+                config.log_segment_bytes,
+                cursor_ttl=config.log_cursor_ttl,
+            )
             # a restored snapshot says how far the durable history reached;
             # a fresh boot starts the numbering at zero either way
             log_hwm = int(state.get("log_hwm", 0)) if state is not None else 0

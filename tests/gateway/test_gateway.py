@@ -7,6 +7,7 @@ HTTP client in :func:`repro.gateway.http.http_request`.
 """
 
 import asyncio
+import json
 
 from repro.errors import BusyError
 from repro.gateway.app import Gateway, GatewayConfig
@@ -175,6 +176,109 @@ class TestProxySemantics:
         assert body["error"]["code"] == "BACKEND_DOWN"
 
 
+async def start_fake_backend(handler):
+    """An NDJSON 'backend' whose per-connection behavior the test scripts."""
+    server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+class TestBackendConnection:
+    """The shared multiplexed backend connection: cancellation hygiene
+    and the per-op retry policy."""
+
+    def test_metrics_timeout_does_not_poison_the_connection(self):
+        """A /metrics status probe that hits status_timeout abandons the
+        exchange between write and readline.  The connection must be
+        dropped with it: otherwise the late status reply stays buffered
+        and answers the *next* client rpc verbatim."""
+
+        async def scenario():
+            async def backend(reader, writer):
+                try:
+                    while True:
+                        raw = await reader.readline()
+                        if not raw:
+                            break
+                        message = json.loads(raw)
+                        if message["op"] == "status":
+                            await asyncio.sleep(0.4)  # beyond status_timeout
+                        writer.write(
+                            json.dumps({"ok": True, "op": message["op"]}).encode()
+                            + b"\n"
+                        )
+                        await writer.drain()
+                except (ConnectionError, OSError):
+                    pass  # the gateway dropped us mid-answer: expected
+                finally:
+                    writer.close()
+
+            server, backend_port = await start_fake_backend(backend)
+            gateway = Gateway(
+                GatewayConfig(backend_port=backend_port, status_timeout=0.05)
+            )
+            await gateway.start()
+            # warm the pooled connection, then force the abandoned probe
+            first = await http(gateway.port, "POST", "/v1/probe", {"ta": 0.0, "tb": 1.0})
+            metrics = await fetch_metrics(gateway.port)
+            after = await http(gateway.port, "POST", "/v1/probe", {"ta": 0.0, "tb": 1.0})
+            await gateway.stop()
+            server.close()
+            await server.wait_closed()
+            return first, metrics, after
+
+        first, metrics, after = asyncio.run(scenario())
+        assert first[0] == 200 and first[2]["op"] == "probe"
+        assert "repro_gateway_backend_up 0" in metrics
+        # without the invalidation this body would be the stale status reply
+        assert after[0] == 200 and after[2]["op"] == "probe"
+
+    def test_cancel_is_never_retried_but_reserve_is(self):
+        """A half-dead pooled connection: reserve retries through a fresh
+        connection (rid-keyed exactly-once), but cancel surfaces 502 —
+        retrying could launder an applied cancel into NOT_FOUND."""
+
+        async def scenario():
+            async def one_shot_backend(reader, writer):
+                # answer exactly one op, then drop the connection: the
+                # gateway's next exchange on the pooled socket sees EOF
+                try:
+                    raw = await reader.readline()
+                    if raw:
+                        message = json.loads(raw)
+                        writer.write(
+                            json.dumps({"ok": True, "op": message["op"]}).encode()
+                            + b"\n"
+                        )
+                        await writer.drain()
+                finally:
+                    writer.close()
+
+            server, backend_port = await start_fake_backend(one_shot_backend)
+            gateway = Gateway(GatewayConfig(backend_port=backend_port))
+            await gateway.start()
+            warm = await http(gateway.port, "POST", "/v1/probe", {"ta": 0.0, "tb": 1.0})
+            retried = await http(
+                gateway.port, "POST", "/v1/reserve", reserve_msg(1, 0.0, 5.0, 1)
+            )
+            # the retry's fresh connection answered one op, so the pool
+            # is half-dead again when the cancel arrives
+            failed = await http(gateway.port, "POST", "/v1/cancel", {"rid": 1})
+            recovered = await http(
+                gateway.port, "POST", "/v1/probe", {"ta": 0.0, "tb": 1.0}
+            )
+            await gateway.stop()
+            server.close()
+            await server.wait_closed()
+            return warm, retried, failed, recovered
+
+        warm, retried, failed, recovered = asyncio.run(scenario())
+        assert warm[0] == 200
+        assert retried[0] == 200 and retried[2]["op"] == "reserve"
+        assert failed[0] == 502
+        assert failed[2]["error"]["code"] == "BACKEND_DOWN"
+        assert recovered[0] == 200 and recovered[2]["op"] == "probe"
+
+
 class TestAuth:
     def test_token_table_gates_requests_and_labels_tenants(self, tmp_path):
         tokens = tmp_path / "tokens"
@@ -235,6 +339,9 @@ class TestRateLimit:
             retry_after = body["error"]["retry_after"]
             assert retry_after > 0.0
             assert headers["retry-after"] == format_retry_after(retry_after)
+            # RFC 9110: the header is integer delta-seconds, never 0
+            assert headers["retry-after"].isdigit()
+            assert int(headers["retry-after"]) >= 1
 
     def test_proxied_busy_reuses_the_admission_controllers_estimate(self):
         """A backend BUSY (admission shed) becomes 429 with Retry-After
@@ -265,6 +372,8 @@ class TestRateLimit:
         assert headers["retry-after"] == format_retry_after(
             tcp_payload["retry_after"]
         )
+        # 1.75 s rounds *up* to RFC 9110 integer delta-seconds
+        assert headers["retry-after"] == "2"
 
     def test_status_and_health_are_never_rate_limited(self):
         async def scenario():

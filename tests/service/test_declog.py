@@ -107,6 +107,36 @@ class TestDecisionLog:
             range(log.base + 1, 31)
         )
 
+    def test_dead_follower_cursor_expires_and_unpins_compaction(self, tmp_path):
+        """A follower that stops polling must not hold segments forever:
+        its cursor expires after cursor_ttl and compaction proceeds."""
+        now = [0.0]
+        log = DecisionLog(
+            tmp_path, segment_bytes=256, cursor_ttl=60.0, clock=lambda: now[0]
+        )
+        _fill(log, 30)
+        log.register_cursor("dead", 4)
+        log.compact(25)  # a live cursor pins records 5.. in place...
+        assert log.base <= 4
+        assert log.tail(4, 1)[0]["hwm"] == 5
+        assert log.summary()["followers"] == {"dead": 4}
+        now[0] = 61.0  # ...but a TTL of silence forgets it
+        assert log.compact(25) > 0
+        assert log.base > 4
+        assert log.summary()["followers"] == {}
+        # a follower that keeps polling keeps its hold
+        log2 = DecisionLog(
+            tmp_path / "live", segment_bytes=256, cursor_ttl=60.0, clock=lambda: now[0]
+        )
+        _fill(log2, 30)
+        log2.register_cursor("live", 4)
+        now[0] += 59.0
+        log2.register_cursor("live", 4)  # re-report inside the TTL
+        now[0] += 59.0
+        log2.compact(25)
+        assert log2.base <= 4
+        assert log2.tail(4, 1)[0]["hwm"] == 5
+
     def test_compact_never_drops_the_active_segment(self, tmp_path):
         log = DecisionLog(tmp_path)
         _fill(log, 10)
