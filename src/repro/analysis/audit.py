@@ -301,6 +301,12 @@ def audit_calendar(cal: "AvailabilityCalendar") -> list[AuditFinding]:
     # RA111: authoritative per-server lists and their bisect key arrays
     for server, periods in enumerate(cal._server_periods):
         where = f"server {server}"
+        if cal._status[server] == "removed" and periods:
+            findings.append(
+                AuditFinding(
+                    "RA111", where, f"removed server still lists {len(periods)} period(s)"
+                )
+            )
         for a, b in zip(periods, periods[1:]):
             if a.et > b.st:
                 findings.append(
@@ -328,6 +334,15 @@ def audit_calendar(cal: "AvailabilityCalendar") -> list[AuditFinding]:
         for p in stored:
             if p is None:
                 continue
+            if cal._status[p.server] != "active":
+                findings.append(
+                    AuditFinding(
+                        "RA112",
+                        f"slot {q}",
+                        f"period {p} of {cal._status[p.server]} server "
+                        f"{p.server} indexed in a slot tree",
+                    )
+                )
             if not cal.dense and p.et == INF:
                 findings.append(
                     AuditFinding(
@@ -357,9 +372,44 @@ def audit_calendar(cal: "AvailabilityCalendar") -> list[AuditFinding]:
                 AuditFinding("RA115", "tail index", f"stale period uid {uid} not live anywhere")
             )
 
-    # RA112 continued: every live period indexed in exactly its overlapping
-    # slots; RA115: every unbounded period present in the tail index
+    # RA115 continued: the tail index must hold only active servers'
+    # trailing periods — a draining server left every derived index
+    for p in cal._inf_periods:
+        if cal._status[p.server] != "active":
+            findings.append(
+                AuditFinding(
+                    "RA115",
+                    "tail index",
+                    f"trailing period {p} of {cal._status[p.server]} server "
+                    f"{p.server} still indexed",
+                )
+            )
+
+    # RA112 continued: every live period of an *active* server indexed in
+    # exactly its overlapping slots; RA115: every unbounded period present
+    # in the tail index.  Draining servers' periods must appear in no
+    # derived index at all (their tree/tail presence is flagged above).
     for p in all_periods.values():
+        if cal._status[p.server] != "active":
+            if indexed.get(p.uid):
+                findings.append(
+                    AuditFinding(
+                        "RA112",
+                        f"server {p.server}",
+                        f"period {p} of a {cal._status[p.server]} server indexed "
+                        f"in slots {sorted(indexed[p.uid])}",
+                    )
+                )
+            if p.uid in cal._pending:
+                findings.append(
+                    AuditFinding(
+                        "RA113",
+                        f"server {p.server}",
+                        f"period {p} of a {cal._status[p.server]} server still "
+                        "in the pending set",
+                    )
+                )
+            continue
         if p.et == INF:
             if p.uid not in tail_uids:
                 findings.append(
@@ -430,7 +480,8 @@ def audit_calendar(cal: "AvailabilityCalendar") -> list[AuditFinding]:
 class MutationAuditor:
     """Audits a calendar after every (``stride``-th) mutation.
 
-    Wraps the calendar's ``allocate``/``release``/``advance`` instance
+    Wraps the calendar's ``allocate``/``release``/``advance`` (and the
+    elastic-pool ``add_servers``/``remove``) instance
     methods; each committed reservation is recorded in a per-server busy
     ledger so the conservation invariant (``RA114``) is checkable: after
     every mutation, each server's idle periods and recorded busy
@@ -464,14 +515,18 @@ class MutationAuditor:
         self._orig_allocate = calendar.allocate
         self._orig_release = calendar.release
         self._orig_advance = calendar.advance
+        self._orig_add_servers = calendar.add_servers
+        self._orig_remove = calendar.remove
         calendar.allocate = self._allocate  # type: ignore[method-assign]
         calendar.release = self._release  # type: ignore[method-assign]
         calendar.advance = self._advance  # type: ignore[method-assign]
+        calendar.add_servers = self._add_servers  # type: ignore[method-assign]
+        calendar.remove = self._remove  # type: ignore[method-assign]
 
     def detach(self) -> None:
         """Restore the calendar's unwrapped methods."""
         cal = self.calendar
-        for name in ("allocate", "release", "advance"):
+        for name in ("allocate", "release", "advance", "add_servers", "remove"):
             if name in cal.__dict__:
                 del cal.__dict__[name]
 
@@ -494,6 +549,24 @@ class MutationAuditor:
     def _advance(self, to_time: float) -> None:
         self._orig_advance(to_time)
         self._after_mutation()
+
+    def _add_servers(self, count: int, uids: list[int] | None = None) -> list[int]:
+        new_ids = self._orig_add_servers(count, uids)
+        # a joined server's ledger starts empty: its timeline begins at
+        # its trailing idle period's start, so tiling holds from day one
+        for _ in new_ids:
+            self._busy.append([])
+        self._after_mutation()
+        return new_ids
+
+    def _remove(self, server: int) -> bool:
+        changed = self._orig_remove(server)
+        if changed:
+            # the calendar verified the server was drained; its ledger is
+            # history-only now and the server is exempt from tiling
+            self._busy[server] = []
+        self._after_mutation()
+        return changed
 
     def _subtract_busy(self, server: int, start: float, end: float) -> None:
         """Remove ``[start, end)`` from the recorded busy intervals."""
@@ -526,12 +599,25 @@ class MutationAuditor:
 
     def conservation_findings(self) -> list[AuditFinding]:
         """RA114: idle periods + recorded busy intervals tile each server's
-        timeline exactly, from the trim cutoff (horizon start) to infinity."""
+        timeline exactly, from the trim cutoff (horizon start) to infinity.
+
+        Elastic-pool aware: a server that joined mid-run tiles from its
+        join time (its ledger and idle list both start there — the
+        pairwise-continuity check needs no explicit start bound), a
+        draining server tiles like any other (its commitments are still
+        honored), and a removed server is exempt (its timeline ended).
+        """
         findings: list[AuditFinding] = []
         cal = self.calendar
         cutoff = cal.horizon_start
+        # drain/remove may race an attach-time sizing in external callers;
+        # grow defensively so a late-joined server is always ledgered
+        while len(self._busy) < cal.n_servers:
+            self._busy.append([])
         for server in range(cal.n_servers):
             where = f"server {server}"
+            if cal._status[server] == "removed":
+                continue
             # prune intervals the calendar itself has trimmed away
             busy = [iv for iv in self._busy[server] if iv[1] > cutoff]
             self._busy[server] = busy

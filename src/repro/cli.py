@@ -299,6 +299,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="forget a follower cursor idle this many seconds, so a dead "
         "follower stops pinning decision-log compaction",
     )
+    srv.add_argument(
+        "--autoscale",
+        choices=("step", "target", "hysteresis"),
+        default=None,
+        metavar="POLICY",
+        help="enable telemetry-driven auto-scaling with this policy "
+        "(step, target or hysteresis; off by default)",
+    )
+    srv.add_argument(
+        "--autoscale-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds between autoscaler ticks",
+    )
+    srv.add_argument(
+        "--autoscale-min",
+        type=int,
+        default=1,
+        metavar="N",
+        help="never drain below this many active servers",
+    )
+    srv.add_argument(
+        "--autoscale-max",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="never grow past this many active servers",
+    )
+    srv.add_argument(
+        "--autoscale-step",
+        type=int,
+        default=1,
+        metavar="N",
+        help="servers added (and per-tick scale-in cap) per action",
+    )
+    srv.add_argument(
+        "--autoscale-high-delay",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="queue-delay EWMA above which the pool scales out",
+    )
+    srv.add_argument(
+        "--autoscale-low-delay",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="queue-delay EWMA below which the pool may scale in",
+    )
+    srv.add_argument(
+        "--autoscale-high-shed",
+        type=float,
+        default=0.05,
+        metavar="RATE",
+        help="shed-rate EWMA above which the pool scales out",
+    )
+    srv.add_argument(
+        "--autoscale-patience",
+        type=int,
+        default=3,
+        metavar="TICKS",
+        help="hysteresis policy: consecutive breaching ticks before acting",
+    )
+    srv.add_argument(
+        "--autoscale-dry-run",
+        action="store_true",
+        help="log what the autoscaler would do without touching the pool",
+    )
 
     lg = sub.add_parser("loadgen", help="replay a trace against a running server")
     lg.add_argument("--host", default="127.0.0.1")
@@ -389,6 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="fuzz the K-sharded scheduler against the oracle (0 = unsharded); "
         "with --chaos, runs the server with --shards K and adds a kill-shard plan",
+    )
+    fz.add_argument(
+        "--scale-events",
+        action="store_true",
+        help="interleave runtime pool mutations (add_servers/drain/remove/"
+        "pool_status) into the generated streams",
     )
     fz.add_argument("--trace", default=None, help="replay this trace file instead of generating")
     fz.add_argument("--out", default=None, help="write the JSON report here")
@@ -822,6 +897,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service.server import ServiceConfig, serve_forever
 
+    autoscale = None
+    if args.autoscale is not None:
+        from .service.autoscale import AutoScaleConfig
+
+        autoscale = AutoScaleConfig(
+            policy=args.autoscale,
+            interval=args.autoscale_interval,
+            min_servers=args.autoscale_min,
+            max_servers=args.autoscale_max,
+            step=args.autoscale_step,
+            high_delay=args.autoscale_high_delay,
+            low_delay=args.autoscale_low_delay,
+            high_shed_rate=args.autoscale_high_shed,
+            patience=args.autoscale_patience,
+            dry_run=args.autoscale_dry_run,
+        )
+        try:
+            autoscale.validate()
+        except ValueError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return int(ErrorCode.MALFORMED)
+
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -839,6 +936,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         log_dir=args.log_dir,
         log_segment_bytes=args.log_segment_bytes,
         log_cursor_ttl=args.log_cursor_ttl,
+        autoscale=autoscale,
     )
     try:
         crashed = asyncio.run(serve_forever(config))
@@ -934,7 +1032,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         streams = [load_trace(args.trace)]
     else:
         streams = [
-            generate_stream(profile, seed, args.ops)
+            generate_stream(profile, seed, args.ops, scale_events=args.scale_events)
             for profile in profile_names
             for seed in seeds
         ]
@@ -946,6 +1044,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         "profiles": profile_names,
         "inject": args.inject,
         "shards": args.shards,
+        "scale_events": args.scale_events,
         "runs": [],
     }
     runs: list[dict[str, object]] = report["runs"]  # type: ignore[assignment]

@@ -30,6 +30,24 @@ As simulated time advances past a slot boundary the expired slot's tree
 is discarded and a fresh tree is created at the far end of the horizon —
 the paper's discard/initialize cycle — seeded with the pending periods
 that overlap the new slot.
+
+**Elastic pool.**  The server set may change at runtime (the ROADMAP's
+elastic-cluster extension): :meth:`add_servers` grows the pool,
+:meth:`drain` stops a server from admitting *new* reservations while
+every existing commitment is honored, and :meth:`remove` retires a
+server once drained.  Server identity is positional and stable forever —
+a removed server keeps its index (with an empty period list) so snapshot
+layout, shard arithmetic and every ``range(n_servers)`` iteration stay
+valid; ``n_servers`` therefore counts every server that ever joined.
+Draining is implemented entirely in the *derived* indexes: the
+authoritative per-server lists are untouched (physical idleness is what
+conservation audits), but the server's periods leave the slot trees,
+tail index and pending buckets, so Phase-1 counts, Phase-2 selection and
+range searches naturally stop offering it.  Every server always carries
+exactly one trailing unbounded idle period (allocation regenerates the
+right remnant, release merges preserve it, history trimming never drops
+it), so "drained" has a one-line test: the trailing period starts at or
+before ``now``.
 """
 
 from __future__ import annotations
@@ -41,7 +59,11 @@ from .opcount import NULL_COUNTER, OpCounter
 from .slot_tree import TwoDimTree
 from .types import INF, IdlePeriod, Reservation, ensure_uid_floor
 
-__all__ = ["AvailabilityCalendar"]
+__all__ = ["AvailabilityCalendar", "POOL_STATES"]
+
+#: legal per-server pool states, in lifecycle order (transitions are
+#: one-way: active -> draining -> removed)
+POOL_STATES = ("active", "draining", "removed")
 
 #: sentinel uid bound making ``(t, _UID_HIGH)`` compare after any real key
 _UID_HIGH = math.inf
@@ -126,6 +148,9 @@ class AvailabilityCalendar:
         self._pending: dict[int, IdlePeriod] = {}
         self._pending_slot: dict[int, int] = {}
         self._pending_buckets: dict[int, dict[int, IdlePeriod]] = {}
+        # elastic pool: per-server lifecycle state, positionally parallel
+        # to _server_periods; only "active" servers live in derived indexes
+        self._status: list[str] = ["active"] * n_servers
 
         initial = []
         for server in range(n_servers):
@@ -286,7 +311,14 @@ class AvailabilityCalendar:
         fused :meth:`~repro.core.slot_tree.TwoDimTree.apply_batch` call.
         Tail-index and pending bookkeeping stay immediate either way
         (they are O(log N) array work with no rebalancing to fuse).
+
+        Periods of draining or removed servers are *not* registered in
+        any derived index — a drained-out server must stop appearing in
+        searches, while cancellations may still merge and re-create its
+        authoritative periods.
         """
+        if self._status[period.server] != "active":
+            return
         if period.et == INF:
             idx = bisect_right(self._inf_keys, (period.st, period.uid))
             self._inf_keys.insert(idx, (period.st, period.uid))
@@ -310,6 +342,10 @@ class AvailabilityCalendar:
             self._pending_buckets.setdefault(bucket_slot, {})[period.uid] = period
 
     def _unindex_period(self, period: IdlePeriod, batches: _SlotBatches | None = None) -> None:
+        if self._status[period.server] != "active":
+            # non-active servers' periods were unindexed when the server
+            # left the pool (see drain); there is nothing to remove
+            return
         if period.et == INF:
             idx = bisect_right(self._inf_keys, (period.st, period.uid)) - 1
             assert idx >= 0 and self._inf_keys[idx] == (period.st, period.uid)
@@ -459,6 +495,129 @@ class AvailabilityCalendar:
             self._add_period(IdlePeriod(server=server, st=lo, et=hi, uid=uid))
 
     # ------------------------------------------------------------------
+    # elastic pool (runtime join / drain / leave)
+    # ------------------------------------------------------------------
+
+    def _check_server(self, server: int) -> None:
+        if not 0 <= server < self.n_servers:
+            raise ValueError(
+                f"server {server} out of range (pool has ever held "
+                f"{self.n_servers} servers)"
+            )
+
+    def server_status(self, server: int) -> str:
+        """Lifecycle state of one server: active, draining or removed."""
+        self._check_server(server)
+        return self._status[server]
+
+    def pool_counts(self) -> dict[str, int]:
+        """Pool membership by state; ``total`` counts every id ever used."""
+        counts = {state: 0 for state in POOL_STATES}
+        for status in self._status:
+            counts[status] += 1
+        counts["total"] = self.n_servers
+        return counts
+
+    def pool_status(self) -> dict[str, object]:
+        """Pool membership plus per-server drain progress."""
+        return {
+            **self.pool_counts(),
+            "servers": list(self._status),
+            "drain_progress": [
+                {"server": s, "drained": self.is_drained(s)}
+                for s in range(self.n_servers)
+                if self._status[s] == "draining"
+            ],
+        }
+
+    def is_drained(self, server: int) -> bool:
+        """True when ``server`` holds no commitment after ``now``.
+
+        Every non-removed server carries exactly one trailing unbounded
+        idle period; the server is drained exactly when that period has
+        already begun.  Removed servers are trivially drained.
+        """
+        self._check_server(server)
+        if self._status[server] == "removed":
+            return True
+        trailing = self._server_periods[server][-1]
+        assert trailing.et == INF, f"server {server} lost its trailing period"
+        return trailing.st <= self.now
+
+    def add_servers(self, count: int, uids: list[int] | None = None) -> list[int]:
+        """Grow the pool by ``count`` fresh servers, idle from ``now`` on.
+
+        Returns the new server ids (always ``n_servers_before .. +count``).
+        ``uids``, when given, supplies the uid of each new trailing idle
+        period in server order — the sharded coordinator numbers them
+        centrally for uid-order parity with a single calendar.
+        """
+        if count <= 0:
+            raise ValueError(f"must add at least one server, got {count}")
+        if uids is not None and len(uids) != count:
+            raise ValueError(f"got {len(uids)} uids for {count} new servers")
+        new_ids = list(range(self.n_servers, self.n_servers + count))
+        for i, server in enumerate(new_ids):
+            self._server_periods.append([])
+            self._server_keys.append([])
+            self._status.append("active")
+            self.n_servers += 1
+            if uids is None:
+                period = IdlePeriod(server=server, st=self.now, et=INF)
+            else:
+                period = IdlePeriod(server=server, st=self.now, et=INF, uid=uids[i])
+            self._add_period(period)
+        return new_ids
+
+    def drain(self, server: int) -> bool:
+        """Stop ``server`` from admitting new periods; keep its commitments.
+
+        Unindexes every one of the server's idle periods from the derived
+        indexes (slot trees, tail index, pending buckets) so searches stop
+        offering it, while the authoritative list — physical idleness —
+        is untouched and existing reservations are honored to the end.
+        Idempotent on an already-draining server (returns ``False``);
+        raises :class:`ValueError` for a removed server.
+        """
+        self._check_server(server)
+        if self._status[server] == "draining":
+            return False
+        if self._status[server] == "removed":
+            raise ValueError(f"server {server} was removed from the pool")
+        # unindex while the status still reads active (the unindex path
+        # skips non-active servers), then flip
+        for period in self._server_periods[server]:
+            self._unindex_period(period)
+        self._status[server] = "draining"
+        return True
+
+    def remove(self, server: int) -> bool:
+        """Retire a drained server; only legal once draining *and* drained.
+
+        The server keeps its positional id forever with an empty period
+        list.  Idempotent on an already-removed server (returns
+        ``False``); raises :class:`ValueError` when the server is still
+        active or still holds a commitment after ``now``.
+        """
+        self._check_server(server)
+        if self._status[server] == "removed":
+            return False
+        if self._status[server] == "active":
+            raise ValueError(f"server {server} must be drained before removal")
+        if not self.is_drained(server):
+            trailing = self._server_periods[server][-1]
+            raise ValueError(
+                f"server {server} still holds commitments until {trailing.st} "
+                f"(now={self.now})"
+            )
+        # periods left every derived index at drain time; dropping the
+        # authoritative list is all that remains
+        self._server_periods[server].clear()
+        self._server_keys[server].clear()
+        self._status[server] = "removed"
+        return True
+
+    # ------------------------------------------------------------------
     # queries (Phase 1 + Phase 2, tree and tail combined)
     # ------------------------------------------------------------------
 
@@ -560,11 +719,47 @@ class AvailabilityCalendar:
             "q_slots": self.q_slots,
             "now": self.now,
             "indexing": "dense" if self.dense else "tail",
+            "pool": list(self._status),
             "periods": [
                 [[p.st, None if p.et == INF else p.et, p.uid] for p in periods]
                 for periods in self._server_periods
             ],
         }
+
+    @staticmethod
+    def validate_pool_state(state: dict[str, object]) -> list[str]:
+        """Check the ``pool`` section of an exported state, returning it.
+
+        A missing section is the pre-elastic format and reads as an
+        all-active pool; a *present but malformed* one (wrong length,
+        unknown state, a removed server still holding periods) is a hard
+        :class:`ValueError` — never a silently-empty pool.
+        """
+        n_servers = int(state["n_servers"])  # type: ignore[arg-type]
+        pool = state.get("pool")
+        if pool is None:
+            return ["active"] * n_servers
+        if not isinstance(pool, list) or len(pool) != n_servers:
+            raise ValueError(
+                f"calendar pool section lists "
+                f"{len(pool) if isinstance(pool, list) else '?'} servers, "
+                f"header says {n_servers}"
+            )
+        for server, status in enumerate(pool):
+            if status not in POOL_STATES:
+                raise ValueError(
+                    f"calendar pool section has unknown state {status!r} "
+                    f"for server {server}"
+                )
+        periods = state.get("periods")
+        if isinstance(periods, list) and len(periods) == n_servers:
+            for server, status in enumerate(pool):
+                if status == "removed" and periods[server]:
+                    raise ValueError(
+                        f"calendar pool section marks server {server} removed "
+                        f"but it still lists {len(periods[server])} period(s)"
+                    )
+        return [str(status) for status in pool]
 
     @classmethod
     def from_state(
@@ -595,11 +790,15 @@ class AvailabilityCalendar:
             counter=counter,
             indexing=str(state.get("indexing", "tail")),
         )
+        pool = cls.validate_pool_state(state)
         # drop the constructor's synthetic everyone-idle-from-now periods,
         # then register the recorded ones through the normal indexing path
+        # — with the pool states applied first, so draining/removed
+        # servers' periods stay out of the derived indexes
         for server in range(n_servers):
             for period in list(calendar._server_periods[server]):
                 calendar._drop_period(period)
+        calendar._status = pool
         max_uid = -1
         for server, server_periods in enumerate(periods):
             last_end = -INF

@@ -20,7 +20,7 @@ from .core.calendar import AvailabilityCalendar
 from .core.coalloc import OnlineCoAllocator, ScheduleOutcome
 from .core.opcount import OpCounter
 from .core.types import Allocation, IdlePeriod, RangeQuery, Request, Reservation
-from .errors import ConflictError, NotFoundError, RejectedError
+from .errors import ConflictError, MalformedRequestError, NotFoundError, RejectedError
 
 __all__ = ["CoAllocationScheduler", "allocation_to_dict", "allocation_from_dict"]
 
@@ -219,6 +219,66 @@ class CoAllocationScheduler:
             )
         for res in allocation.reservations:
             self.calendar.release(res.server, at_time, res.end)
+
+    # -- elastic pool ----------------------------------------------------
+
+    def add_servers(self, count: int, uids: list[int] | None = None) -> list[int]:
+        """Grow the pool by ``count`` servers; returns the new server ids.
+
+        Raises :class:`~repro.errors.MalformedRequestError` for a
+        non-positive count.  ``uids``, when given, names the new trailing
+        idle periods' uids (the sharded coordinator assigns them
+        centrally for uid-order parity with a single calendar).
+        """
+        if count <= 0:
+            raise MalformedRequestError(f"must add at least one server, got {count}")
+        return self.calendar.add_servers(count, uids=uids)
+
+    def drain(self, server: int) -> dict:
+        """Stop ``server`` from admitting new reservations (idempotent).
+
+        Existing reservations are honored until their end; the server can
+        be :meth:`remove`\\ d once its last commitment has passed.  Raises
+        :class:`~repro.errors.MalformedRequestError` for an unknown
+        server and :class:`~repro.errors.ConflictError` for a removed
+        one.
+        """
+        self._check_pool_server(server)
+        try:
+            changed = self.calendar.drain(server)
+        except ValueError as exc:
+            raise ConflictError(str(exc)) from exc
+        return {
+            "server": server,
+            "status": "draining",
+            "changed": changed,
+            "drained": self.calendar.is_drained(server),
+        }
+
+    def remove(self, server: int) -> dict:
+        """Retire a drained server (idempotent once removed).
+
+        Raises :class:`~repro.errors.MalformedRequestError` for an
+        unknown server and :class:`~repro.errors.ConflictError` when the
+        server is still active or not yet drained.
+        """
+        self._check_pool_server(server)
+        try:
+            changed = self.calendar.remove(server)
+        except ValueError as exc:
+            raise ConflictError(str(exc)) from exc
+        return {"server": server, "status": "removed", "changed": changed}
+
+    def pool_status(self) -> dict:
+        """Pool membership by state plus per-server drain progress."""
+        return self.calendar.pool_status()
+
+    def _check_pool_server(self, server: int) -> None:
+        if not 0 <= server < self.calendar.n_servers:
+            raise MalformedRequestError(
+                f"server {server} out of range (pool has ever held "
+                f"{self.calendar.n_servers} servers)"
+            )
 
     # -- serializable state (snapshot/restore) ---------------------------
 

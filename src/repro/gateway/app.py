@@ -66,6 +66,14 @@ _STATUS_FOR = {
 #: the data-plane ops POSTable under /v1/ (rate-limited per tenant)
 _DATA_OPS = ("reserve", "probe", "cancel")
 
+#: pool mutations accepted by POST /v1/admin/scale (authenticated but not
+#: rate-limited: an operator shrinking an overloaded pool must get through)
+_SCALE_ACTIONS = ("add_servers", "drain", "remove")
+
+#: endpoint label echoed in /v1/admin/scale edge errors raised before the
+#: action — the actual wire op — is known; deliberately not a wire op
+_SCALE_LABEL = "scale"
+
 
 @dataclass(slots=True)
 class GatewayConfig:
@@ -126,6 +134,9 @@ class Gateway:
                 ("replayed_total", "Backend decision-log replays (sampled)"),
                 ("decided", "Backend decision-table size (sampled)"),
                 ("service_latency_ms", "Backend actor service latency, by quantile"),
+                ("pool_servers", "Backend pool membership by state (sampled)"),
+                ("queue_delay_ewma_ms", "Backend admission queue-delay EWMA (sampled)"),
+                ("shed_rate", "Backend admission shed-rate EWMA (sampled)"),
             )
         }
 
@@ -194,6 +205,14 @@ class Gateway:
             if request.method != "GET":
                 return _error_response(405, "status is GET-only")
             return await self._handle_op(request, "status", rate_limited=False)
+        if request.path == "/v1/admin/pool":
+            if request.method != "GET":
+                return _error_response(405, "pool is GET-only")
+            return await self._handle_op(request, "pool_status", rate_limited=False)
+        if request.path == "/v1/admin/scale":
+            if request.method != "POST":
+                return _error_response(405, "scale is POST-only")
+            return await self._handle_admin_scale(request)
         for op in _DATA_OPS:
             if request.path == f"/v1/{op}":
                 if request.method != "POST":
@@ -254,6 +273,69 @@ class Gateway:
         self.backend_up.set(1)
         return self._render_backend(op, tenant, response)
 
+    async def _handle_admin_scale(self, request: HttpRequest) -> bytes:
+        """``POST /v1/admin/scale``: one pool mutation per request.
+
+        The body names the mutation in ``action`` plus that op's own
+        wire fields (``count`` / ``server``, optional ``aid``/``qr``);
+        everything after the action dispatch is the standard wire-op
+        path, so validation still derives from the registry and the
+        backend's JSON verdict passes through verbatim.
+        """
+        tenant = self.tokens.authenticate(request.headers.get("authorization"))
+        if tenant is None:
+            self.rejects_total.inc(tenant="unknown", reason="unauthorized")
+            return json_response(
+                401,
+                {"ok": False, "op": _SCALE_LABEL, "error": _edge_error("unauthorized")},
+                extra_headers=(("WWW-Authenticate", 'Bearer realm="repro"'),),
+            )
+        try:
+            body = dict(request.json())
+        except HttpError as exc:
+            self.rejects_total.inc(tenant=tenant, reason="malformed")
+            return json_response(
+                400,
+                {
+                    "ok": False,
+                    "op": _SCALE_LABEL,
+                    "error": error_payload(ProtocolError(exc.message)),
+                },
+            )
+        action = body.pop("action", None)
+        if action not in _SCALE_ACTIONS:
+            self.rejects_total.inc(tenant=tenant, reason="malformed")
+            malformed = ProtocolError(
+                f"scale action must be one of {', '.join(_SCALE_ACTIONS)}, "
+                f"got {action!r}"
+            )
+            return json_response(
+                400, {"ok": False, "op": _SCALE_LABEL, "error": error_payload(malformed)}
+            )
+        self.requests_total.inc(tenant=tenant, endpoint=f"scale:{action}")
+        try:
+            message = validate_payload(action, body)
+        except ProtocolError as exc:
+            self.rejects_total.inc(tenant=tenant, reason="malformed")
+            return json_response(
+                400, {"ok": False, "op": action, "error": error_payload(exc)}
+            )
+        try:
+            response = await self._backend_rpc(message)
+        except (ConnectionError, OSError) as exc:
+            self.rejects_total.inc(tenant=tenant, reason="backend_down")
+            self.backend_up.set(0)
+            return json_response(
+                502,
+                {
+                    "ok": False,
+                    "op": action,
+                    "error": _edge_error("backend_down", str(exc)),
+                },
+            )
+        self.backend_up.set(1)
+        return self._render_backend(action, tenant, response)
+
     def _render_backend(self, op: str, tenant: str, response: dict[str, Any]) -> bytes:
         """Backend JSON out as HTTP, body verbatim."""
         if response.get("ok"):
@@ -285,9 +367,15 @@ class Gateway:
         come back ``NOT_FOUND``; rather than launder a cancel that
         actually succeeded into a 404, the gateway surfaces the
         transport error (502) and leaves the retry decision to the
-        caller, who knows the outcome is ambiguous.
+        caller, who knows the outcome is ambiguous.  Pool mutations are
+        retriable only when they carry an ``aid`` (the backend's
+        admin-idempotency key); without one a resent ``add_servers``
+        would grow the pool twice.
         """
-        retriable = message.get("op") != "cancel"
+        op = message.get("op")
+        retriable = op != "cancel" and not (
+            op in _SCALE_ACTIONS and message.get("aid") is None
+        )
         for attempt in (0, 1):
             async with self._backend_lock:
                 try:
@@ -345,6 +433,12 @@ class Gateway:
             gauges["shed_total"].set(metrics.get("shed", 0))
             gauges["replayed_total"].set(metrics.get("replayed", 0))
             gauges["decided"].set(status.get("decided", 0))
+            pool = status.get("pool", {})
+            for state in ("active", "draining", "removed", "total"):
+                gauges["pool_servers"].set(pool.get(state, 0), state=state)
+            admission = status.get("admission", {})
+            gauges["queue_delay_ewma_ms"].set(admission.get("queue_delay_ewma_ms", 0.0))
+            gauges["shed_rate"].set(admission.get("shed_rate", 0.0))
             latency = metrics.get("service_latency", {})
             for quantile in ("50", "95", "99"):
                 gauges["service_latency_ms"].set(

@@ -46,7 +46,7 @@ from ..service.protocol import (
     decode_line,
     encode,
 )
-from ..service.declog import decide_cancel, decide_reserve
+from ..service.declog import ADMIN_KINDS, decide_admin, decide_cancel, decide_reserve
 from ..service.server import ReservationService, ServiceConfig, accepted_checksum
 from ..service.snapshot import read_snapshot
 
@@ -91,9 +91,17 @@ class Follower:
         self.config = config
         self.scheduler: CoAllocationScheduler | None = None
         self.decided: dict[int, dict[str, Any]] = {}
+        #: aid-keyed admin verdicts, replayed so promotion keeps them
+        self.admin_decided: dict[str, dict[str, Any]] = {}
         #: records ``1..cursor`` are applied
         self.cursor = 0
-        self.applied = {"reserve": 0, "cancel": 0}
+        self.applied = {
+            "reserve": 0,
+            "cancel": 0,
+            "add_servers": 0,
+            "drain": 0,
+            "remove": 0,
+        }
         self.primary_up = False
         self.promoted = False
         self.failed: str | None = None  # crash-stop reason, if any
@@ -115,6 +123,9 @@ class Follower:
         self.decided = {
             int(rid): entry for rid, entry in state.get("decided", {}).items()
         }
+        self.admin_decided = {
+            str(aid): entry for aid, entry in state.get("admin_decided", {}).items()
+        }
         self.cursor = int(state.get("log_hwm", 0))
 
     def bootstrap_fresh(self, status: dict[str, Any]) -> None:
@@ -127,6 +138,7 @@ class Follower:
             r_max=int(status["r_max"]),
         )
         self.decided = {}
+        self.admin_decided = {}
         self.cursor = 0
 
     # ------------------------------------------------------------------
@@ -147,6 +159,8 @@ class Follower:
             verdict = decide_reserve(self.scheduler, message)
         elif kind == "cancel":
             verdict = decide_cancel(self.scheduler, int(message["rid"]))
+        elif kind in ADMIN_KINDS:
+            verdict = decide_admin(self.scheduler, kind, message)
         else:
             raise ReplicationDivergenceError(f"unknown record kind {kind!r}")
         if verdict != record["verdict"]:
@@ -157,6 +171,8 @@ class Follower:
             )
         if kind == "reserve":
             self.decided[int(message["rid"])] = verdict
+        elif kind in ADMIN_KINDS and message.get("aid") is not None:
+            self.admin_decided[str(message["aid"])] = verdict
         self.applied[kind] += 1
         self.cursor = hwm
 
@@ -166,6 +182,9 @@ class Follower:
         return {
             "scheduler": self.scheduler.export_state(),
             "decided": {str(rid): self.decided[rid] for rid in sorted(self.decided)},
+            "admin_decided": {
+                aid: self.admin_decided[aid] for aid in sorted(self.admin_decided)
+            },
             "log_hwm": self.cursor,
         }
 
@@ -322,6 +341,12 @@ class Follower:
             "hwm": self.cursor,
             "applied": dict(self.applied),
             "decided": len(self.decided),
+            "admin_decided": len(self.admin_decided),
+            "pool": (
+                self.scheduler.calendar.pool_counts()
+                if self.scheduler is not None
+                else None
+            ),
             "primary_up": self.primary_up,
             "promoted": self.promoted,
             "failed": self.failed,

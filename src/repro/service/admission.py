@@ -21,6 +21,16 @@ relieve.
 
 The controller is event-loop-confined (no locks): `admit`/`release` are
 called from connection handlers and the actor, all on one thread.
+
+**Telemetry.** Beyond the shed counter the controller maintains two
+EWMA signals the auto-scaler consumes: the *queue delay* actually
+experienced by completed operations, and the *shed rate* (fraction of
+recent admission attempts refused).  A shed request contributes **only**
+to the shed rate — never to the service-time or queue-delay EWMAs.  A
+refusal costs microseconds; folding it into ``service_ewma`` would drag
+the average toward zero exactly when the server is drowning, re-opening
+the delay-budget gate mid-overload (the 10x shed-burst regression test
+pins this down).
 """
 
 from __future__ import annotations
@@ -65,8 +75,14 @@ class AdmissionController:
         self._alpha = ewma_alpha
         #: EWMA of per-operation actor service time, seconds
         self.service_ewma = initial_service
+        #: EWMA of the queue delay completed operations actually saw, s
+        self.queue_delay_ewma = 0.0
+        #: EWMA of the shed fraction over recent admission attempts
+        self.shed_rate = 0.0
         #: operations admitted but not yet completed by the actor
         self.depth = 0
+        #: total operations admitted since start
+        self.admitted = 0
         #: total operations shed since start
         self.shed = 0
 
@@ -90,31 +106,63 @@ class AdmissionController:
         return max(base, round(jittered, 4))
 
     def admit(self) -> None:
-        """Claim one queue slot or raise :class:`~repro.errors.BusyError`."""
+        """Claim one queue slot or raise :class:`~repro.errors.BusyError`.
+
+        A refusal updates *only* the shed counters and the shed-rate
+        EWMA.  It must never touch ``service_ewma`` or
+        ``queue_delay_ewma``: a shed costs microseconds, and averaging
+        it in would collapse the service-time estimate — and with it the
+        delay-budget gate — in the middle of the very overload that
+        caused the shedding.
+        """
         if self.depth >= self.max_depth:
-            self.shed += 1
+            self._record_shed()
             raise BusyError(
                 f"admission queue full ({self.depth}/{self.max_depth})",
                 retry_after=self.retry_after(),
             )
         if self.expected_wait() > self.max_delay:
-            self.shed += 1
+            self._record_shed()
             raise BusyError(
                 f"expected queue wait {self.expected_wait():.3f}s exceeds the "
                 f"{self.max_delay:.3f}s delay budget",
                 retry_after=self.retry_after(),
             )
         self.depth += 1
+        self.admitted += 1
+        self.shed_rate += self._alpha * (0.0 - self.shed_rate)
 
-    def release(self, service_seconds: float | None = None) -> None:
-        """One admitted operation finished; fold its service time into the EWMA."""
+    def _record_shed(self) -> None:
+        self.shed += 1
+        self.shed_rate += self._alpha * (1.0 - self.shed_rate)
+
+    def release(
+        self,
+        service_seconds: float | None = None,
+        queue_delay: float | None = None,
+    ) -> None:
+        """One admitted operation finished; fold its timings into the EWMAs."""
         if self.depth <= 0:
             raise RuntimeError("release() without a matching admit()")
         self.depth -= 1
         if service_seconds is not None:
             self.service_ewma += self._alpha * (service_seconds - self.service_ewma)
+        if queue_delay is not None:
+            self.queue_delay_ewma += self._alpha * (queue_delay - self.queue_delay_ewma)
 
     # -- reporting ------------------------------------------------------
+
+    def telemetry(self) -> dict[str, float | int]:
+        """The auto-scaler's view: raw-unit signals, no display rounding."""
+        return {
+            "depth": self.depth,
+            "queue_delay_ewma": self.queue_delay_ewma,
+            "service_ewma": self.service_ewma,
+            "expected_wait": self.expected_wait(),
+            "shed_rate": self.shed_rate,
+            "shed": self.shed,
+            "admitted": self.admitted,
+        }
 
     def summary(self) -> dict[str, float | int]:
         return {
@@ -122,6 +170,9 @@ class AdmissionController:
             "max_depth": self.max_depth,
             "max_delay": self.max_delay,
             "service_ewma_ms": round(self.service_ewma * 1000.0, 4),
+            "queue_delay_ewma_ms": round(self.queue_delay_ewma * 1000.0, 4),
             "expected_wait_ms": round(self.expected_wait() * 1000.0, 4),
+            "shed_rate": round(self.shed_rate, 6),
+            "admitted": self.admitted,
             "shed": self.shed,
         }

@@ -47,7 +47,12 @@ from ..core.coalloc import ScheduleOutcome
 from ..core.merge import merge_earliest
 from ..core.types import INF, Allocation, RangeQuery, Request, Reservation
 from ..errors import NotFoundError
-from ..facade import STATE_VERSION, allocation_from_dict, allocation_to_dict
+from ..facade import (
+    STATE_VERSION,
+    CoAllocationScheduler,
+    allocation_from_dict,
+    allocation_to_dict,
+)
 from .protocol import SHARD_MAX_LINE_BYTES
 from .shards import ShardMap, ShardState, fresh_calendar_state
 from .snapshot import combine_checksums
@@ -184,6 +189,7 @@ class CoordinatorCore:
         shard, uids preserved — a restore is K-agnostic because the
         snapshot never mentions shard boundaries.
         """
+        pool = None if calendar_state is None else calendar_state.get("pool")
         batch: Scatter = []
         for shard in range(self.shards):
             lo, hi = self.shard_map.bounds[shard]
@@ -201,6 +207,9 @@ class CoordinatorCore:
                     "indexing": "tail",
                     "periods": list(calendar_state["periods"][lo:hi]),
                 }
+                if pool is not None:
+                    # the shard owns its slice of the pool status list too
+                    sub["pool"] = list(pool[lo:hi])
             batch.append(
                 (shard, {"op": "shard_load", "lo": lo, "state": sub, "hwm": self._hwm})
             )
@@ -440,8 +449,10 @@ class CoordinatorCore:
                 f"({sorted(hwms)})"
             )
         periods: list[list[list[Any]]] = []
+        pool: list[str] = []
         for response in responses:
             periods.extend(response["state"]["periods"])
+            pool.extend(response["state"]["pool"])
         state = {
             "version": STATE_VERSION,
             "calendar": {
@@ -450,6 +461,7 @@ class CoordinatorCore:
                 "q_slots": self.geometry.q_slots,
                 "now": self.geometry.now,
                 "indexing": "tail",
+                "pool": pool,
                 "periods": periods,
             },
             "delta_t": self.delta_t,
@@ -472,6 +484,77 @@ class CoordinatorCore:
         responses = yield self._all_shards({"op": "shard_status"})
         self._ensure_ok(responses, "shard_status")
         return responses
+
+    # -- elastic pool ----------------------------------------------------
+
+    def admin(self, kind: str, argument: int) -> CoordOp:
+        """One pool mutation: assemble, mutate, rebalance, reload.
+
+        Pool mutations are rare and the pool is small, so correctness by
+        construction beats a bespoke incremental protocol: the
+        coordinated export *is* the exact single-calendar state, the
+        mutation runs through the very facade code the unsharded server
+        (and the follower's replay) uses — same verdicts, same typed
+        errors, same error strings — with new-server uids minted from
+        the coordinator's counter for single-calendar uid-order parity.
+        The shard map then rebalances over the grown server set and the
+        mutated state scatters back through the proven K-agnostic
+        restore path.  A refused mutation (typed error) propagates
+        before the reload, leaving every shard untouched.
+        """
+        # bring every shard to the coordinator clock first: shard_export
+        # carries no clock, so without this the merged state would pair
+        # geometry.now with stale untrimmed idle periods (shards advance
+        # lazily, with each routed operation's ``now``)
+        responses = yield self._all_shards(
+            {"op": "shard_pool", "now": self.geometry.now}
+        )
+        self._ensure_ok(responses, "shard_pool")
+        state, _meta = yield from self.export()
+        scheduler = CoAllocationScheduler.from_state(state)
+        if kind == "add_servers":
+            # mint uids only for a count the facade will accept, so a
+            # refused request burns none of the coordinator's sequence
+            uids = (
+                [self._take_uid() for _ in range(argument)] if argument > 0 else None
+            )
+            new_ids = scheduler.add_servers(argument, uids=uids)
+            result: Any = new_ids
+        elif kind == "drain":
+            result = scheduler.drain(argument)
+        elif kind == "remove":
+            result = scheduler.remove(argument)
+        else:
+            raise ValueError(f"not a pool mutation kind: {kind!r}")
+        self.n_servers = scheduler.n_servers
+        self.shard_map = ShardMap(self.n_servers, self.shards)
+        responses = yield self.load_messages(scheduler.calendar.export_state())
+        self._ensure_ok(responses, "shard_load")
+        return result
+
+    def pool_status_op(self) -> CoordOp:
+        """Assemble ``pool_status`` from per-shard slices (read-only)."""
+        message = {"op": "shard_pool", "now": self.geometry.now}
+        responses = yield self._all_shards(message)
+        self._ensure_ok(responses, "shard_pool")
+        statuses: list[str] = []
+        drained: list[bool] = []
+        for response in responses:
+            statuses.extend(response["pool"])
+            drained.extend(response["drained"])
+        counts = {state: 0 for state in ("active", "draining", "removed")}
+        for status in statuses:
+            counts[status] += 1
+        return {
+            **counts,
+            "total": len(statuses),
+            "servers": statuses,
+            "drain_progress": [
+                {"server": server, "drained": drained[server]}
+                for server, status in enumerate(statuses)
+                if status == "draining"
+            ],
+        }
 
 
 class ShardedScheduler:
@@ -546,6 +629,14 @@ class ShardedScheduler:
         return self._core.geometry.q_slots
 
     @property
+    def delta_t(self) -> float:
+        return self._core.delta_t
+
+    @property
+    def r_max(self) -> int:
+        return self._core.r_max
+
+    @property
     def calendar(self) -> "ShardedScheduler":
         return self
 
@@ -584,6 +675,26 @@ class ShardedScheduler:
 
     def cancel(self, rid: int) -> None:
         self._drive(self._core.cancel(rid))
+
+    # -- elastic pool (facade-identical surface) -------------------------
+
+    def add_servers(self, count: int) -> list[int]:
+        return self._drive(self._core.admin("add_servers", count))  # type: ignore[no-any-return]
+
+    def drain(self, server: int) -> dict[str, Any]:
+        return self._drive(self._core.admin("drain", server))  # type: ignore[no-any-return]
+
+    def remove(self, server: int) -> dict[str, Any]:
+        return self._drive(self._core.admin("remove", server))  # type: ignore[no-any-return]
+
+    def pool_status(self) -> dict[str, Any]:
+        return self._drive(self._core.pool_status_op())  # type: ignore[no-any-return]
+
+    def pool_counts(self) -> dict[str, Any]:
+        status = self.pool_status()
+        return {
+            key: status[key] for key in ("active", "draining", "removed", "total")
+        }
 
     def export_state(self) -> dict[str, Any]:
         state, _meta = self._drive(self._core.export())
@@ -800,6 +911,14 @@ class AsyncShardedScheduler:
         return self._core.geometry.q_slots
 
     @property
+    def delta_t(self) -> float:
+        return self._core.delta_t
+
+    @property
+    def r_max(self) -> int:
+        return self._core.r_max
+
+    @property
     def calendar(self) -> "AsyncShardedScheduler":
         return self
 
@@ -829,6 +948,20 @@ class AsyncShardedScheduler:
 
     async def cancel(self, rid: int) -> None:
         await self._drive(self._core.cancel(rid))
+
+    # -- elastic pool (facade-identical surface, async) ------------------
+
+    async def add_servers(self, count: int) -> list[int]:
+        return await self._drive(self._core.admin("add_servers", count))  # type: ignore[no-any-return]
+
+    async def drain(self, server: int) -> dict[str, Any]:
+        return await self._drive(self._core.admin("drain", server))  # type: ignore[no-any-return]
+
+    async def remove(self, server: int) -> dict[str, Any]:
+        return await self._drive(self._core.admin("remove", server))  # type: ignore[no-any-return]
+
+    async def pool_status(self) -> dict[str, Any]:
+        return await self._drive(self._core.pool_status_op())  # type: ignore[no-any-return]
 
     async def export_full(self) -> tuple[dict[str, Any], dict[str, Any]]:
         return await self._drive(self._core.export())  # type: ignore[no-any-return]

@@ -49,11 +49,13 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
-from ..errors import ErrorCode, MalformedRequestError, NotFoundError
+from ..errors import ErrorCode, MalformedRequestError, NotFoundError, ReproError
 from .protocol import request_from_payload
 
 __all__ = [
+    "ADMIN_KINDS",
     "DecisionLog",
+    "decide_admin",
     "decide_reserve",
     "entry_from_outcome",
     "decide_cancel",
@@ -126,6 +128,43 @@ def decide_cancel(scheduler: Any, rid: int) -> dict[str, Any]:
     return {"ok": True}
 
 
+#: pool-mutating admin kinds that flow through the decision log
+ADMIN_KINDS = ("add_servers", "drain", "remove")
+
+#: wire fields a logged admin record preserves, per kind
+_ADMIN_FIELDS = {
+    "add_servers": ("count", "aid", "qr"),
+    "drain": ("server", "aid", "qr"),
+    "remove": ("server", "aid", "qr"),
+}
+
+
+def decide_admin(scheduler: Any, kind: str, message: dict[str, Any]) -> dict[str, Any]:
+    """Decide one elastic-pool admin op against an in-process scheduler.
+
+    Shared by the primary actor (fresh decisions, keyed by the optional
+    ``aid`` idempotency token) and the follower (replay of logged admin
+    records) — like :func:`decide_reserve`, determinism makes both
+    produce the same verdict.  An admin op may carry a ``qr`` submission
+    time; the virtual clock advances before the mutation so drain
+    progress (``is_drained``) is judged at the same instant on replay.
+    """
+    qr = message.get("qr")
+    if qr is not None:
+        scheduler.advance(max(scheduler.now, float(qr)))
+    try:
+        if kind == "add_servers":
+            new_ids = scheduler.add_servers(int(message["count"]))
+            return {"ok": True, "servers": new_ids, "n_servers": scheduler.n_servers}
+        if kind == "drain":
+            return {"ok": True, **scheduler.drain(int(message["server"]))}
+        if kind == "remove":
+            return {"ok": True, **scheduler.remove(int(message["server"]))}
+    except ReproError as exc:
+        return {"ok": False, "error": exc.payload()}
+    raise ValueError(f"not an admin decision kind: {kind!r}")
+
+
 def decision_message(kind: str, message: dict[str, Any]) -> dict[str, Any]:
     """The canonical (replayable) subset of a wire message for the log."""
     if kind == "reserve":
@@ -133,6 +172,11 @@ def decision_message(kind: str, message: dict[str, Any]) -> dict[str, Any]:
             name: message[name]
             for name in _RESERVE_FIELDS
             if message.get(name) is not None
+        }
+    admin_fields = _ADMIN_FIELDS.get(kind)
+    if admin_fields is not None:
+        return {
+            name: message[name] for name in admin_fields if message.get(name) is not None
         }
     return {"rid": int(message["rid"])}
 

@@ -144,6 +144,28 @@ _SPECS: tuple[OpSpec, ...] = (
         required=(("cursor", "int"),),
         optional=(("limit", "int"), ("follower_id", "str")),
     ),
+    # -- elastic-pool admin ops (public: the gateway proxies them via
+    #    POST /v1/admin/scale).  ``aid`` is an idempotency key: a retried
+    #    admin op with the same aid replays its logged verdict instead of
+    #    mutating twice (exactly-once via the decision log, like rids).
+    #    ``qr`` is the submission time driving the virtual clock, exactly
+    #    as on reserve — drain/remove legality depends on ``now``.
+    OpSpec(
+        "add_servers",
+        required=(("count", "int"),),
+        optional=(("aid", "str"), ("qr", "number")),
+    ),
+    OpSpec(
+        "drain",
+        required=(("server", "int"),),
+        optional=(("aid", "str"), ("qr", "number")),
+    ),
+    OpSpec(
+        "remove",
+        required=(("server", "int"),),
+        optional=(("aid", "str"), ("qr", "number")),
+    ),
+    OpSpec("pool_status"),
     # -- internal coordinator -> shard ops -------------------------------
     OpSpec(
         "shard_load",
@@ -180,6 +202,7 @@ _SPECS: tuple[OpSpec, ...] = (
         role="shard",
     ),
     OpSpec("shard_export", role="shard"),
+    OpSpec("shard_pool", required=(("now", "number"),), role="shard"),
     OpSpec("shard_status", role="shard"),
     OpSpec("shard_shutdown", role="shard"),
     # -- warm-standby follower control ops -------------------------------

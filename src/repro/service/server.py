@@ -52,6 +52,7 @@ from time import perf_counter
 from typing import Any
 
 from ..errors import (
+    ConflictError,
     MalformedRequestError,
     NotFoundError,
     ReproError,
@@ -60,10 +61,12 @@ from ..errors import (
 )
 from ..facade import CoAllocationScheduler
 from .admission import AdmissionController
+from .autoscale import AutoScaleConfig, AutoScaler
 from .batching import drain_batch
 from .coordinator import AsyncShardedScheduler, ShardFailureError, ShardProtocolError
 from .declog import (
     DecisionLog,
+    decide_admin,
     decide_cancel,
     decide_reserve,
     decision_message,
@@ -109,6 +112,7 @@ class ServiceConfig:
     log_segment_bytes: int = 1 << 20  # rotate segments at this size
     log_tail_limit: int = 512  # default/max records per log_tail answer
     log_cursor_ttl: float = 900.0  # drop follower cursors idle this long (s)
+    autoscale: AutoScaleConfig | None = None  # None disables the scaler task
 
 
 def accepted_checksum(decided: dict[int, dict[str, Any]]) -> str:
@@ -142,6 +146,11 @@ class ReservationService:
             self._decided: dict[int, dict[str, Any]] = {
                 int(rid): entry for rid, entry in state.get("decided", {}).items()
             }
+            #: aid-keyed exactly-once table for pool-mutating admin ops
+            self._admin_decided: dict[str, dict[str, Any]] = {
+                str(aid): entry
+                for aid, entry in state.get("admin_decided", {}).items()
+            }
             if self._sharded:
                 scheduler_state = state["scheduler"]
                 calendar_state = scheduler_state["calendar"]
@@ -161,6 +170,7 @@ class ReservationService:
                 self.scheduler = CoAllocationScheduler.from_state(state["scheduler"])
         else:
             self._decided = {}
+            self._admin_decided = {}
             scheduler_cls = AsyncShardedScheduler if self._sharded else CoAllocationScheduler
             kwargs: dict[str, Any] = {}
             if self._sharded:
@@ -188,6 +198,9 @@ class ReservationService:
             log_hwm = int(state.get("log_hwm", 0)) if state is not None else 0
             self._log.align(log_hwm)
         self.metrics = ServiceMetrics()
+        self.autoscaler: AutoScaler | None = (
+            AutoScaler(config.autoscale) if config.autoscale is not None else None
+        )
         self._queue: asyncio.Queue[tuple[dict[str, Any], float, asyncio.Future]] = (
             asyncio.Queue()
         )
@@ -196,6 +209,7 @@ class ReservationService:
         self._server: asyncio.base_events.Server | None = None
         self._actor_task: asyncio.Task | None = None
         self._metrics_task: asyncio.Task | None = None
+        self._autoscale_task: asyncio.Task | None = None
         self._stopped: asyncio.Event = asyncio.Event()
         self._writers: set[asyncio.StreamWriter] = set()
         #: responses enqueued to connection writers but not yet flushed;
@@ -238,6 +252,10 @@ class ReservationService:
             self._metrics_task = asyncio.create_task(
                 self._metrics_loop(), name="repro-metrics"
             )
+        if self.autoscaler is not None:
+            self._autoscale_task = asyncio.create_task(
+                self._autoscale_loop(), name="repro-autoscale"
+            )
 
     async def wait_stopped(self) -> None:
         """Block until a ``shutdown`` op (or :meth:`stop`) completes."""
@@ -258,6 +276,8 @@ class ReservationService:
             await self._server.wait_closed()
         if self._metrics_task is not None:
             self._metrics_task.cancel()
+        if self._autoscale_task is not None:
+            self._autoscale_task.cancel()
         # let the connection writers flush already-resolved responses —
         # notably the shutdown acknowledgement itself — before the
         # sockets close; bounded so a client that stopped reading cannot
@@ -391,7 +411,7 @@ class ReservationService:
                     message["op"], started - enqueued_at, service_time
                 )
                 if message["op"] in _CONTROLLED_OPS:
-                    self.admission.release(service_time)
+                    self.admission.release(service_time, started - enqueued_at)
                 if not future.done():
                     future.set_result(response)
         # drain stragglers, then tear down
@@ -418,6 +438,50 @@ class ReservationService:
                 sort_keys=True,
             )
             print(f"repro serve metrics: {line}", file=sys.stderr, flush=True)
+
+    async def _autoscale_loop(self) -> None:
+        """Tick the auto-scaler; apply its plan through the actor queue.
+
+        Never touches the scheduler directly: the pool read and every
+        admin mutation are enqueued like any other wire op, so the
+        single-writer discipline (and the decision log, and exactly-once
+        aids) apply unchanged.  In dry-run mode :meth:`AutoScaler.plan`
+        records what it would do and returns no messages.
+        """
+        assert self.autoscaler is not None
+        interval = self.autoscaler.config.interval
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            await asyncio.sleep(interval)
+            if self._stopping:
+                break
+            future: asyncio.Future = loop.create_future()
+            await self._queue.put(({"op": "pool_status"}, perf_counter(), future))
+            pool = await _result_of(future)
+            if not pool.get("ok"):
+                continue
+            decision, messages = self.autoscaler.plan(
+                self.admission.telemetry(), pool
+            )
+            for message in messages:
+                future = loop.create_future()
+                await self._queue.put((message, perf_counter(), future))
+                response = await _result_of(future)
+                if not response.get("ok"):
+                    print(
+                        f"repro serve autoscale: {message['op']} refused: "
+                        f"{response.get('error')}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+            if decision.direction != "hold":
+                print(
+                    f"repro serve autoscale: {decision.direction} x{decision.count} "
+                    f"({decision.reason})"
+                    + (" [dry-run]" if self.autoscaler.config.dry_run else ""),
+                    file=sys.stderr,
+                    flush=True,
+                )
 
     # ------------------------------------------------------------------
     # operation application (actor-confined; the only scheduler caller)
@@ -529,6 +593,82 @@ class ReservationService:
         self._record_decision("cancel", message, verdict)
         return {"op": "cancel", "rid": rid, **verdict}
 
+    # -- elastic pool (admin wire ops) ---------------------------------
+
+    async def _actor_apply_add_servers(self, message: dict[str, Any]) -> dict[str, Any]:
+        return await self._apply_admin_op("add_servers", message)
+
+    async def _actor_apply_drain(self, message: dict[str, Any]) -> dict[str, Any]:
+        return await self._apply_admin_op("drain", message)
+
+    async def _actor_apply_remove(self, message: dict[str, Any]) -> dict[str, Any]:
+        return await self._apply_admin_op("remove", message)
+
+    async def _apply_admin_op(
+        self, kind: str, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        """One pool mutation: aid-replayed, logged, snapshot-durable.
+
+        Mirrors the ``reserve`` discipline — an ``aid`` (admin
+        idempotency token) that was already decided is answered with the
+        recorded verdict, fresh verdicts (including MALFORMED/CONFLICT
+        refusals) go through the shared decision path and into the
+        replication log, and the aid table rides inside snapshots so a
+        resent ``drain`` after a kill/restart stays exactly-once.
+        """
+        aid = message.get("aid")
+        if aid is not None:
+            recorded = self._admin_decided.get(str(aid))
+            if recorded is not None:
+                self.metrics.replayed += 1
+                response = dict(recorded)
+                response.update(op=kind, aid=aid, replayed=True)
+                return response
+        if self._sharded:
+            verdict = await self._actor_decide_admin_sharded(kind, message)
+        else:
+            verdict = decide_admin(self.scheduler, kind, message)
+        if aid is not None:
+            self._admin_decided[str(aid)] = verdict
+        self._record_decision(kind, message, verdict)
+        response = {"op": kind, **verdict}
+        if aid is not None:
+            response["aid"] = aid
+        return response
+
+    async def _actor_decide_admin_sharded(
+        self, kind: str, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        """The sharded twin of :func:`~repro.service.declog.decide_admin`.
+
+        Shard failures propagate (crash-stop); only the scheduler's own
+        typed refusals become ``ok: false`` verdicts.
+        """
+        qr = message.get("qr")
+        if qr is not None:
+            self.scheduler.advance(max(self.scheduler.now, float(qr)))
+        try:
+            if kind == "add_servers":
+                new_ids = await self.scheduler.add_servers(int(message["count"]))
+                return {
+                    "ok": True,
+                    "servers": new_ids,
+                    "n_servers": self.scheduler.n_servers,
+                }
+            if kind == "drain":
+                return {"ok": True, **await self.scheduler.drain(int(message["server"]))}
+            if kind == "remove":
+                return {"ok": True, **await self.scheduler.remove(int(message["server"]))}
+        except (MalformedRequestError, ConflictError) as exc:
+            return {"ok": False, "error": exc.payload()}
+        raise ValueError(f"not an admin decision kind: {kind!r}")
+
+    async def _actor_apply_pool_status(self, message: dict[str, Any]) -> dict[str, Any]:
+        pool = self.scheduler.pool_status()
+        if asyncio.iscoroutine(pool):
+            pool = await pool
+        return {"ok": True, "op": "pool_status", **pool}
+
     async def _actor_apply_log_tail(self, message: dict[str, Any]) -> dict[str, Any]:
         if self._log is None:
             raise MalformedRequestError(
@@ -571,11 +711,20 @@ class ReservationService:
             "restored": self.restored,
             "stopping": self._stopping,
             "decided": len(self._decided),
+            "admin_decided": len(self._admin_decided),
             "active_allocations": len(self.scheduler._allocations),
             "accepted_checksum": accepted_checksum(self._decided),
             "admission": self.admission.summary(),
             "metrics": self.metrics.summary(),
         }
+        pool = self.scheduler.pool_status()
+        if asyncio.iscoroutine(pool):
+            pool = await pool
+        response["pool"] = {
+            key: pool[key] for key in ("active", "draining", "removed", "total")
+        }
+        if self.autoscaler is not None:
+            response["autoscale"] = self.autoscaler.summary()
         if self._sharded:
             response["shards"] = {
                 "count": self.config.shards,
@@ -637,6 +786,9 @@ class ReservationService:
         state = {
             "scheduler": scheduler_state,
             "decided": {str(rid): self._decided[rid] for rid in sorted(self._decided)},
+            "admin_decided": {
+                aid: self._admin_decided[aid] for aid in sorted(self._admin_decided)
+            },
             "log_hwm": self._log.hwm if self._log is not None else 0,
         }
         if sharded_meta is not None:

@@ -104,6 +104,7 @@ def fresh_calendar_state(
         "q_slots": q_slots,
         "now": now,
         "indexing": "tail",
+        "pool": ["active"] * count,
         "periods": [[[now, None, lo + i]] for i in range(count)],
     }
 
@@ -287,6 +288,20 @@ class ShardState:
             "hwm": self.hwm,
             "state": state,
             "checksum": state_checksum(state),
+        }
+
+    def _op_shard_pool(self, message: dict[str, Any]) -> dict[str, Any]:
+        """This shard's slice of the pool: per-server status and drain flags.
+
+        Advances to the coordinator clock first, so drained-ness is
+        judged at the same instant a single calendar would use.
+        """
+        calendar = self._advance(message)
+        return {
+            "ok": True,
+            "lo": self.lo,
+            "pool": [calendar.server_status(s) for s in range(calendar.n_servers)],
+            "drained": [calendar.is_drained(s) for s in range(calendar.n_servers)],
         }
 
     def _op_shard_status(self, message: dict[str, Any]) -> dict[str, Any]:

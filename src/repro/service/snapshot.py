@@ -36,6 +36,7 @@ from typing import Any
 __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "SUPPORTED_VERSIONS",
     "SnapshotError",
     "combine_checksums",
     "snapshot_bytes",
@@ -45,7 +46,15 @@ __all__ = [
 ]
 
 SNAPSHOT_FORMAT = "repro.service.snapshot"
-SNAPSHOT_VERSION = 1
+#: version 2 added the elastic pool: the calendar state carries a
+#: ``pool`` status list and the service state an ``admin_decided`` table
+SNAPSHOT_VERSION = 2
+#: versions this build can read (older ones are migrated on read)
+SUPPORTED_VERSIONS = frozenset({1, 2})
+
+#: legal per-server pool states (mirrors ``repro.core.calendar.POOL_STATES``;
+#: duplicated so the snapshot layer stays dependency-free)
+_POOL_STATES = frozenset({"active", "draining", "removed"})
 
 
 class SnapshotError(ValueError):
@@ -117,10 +126,11 @@ def read_snapshot(path: str | Path) -> dict[str, Any]:
         raise SnapshotError(f"snapshot {target} is not valid JSON: {exc}") from exc
     if not isinstance(document, dict) or document.get("format") != SNAPSHOT_FORMAT:
         raise SnapshotError(f"snapshot {target} is not a {SNAPSHOT_FORMAT} file")
-    if document.get("version") != SNAPSHOT_VERSION:
+    version = document.get("version")
+    if version not in SUPPORTED_VERSIONS:
         raise SnapshotError(
-            f"snapshot {target} has version {document.get('version')!r}; "
-            f"this build reads version {SNAPSHOT_VERSION}"
+            f"snapshot {target} has version {version!r}; "
+            f"this build reads versions {sorted(SUPPORTED_VERSIONS)}"
         )
     state = document.get("state")
     if not isinstance(state, dict):
@@ -131,4 +141,48 @@ def read_snapshot(path: str | Path) -> dict[str, Any]:
             f"snapshot {target} fails its checksum "
             f"(header {document.get('sha256')!r}, computed {digest!r})"
         )
+    if version < SNAPSHOT_VERSION:
+        return _migrate_state(state, version)
+    _check_pool_sections(state, target)
     return state
+
+
+def _migrate_state(state: dict[str, Any], version: int) -> dict[str, Any]:
+    """Lift an older-version state to the current in-memory shape.
+
+    v1 → v2: v1 snapshots predate the elastic pool, so every recorded
+    server was active (the calendar restore defaults a missing ``pool``
+    section to all-active) and no admin decisions existed.  Re-exporting
+    the restored state yields a byte-identical v2 snapshot of the same
+    logical state, which the migration tests assert.
+    """
+    migrated = dict(state)
+    if version < 2:
+        migrated.setdefault("admin_decided", {})
+    return migrated
+
+
+def _check_pool_sections(state: dict[str, Any], target: Path) -> None:
+    """Hard-fail a current-version snapshot with corrupt pool sections.
+
+    A checksum match proves the bytes are what the writer wrote, not that
+    the writer wrote sense; a mangled pool must never silently restore as
+    an all-active (or empty) pool.
+    """
+    scheduler = state.get("scheduler")
+    calendar = scheduler.get("calendar") if isinstance(scheduler, dict) else None
+    if isinstance(calendar, dict) and "pool" in calendar:
+        pool = calendar["pool"]
+        n_servers = calendar.get("n_servers")
+        if (
+            not isinstance(pool, list)
+            or any(entry not in _POOL_STATES for entry in pool)
+            or (isinstance(n_servers, int) and len(pool) != n_servers)
+        ):
+            raise SnapshotError(f"snapshot {target} carries a corrupt pool section")
+    admin = state.get("admin_decided")
+    if admin is not None and (
+        not isinstance(admin, dict)
+        or any(not isinstance(entry, dict) for entry in admin.values())
+    ):
+        raise SnapshotError(f"snapshot {target} carries a corrupt admin_decided table")

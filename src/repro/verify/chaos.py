@@ -43,6 +43,18 @@ Plans
     subprocess as HTTP/JSON instead of raw NDJSON — the gateway passes
     backend bodies through verbatim, so the identical oracle/ledger/
     checksum standards apply to the HTTP surface with zero adaptation.
+``scale-events`` (explicit ``--plan scale-events``)
+    The stream's pool mutations (``add_servers``/``drain``/``remove``,
+    generated with ``--scale-events``) run through the live service.
+    Every mutation carries a deterministic ``aid`` and is sent *twice*
+    back-to-back — the duplicate must answer the recorded verdict with
+    ``replayed: true`` (the aid-keyed exactly-once admin table).  The
+    service is snapshotted after op *s* and SIGKILLed **mid-drain**: the
+    kill lands right after the first ``drain`` past the snapshot, the
+    pool membership is captured (``pool_status``), and the restart from
+    the snapshot must re-decide ops *s+1..k* identically *and* restore
+    byte-equal pool membership.  The final snapshot's pool must match
+    the oracle's, on top of the usual ledger/verdict/checksum standards.
 ``kill-promote`` (explicit ``--plan kill-promote``, unsharded only)
     The primary runs with ``--log-dir`` and a ``repro follow``
     subprocess tails its decision log.  After op *k* the primary is
@@ -122,9 +134,10 @@ def default_plans(kind: str | None = None, shards: int = 0) -> list[ChaosPlan]:
         return plans
     if kind == "kill-shard" and shards <= 1:
         raise ValueError("kill-shard plan needs a sharded service (--shards > 1)")
-    if kind in ("front-door", "kill-promote"):
+    if kind in ("front-door", "kill-promote", "scale-events"):
         # explicit-only plans: they spawn extra subprocesses (gateway /
-        # follower), so "all" does not imply them
+        # follower) or need a specially generated stream (scale events),
+        # so "all" does not imply them
         if kind == "kill-promote" and shards > 1:
             raise ValueError(
                 "kill-promote plan needs the unsharded service "
@@ -289,10 +302,22 @@ class _HttpClient:
         self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=_RPC_TIMEOUT)
 
     def rpc(self, message: dict[str, Any]) -> dict[str, Any]:
-        body = json.dumps(message).encode("utf-8")
+        op = message["op"]
+        if op == "pool_status":
+            self.conn.request("GET", "/v1/admin/pool")
+            response = self.conn.getresponse()
+            return json.loads(response.read().decode("utf-8"))
+        if op in _ADMIN_KINDS:
+            path = "/v1/admin/scale"
+            payload = {k: v for k, v in message.items() if k != "op"}
+            payload["action"] = op
+        else:
+            path = f"/v1/{op}"
+            payload = message
+        body = json.dumps(payload).encode("utf-8")
         self.conn.request(
             "POST",
-            f"/v1/{message['op']}",
+            path,
             body=body,
             headers={"Content-Type": "application/json"},
         )
@@ -324,8 +349,23 @@ def _wait_follower_hwm(ctl: _Client, min_hwm: int, timeout: float = 10.0) -> int
 # ----------------------------------------------------------------------
 
 
-def _wire(op: dict[str, Any]) -> dict[str, Any]:
+_ADMIN_KINDS = ("add_servers", "drain", "remove")
+
+
+def _wire(op: dict[str, Any], index: int | None = None) -> dict[str, Any]:
     kind = op["kind"]
+    if kind in _ADMIN_KINDS:
+        # a deterministic aid per op position: the back-to-back duplicate
+        # must hit the aid-keyed exactly-once table, and a post-restart
+        # resend reuses the same identity
+        message = {"op": kind, "qr": op["qr"], "aid": f"chaos-{kind}-{index}"}
+        if kind == "add_servers":
+            message["count"] = op["count"]
+        else:
+            message["server"] = op["server"]
+        return message
+    if kind == "pool_status":
+        return {"op": "pool_status"}
     if kind == "reserve":
         message = {
             "op": "reserve",
@@ -369,6 +409,22 @@ def _normalize(op: dict[str, Any], response: dict[str, Any]) -> dict[str, Any]:
         return {"count": response["count"], "periods": response["periods"]}
     if kind == "cancel":
         return {"ok": bool(response.get("ok"))}
+    if kind in _ADMIN_KINDS:
+        if response.get("ok"):
+            keep = {
+                "add_servers": ("servers", "n_servers"),
+                "drain": ("server", "status", "changed", "drained"),
+                "remove": ("server", "status", "changed"),
+            }[kind]
+            return {"ok": True, **{k: response[k] for k in keep}}
+        error = response.get("error") or {}
+        return {"ok": False, "code": error.get("code")}
+    if kind == "pool_status":
+        return {
+            k: response[k]
+            for k in ("active", "draining", "removed", "total", "servers",
+                      "drain_progress")
+        }
     raise ValueError(f"op kind {kind!r} has no verdict form")
 
 
@@ -404,6 +460,18 @@ def _oracle_verdict(oracle: ReferenceScheduler, op: dict[str, Any]) -> dict[str,
         }
     if kind == "cancel":
         return oracle.cancel(int(op["rid"]))
+    if kind in _ADMIN_KINDS:
+        # mirror of the service's decide_admin: advance to the submission
+        # time, then mutate
+        oracle.advance(max(oracle.now, float(op["qr"])))
+        if kind == "add_servers":
+            return oracle.add_servers(int(op["count"]))
+        if kind == "drain":
+            return oracle.drain(int(op["server"]))
+        return oracle.remove(int(op["server"]))
+    if kind == "pool_status":
+        # read-only: the service answers at its current clock, no advance
+        return dict(oracle.pool_status())
     raise ValueError(f"op kind {kind!r} has no oracle form")
 
 
@@ -472,9 +540,23 @@ def run_chaos(
             rng.shuffle(block)
             ops[base : base + window] = block
     snapshot_at = kill_at = None
-    if plan.kind in ("kill-restart", "kill-shard"):
+    if plan.kind in ("kill-restart", "kill-shard", "scale-events"):
         snapshot_at = plan.snapshot_at if plan.snapshot_at is not None else len(ops) // 3
-        kill_at = plan.kill_at if plan.kill_at is not None else (2 * len(ops)) // 3
+        if plan.kill_at is not None:
+            kill_at = plan.kill_at
+        elif plan.kind == "scale-events":
+            # SIGKILL *mid-drain*: right after the first drain verdict past
+            # the snapshot, while the pool still carries the draining state
+            kill_at = next(
+                (
+                    i
+                    for i, op in enumerate(ops)
+                    if i > snapshot_at and op["kind"] == "drain"
+                ),
+                (2 * len(ops)) // 3,
+            )
+        else:
+            kill_at = (2 * len(ops)) // 3
         if not 0 <= snapshot_at < kill_at < len(ops):
             raise ValueError(
                 f"{plan.kind} plan needs 0 <= snapshot_at < kill_at < {len(ops)}, "
@@ -497,6 +579,8 @@ def run_chaos(
     duplicate_mismatches: list[dict[str, Any]] = []
     restarts = 0
     reserve_count = 0
+    scale_ops = 0
+    pool_restore_mismatch: dict[str, Any] | None = None
     shard_kills = 0
     crash_stop_ok = True  # kill-shard: INTERNAL answer + nonzero exit observed
     follower_proc = gateway_proc = None
@@ -520,8 +604,23 @@ def run_chaos(
         client = _Client(port)
     try:
         for index, op in enumerate(ops):
-            verdict = _normalize(op, client.rpc(_wire(op)))
+            verdict = _normalize(op, client.rpc(_wire(op, index)))
             verdicts.append(verdict)
+            if op["kind"] in _ADMIN_KINDS or op["kind"] == "pool_status":
+                scale_ops += 1
+            if plan.kind == "scale-events" and op["kind"] in _ADMIN_KINDS:
+                # every pool mutation is sent twice: the duplicate carries
+                # the same aid and must answer the recorded verdict
+                duplicate_checks += 1
+                dup_response = client.rpc(_wire(op, index))
+                dup = _normalize(op, dup_response)
+                if _jsonable(dup) != _jsonable(verdict) or not dup_response.get(
+                    "replayed"
+                ):
+                    duplicate_mismatches.append(
+                        {"index": index, "first": verdict, "duplicate": dup,
+                         "replayed": dup_response.get("replayed")}
+                    )
             if op["kind"] == "cancel" and verdict["ok"]:
                 # an acknowledged cancel frees the window: later accepts
                 # may legitimately reuse it without double-booking
@@ -548,8 +647,10 @@ def run_chaos(
                              "replayed": dup_response.get("replayed")}
                         )
             if plan.kind == "kill-promote":
-                if op["kind"] == "cancel" or (
-                    op["kind"] == "reserve" and int(op["rid"]) not in logged_rids
+                if (
+                    op["kind"] == "cancel"
+                    or op["kind"] in _ADMIN_KINDS
+                    or (op["kind"] == "reserve" and int(op["rid"]) not in logged_rids)
                 ):
                     if op["kind"] == "reserve":
                         logged_rids.add(int(op["rid"]))
@@ -577,16 +678,22 @@ def run_chaos(
                     # re-decided and must match the pre-kill ones bit for bit
                     resend_from = log_index[hwm - 1] + 1 if hwm else 0
                     for j in range(resend_from, kill_at + 1):
-                        replayed = _normalize(ops[j], client.rpc(_wire(ops[j])))
+                        replayed = _normalize(ops[j], client.rpc(_wire(ops[j], j)))
                         if _jsonable(replayed) != _jsonable(verdicts[j]):
                             replay_mismatches.append(
                                 {"index": j, "before_kill": verdicts[j],
                                  "after_promote": replayed}
                             )
-            if plan.kind in ("kill-restart", "kill-shard"):
+            if plan.kind in ("kill-restart", "kill-shard", "scale-events"):
                 if index == snapshot_at:
                     client.rpc({"op": "snapshot"})
                 if index == kill_at:
+                    pool_before = None
+                    if plan.kind == "scale-events":
+                        pool_before = _normalize(
+                            {"kind": "pool_status"},
+                            client.rpc({"op": "pool_status"}),
+                        )
                     if plan.kind == "kill-shard":
                         if not _kill_one_shard(client, proc, kill_at):
                             crash_stop_ok = False
@@ -602,12 +709,25 @@ def run_chaos(
                     # the restored server must re-decide them identically
                     assert snapshot_at is not None and kill_at is not None
                     for j in range(snapshot_at + 1, kill_at + 1):
-                        replayed = _normalize(ops[j], client.rpc(_wire(ops[j])))
+                        replayed = _normalize(ops[j], client.rpc(_wire(ops[j], j)))
                         if _jsonable(replayed) != _jsonable(verdicts[j]):
                             replay_mismatches.append(
                                 {"index": j, "before_kill": verdicts[j],
                                  "after_restart": replayed}
                             )
+                    if plan.kind == "scale-events":
+                        # the restart + replay must land on the exact pool
+                        # membership (and drain progress) the kill interrupted
+                        pool_after = _normalize(
+                            {"kind": "pool_status"},
+                            client.rpc({"op": "pool_status"}),
+                        )
+                        if _jsonable(pool_after) != _jsonable(pool_before):
+                            pool_restore_mismatch = {
+                                "index": index,
+                                "before_kill": pool_before,
+                                "after_restart": pool_after,
+                            }
         # the end-of-run status/shutdown exchange is a TCP control-plane
         # conversation: the gateway deliberately exposes no shutdown
         end_client = _Client(port) if plan.kind == "front-door" else client
@@ -654,6 +774,8 @@ def run_chaos(
         [[st, et] for st, et in periods] for periods in oracle.export_intervals()
     ]
     state_equal = final_periods == oracle_periods
+    final_pool = final_state["scheduler"]["calendar"].get("pool")
+    pool_equal = final_pool == oracle.pool_status()["servers"]
 
     checksums = {
         "service_status": status.get("accepted_checksum"),
@@ -666,7 +788,9 @@ def run_chaos(
         and not verdict_divergences
         and not replay_mismatches
         and not duplicate_mismatches
+        and pool_restore_mismatch is None
         and state_equal
+        and pool_equal
         and crash_stop_ok
         and len(set(checksums.values())) == 1
     )
@@ -677,6 +801,7 @@ def run_chaos(
         "shards": shards,
         "ops": len(ops),
         "reserves": reserve_count,
+        "scale_ops": scale_ops,
         "accepted": len(ledger.entries),
         "restarts": restarts,
         "promote": promote_info,
@@ -688,8 +813,10 @@ def run_chaos(
         "verdict_divergences_total": len(verdict_divergences),
         "replay_mismatches": replay_mismatches[:20],
         "duplicate_mismatches": duplicate_mismatches[:20],
+        "pool_restore_mismatch": pool_restore_mismatch,
         "checksums": checksums,
         "state_equal": state_equal,
+        "pool_equal": pool_equal,
         "passed": passed,
     }
     if owns_dir:

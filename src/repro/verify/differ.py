@@ -9,8 +9,10 @@ operation:
   servers *in selection order*, attempt count, failure reason);
 * probe results (ordered ``(server, st, et)`` triples);
 * cancel verdicts (found / not found);
-* the complete per-server idle-period state (every ``state_stride``
-  ops and always after the last one).
+* scale-event verdicts (``add_servers``/``drain``/``remove``/
+  ``pool_status`` — successes field-by-field, refusals by error code);
+* the complete per-server idle-period state plus the pool's lifecycle
+  statuses (every ``state_stride`` ops and always after the last one).
 
 On the first mismatch it returns a :class:`Divergence` carrying both
 sides' views.  :func:`shrink_stream` then delta-debugs the trace to a
@@ -34,7 +36,7 @@ from typing import Any, Callable, Iterator
 
 from ..core.slot_tree import TwoDimTree
 from ..core.types import INF, Request
-from ..errors import MalformedRequestError, NotFoundError
+from ..errors import MalformedRequestError, NotFoundError, ReproError
 from ..facade import CoAllocationScheduler
 from ..service.coordinator import ShardedScheduler
 from .genstream import Stream
@@ -96,6 +98,7 @@ class FuzzResult:
     cancel_missed: int = 0
     probes: int = 0
     restores: int = 0
+    scale_ops: int = 0
     divergence: Divergence | None = None
 
     @property
@@ -111,6 +114,7 @@ class FuzzResult:
             "cancel_missed": self.cancel_missed,
             "probes": self.probes,
             "restores": self.restores,
+            "scale_ops": self.scale_ops,
             "ok": self.ok,
             "divergence": self.divergence.to_dict() if self.divergence else None,
         }
@@ -187,6 +191,26 @@ def _apply_production(
         return {"ok": True, "restored": True}, CoAllocationScheduler.from_state(
             json.loads(blob)
         )
+    if kind in ("add_servers", "drain", "remove", "pool_status"):
+        # admin ops carry a submission time like reserves do
+        scheduler.advance(max(scheduler.now, float(op["qr"])))
+        try:
+            if kind == "add_servers":
+                new_ids = scheduler.add_servers(int(op["count"]))
+                return {
+                    "ok": True,
+                    "servers": list(new_ids),
+                    "n_servers": scheduler.n_servers,
+                }, scheduler
+            if kind == "drain":
+                return {"ok": True, **scheduler.drain(int(op["server"]))}, scheduler
+            if kind == "remove":
+                return {"ok": True, **scheduler.remove(int(op["server"]))}, scheduler
+            return dict(scheduler.pool_status()), scheduler
+        except ReproError as exc:
+            # refusal verdicts compare by code: the message strings are a
+            # production implementation detail the oracle does not mirror
+            return {"ok": False, "code": exc.payload()["code"]}, scheduler
     raise ValueError(f"unknown op kind {kind!r}")
 
 
@@ -235,6 +259,15 @@ def _apply_oracle(oracle: ReferenceScheduler, op: dict[str, Any]) -> dict[str, A
         return oracle.cancel(int(op["rid"]))
     if kind == "restore":
         return {"ok": True, "restored": True}  # the oracle has no snapshot path
+    if kind in ("add_servers", "drain", "remove", "pool_status"):
+        oracle.advance(max(oracle.now, float(op["qr"])))
+        if kind == "add_servers":
+            return oracle.add_servers(int(op["count"]))
+        if kind == "drain":
+            return oracle.drain(int(op["server"]))
+        if kind == "remove":
+            return oracle.remove(int(op["server"]))
+        return dict(oracle.pool_status())
     raise ValueError(f"unknown op kind {kind!r}")
 
 
@@ -304,13 +337,19 @@ def run_stream(
             if last or index % state_stride == 0:
                 prod_state = _production_state(production)
                 oracle_state = _oracle_state(oracle)
-                if prod_state != oracle_state or production.now != oracle.now:
+                prod_pool = list(production.pool_status()["servers"])
+                oracle_pool = list(oracle.pool_status()["servers"])
+                if (
+                    prod_state != oracle_state
+                    or production.now != oracle.now
+                    or prod_pool != oracle_pool
+                ):
                     result.divergence = Divergence(
                         index,
                         op,
                         "state",
-                        {"now": production.now, "periods": prod_state},
-                        {"now": oracle.now, "periods": oracle_state},
+                        {"now": production.now, "periods": prod_state, "pool": prod_pool},
+                        {"now": oracle.now, "periods": oracle_state, "pool": oracle_pool},
                     )
                     return result
     return result
@@ -332,6 +371,8 @@ def _tally(result: FuzzResult, op: dict[str, Any], prod_result: dict[str, Any]) 
         result.probes += 1
     elif kind == "restore":
         result.restores += 1
+    elif kind in ("add_servers", "drain", "remove", "pool_status"):
+        result.scale_ops += 1
 
 
 # ----------------------------------------------------------------------

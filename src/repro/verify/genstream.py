@@ -9,6 +9,14 @@ operations (plain dicts, JSON-ready):
 * ``{"kind": "restore"}`` — snapshot the production scheduler through
   the real JSON round-trip and rebuild it (the oracle is untouched; a
   behavioral difference after restore is a restart-identity bug).
+* scale events (opt-in via ``generate_stream(..., scale_events=True)``):
+  ``{"kind": "add_servers", "count", "qr"}``, ``{"kind": "drain",
+  "server", "qr"}``, ``{"kind": "remove", "server", "qr"}`` and
+  ``{"kind": "pool_status", "qr"}`` — runtime pool mutations interleaved
+  with the request traffic.  Drains and removes deliberately target
+  servers in *any* lifecycle state so the refusal verdicts (``MALFORMED``
+  out-of-range, ``CONFLICT`` illegal transition) are differentially
+  checked alongside the successes.
 
 Profiles shape the workload: system size, slot length τ (integral or
 fractional), reservation mix ρ (advance-reservation pressure), cancel
@@ -58,6 +66,11 @@ class Profile:
     slack_tau: float = 2.0
     #: probability a generated time/duration snaps to an exact k*tau product
     align: float = 0.3
+    #: scale-event probability when ``generate_stream(..., scale_events=True)``
+    #: (the flag is the opt-in; this knob only sets the mix)
+    p_scale: float = 0.04
+    #: never grow the pool past scale_cap * n_servers
+    scale_cap: float = 2.0
     description: str = ""
 
 
@@ -143,8 +156,60 @@ def _aligned(rng: random.Random, profile: Profile, value_tau: float) -> float:
     return value_tau * profile.tau
 
 
-def generate_stream(profile: Profile | str, seed: int, ops: int) -> Stream:
-    """A deterministic stream of ``ops`` operations for ``(profile, seed)``."""
+def _scale_event(
+    rng: random.Random,
+    profile: Profile,
+    statuses: list[str],
+    qr: float,
+) -> dict[str, Any]:
+    """One pool mutation against a locally tracked status model.
+
+    ``statuses`` mirrors the pool optimistically (a ``remove`` is marked
+    applied even though the real one may refuse with ``CONFLICT`` when
+    the server is not yet drained) — mispredictions only shift the
+    generation bias, never validity: refusals are verdicts the differ
+    checks like any other result.  The active count *is* exact (add and
+    drain are deterministic, and removed-vs-draining are both
+    non-active), so the ≥1-active floor holds.
+    """
+    total = len(statuses)
+    active = sum(1 for status in statuses if status == "active")
+    cap = int(profile.scale_cap * profile.n_servers)
+    roll = rng.random()
+    if roll < 0.35 and total < cap:
+        if rng.random() < 0.08:  # exercise the MALFORMED refusal
+            return {"kind": "add_servers", "count": rng.choice((0, -1)), "qr": qr}
+        count = rng.randint(1, min(3, cap - total))
+        statuses.extend(["active"] * count)
+        return {"kind": "add_servers", "count": count, "qr": qr}
+    if roll < 0.65 and active > 1:
+        if rng.random() < 0.08:  # out of range
+            return {"kind": "drain", "server": total + rng.randint(0, 3), "qr": qr}
+        server = rng.randrange(total)
+        if statuses[server] != "removed":
+            statuses[server] = "draining"
+        return {"kind": "drain", "server": server, "qr": qr}
+    if roll < 0.90 and total:
+        draining = [s for s, status in enumerate(statuses) if status == "draining"]
+        if draining and rng.random() < 0.7:
+            server = rng.choice(draining)
+        else:
+            server = rng.randrange(total)
+        if statuses[server] == "draining":
+            statuses[server] = "removed"  # optimistic: may still be CONFLICT
+        return {"kind": "remove", "server": server, "qr": qr}
+    return {"kind": "pool_status", "qr": qr}
+
+
+def generate_stream(
+    profile: Profile | str, seed: int, ops: int, scale_events: bool = False
+) -> Stream:
+    """A deterministic stream of ``ops`` operations for ``(profile, seed)``.
+
+    ``scale_events=False`` reproduces historic streams bit-exactly (no
+    extra RNG draws); ``True`` interleaves pool mutations at the
+    profile's ``p_scale`` rate.
+    """
     if isinstance(profile, str):
         profile = PROFILES[profile]
     rng = random.Random(f"repro-fuzz:{profile.name}:{seed}")
@@ -152,8 +217,14 @@ def generate_stream(profile: Profile | str, seed: int, ops: int) -> Stream:
     issued: list[int] = []  # rids handed out so far (cancel targets)
     next_rid = 0
     clock_tau = 0.0  # submission clock, in units of tau
+    statuses = ["active"] * profile.n_servers  # local pool model
 
     for _ in range(ops):
+        if scale_events and rng.random() < profile.p_scale:
+            clock_tau += rng.uniform(0.0, 2.0 * profile.gap_tau)
+            qr = _aligned(rng, profile, clock_tau)
+            out.append(_scale_event(rng, profile, statuses, qr))
+            continue
         roll = rng.random()
         if issued and roll < profile.p_cancel:
             out.append({"kind": "cancel", "rid": rng.choice(issued)})
@@ -205,4 +276,5 @@ def generate_stream(profile: Profile | str, seed: int, ops: int) -> Stream:
         "delta_t": profile.delta_t,
         "r_max": profile.r_max,
     }
-    return Stream(config=config, ops=out, profile=profile.name, seed=seed)
+    meta = {"scale_events": True} if scale_events else {}
+    return Stream(config=config, ops=out, profile=profile.name, seed=seed, meta=meta)

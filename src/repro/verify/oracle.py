@@ -39,6 +39,13 @@ Semantics mirrored from the production implementation
 * **Cancel**: releases ``[max(start, now), end)`` per reservation in
   selection order; a release merges with the period ending exactly at
   its start and the one starting exactly at its end.
+* **Elastic pool**: ``add_servers``/``drain``/``remove`` mirror the
+  production lifecycle — positional ids are stable forever, a draining
+  server drops out of every feasibility scan while its committed
+  reservations (and cancellations of them) are honored, and removal is
+  only legal once drained.  The oracle keeps the same one-way status
+  list and returns the same canonical verdicts, including the same
+  malformed/conflict error classification.
 """
 
 from __future__ import annotations
@@ -90,6 +97,8 @@ class ReferenceScheduler:
             self._periods.append([(self.now, INF, self._take_uid())])
         # rid -> committed reservations [(server, start, end)] in selection order
         self._allocations: dict[int, list[tuple[int, float, float]]] = {}
+        # elastic pool: per-server lifecycle, active -> draining -> removed
+        self._status: list[str] = ["active"] * n_servers
 
     def _take_uid(self) -> int:
         uid = self._next_uid
@@ -149,6 +158,8 @@ class ReferenceScheduler:
         bounded: list[tuple[float, int, int]] = []
         unbounded: list[tuple[float, int, int]] = []
         for server, periods in enumerate(self._periods):
+            if self._status[server] != "active":
+                continue  # draining/removed servers admit no new periods
             for st, et, uid in periods:
                 if st > sr:
                     break  # sorted by st: nothing later is a candidate
@@ -318,6 +329,68 @@ class ReferenceScheduler:
             if lo < end:
                 self._release(server, lo, end)
         return {"ok": True}
+
+    # ------------------------------------------------------------------
+    # elastic pool (mirror of the production facade's verdicts)
+    # ------------------------------------------------------------------
+
+    def is_drained(self, server: int) -> bool:
+        if self._status[server] == "removed":
+            return True
+        trailing = self._periods[server][-1]
+        assert trailing[ET] == INF, f"oracle server {server} lost its trailing period"
+        return trailing[ST] <= self.now
+
+    def add_servers(self, count: int) -> dict[str, Any]:
+        if count <= 0:
+            return {"ok": False, "code": "MALFORMED"}
+        new_ids = list(range(self.n_servers, self.n_servers + count))
+        for server in new_ids:
+            self._periods.append([(self.now, INF, self._take_uid())])
+            self._status.append("active")
+            self.n_servers += 1
+        return {"ok": True, "servers": new_ids, "n_servers": self.n_servers}
+
+    def drain(self, server: int) -> dict[str, Any]:
+        if not 0 <= server < self.n_servers:
+            return {"ok": False, "code": "MALFORMED"}
+        if self._status[server] == "removed":
+            return {"ok": False, "code": "CONFLICT"}
+        changed = self._status[server] == "active"
+        self._status[server] = "draining"
+        return {
+            "ok": True,
+            "server": server,
+            "status": "draining",
+            "changed": changed,
+            "drained": self.is_drained(server),
+        }
+
+    def remove(self, server: int) -> dict[str, Any]:
+        if not 0 <= server < self.n_servers:
+            return {"ok": False, "code": "MALFORMED"}
+        if self._status[server] == "removed":
+            return {"ok": True, "server": server, "status": "removed", "changed": False}
+        if self._status[server] == "active" or not self.is_drained(server):
+            return {"ok": False, "code": "CONFLICT"}
+        self._periods[server].clear()
+        self._status[server] = "removed"
+        return {"ok": True, "server": server, "status": "removed", "changed": True}
+
+    def pool_status(self) -> dict[str, Any]:
+        counts = {"active": 0, "draining": 0, "removed": 0}
+        for status in self._status:
+            counts[status] += 1
+        return {
+            **counts,
+            "total": self.n_servers,
+            "servers": list(self._status),
+            "drain_progress": [
+                {"server": s, "drained": self.is_drained(s)}
+                for s in range(self.n_servers)
+                if self._status[s] == "draining"
+            ],
+        }
 
     # ------------------------------------------------------------------
     # state export (what the differ compares against production)

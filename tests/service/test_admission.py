@@ -44,6 +44,44 @@ class TestAdmissionController:
         with pytest.raises(RuntimeError):
             AdmissionController().release()
 
+    def test_shed_burst_does_not_poison_the_service_ewma(self):
+        """Regression: a BUSY-shed request never entered service, so it
+        must not be folded into the service-time average — a 10x shed
+        burst used to drag the EWMA (and with it retry_after and the
+        delay-budget gate) toward garbage."""
+        ctrl = AdmissionController(max_depth=4, max_delay=1e9, ewma_alpha=0.3)
+        # warm the EWMA with real served requests
+        for _ in range(5):
+            ctrl.admit()
+            ctrl.release(0.010, queue_delay=0.002)
+        service_before = ctrl.service_ewma
+        delay_before = ctrl.queue_delay_ewma
+        # fill the queue, then a 10x shed burst
+        for _ in range(4):
+            ctrl.admit()
+        sheds = 0
+        for _ in range(40):
+            with pytest.raises(BusyError):
+                ctrl.admit()
+            sheds += 1
+        assert sheds == 40
+        assert ctrl.service_ewma == service_before
+        assert ctrl.queue_delay_ewma == delay_before
+        assert ctrl.shed_rate > 0.9  # the overload is visible to the autoscaler
+        # served traffic afterwards still folds in normally
+        ctrl.release(0.010, queue_delay=0.002)
+        assert ctrl.service_ewma != service_before
+
+    def test_telemetry_surfaces_autoscaler_signals(self):
+        ctrl = AdmissionController(max_depth=2, max_delay=1e9, ewma_alpha=0.5)
+        ctrl.admit()
+        ctrl.release(0.020, queue_delay=0.010)
+        telemetry = ctrl.telemetry()
+        assert telemetry["queue_delay_ewma"] == pytest.approx(0.005)
+        assert telemetry["admitted"] == 1
+        assert telemetry["shed"] == 0
+        assert 0.0 <= telemetry["shed_rate"] < 1.0
+
     @pytest.mark.parametrize(
         "kwargs",
         [

@@ -1,0 +1,214 @@
+"""The auto-scaler: pure policies, the message-planning driver, dry-run,
+and the live service loop applying mutations through the actor."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.autoscale import (
+    POLICIES,
+    AutoScaleConfig,
+    AutoScaler,
+    build_policy,
+)
+
+from .harness import SMALL, rpc, start_service
+
+
+def _telemetry(delay: float = 0.0, shed_rate: float = 0.0) -> dict:
+    return {"queue_delay_ewma": delay, "shed_rate": shed_rate}
+
+
+def _pool(active: int, draining: int = 0, removed: int = 0, drained=()) -> dict:
+    servers = (
+        ["active"] * active + ["draining"] * draining + ["removed"] * removed
+    )
+    return {
+        "active": active,
+        "draining": draining,
+        "removed": removed,
+        "total": len(servers),
+        "servers": servers,
+        "drain_progress": [
+            {"server": s, "drained": s in drained}
+            for s in range(active, active + draining)
+        ],
+    }
+
+
+CONFIG = AutoScaleConfig(
+    policy="step", min_servers=1, max_servers=8, step=2,
+    high_delay=0.5, low_delay=0.05, high_shed_rate=0.05,
+)
+
+
+class TestStepPolicy:
+    def test_scales_out_on_delay_breach(self):
+        decision = build_policy(CONFIG).decide(_telemetry(delay=1.0), _pool(4))
+        assert (decision.direction, decision.count) == ("up", 2)
+
+    def test_scales_out_on_shed_breach_alone(self):
+        decision = build_policy(CONFIG).decide(
+            _telemetry(delay=0.0, shed_rate=0.5), _pool(4)
+        )
+        assert decision.direction == "up"
+
+    def test_scale_out_capped_at_max_servers(self):
+        decision = build_policy(CONFIG).decide(_telemetry(delay=1.0), _pool(7))
+        assert (decision.direction, decision.count) == ("up", 1)
+        hold = build_policy(CONFIG).decide(_telemetry(delay=1.0), _pool(8))
+        assert hold.direction == "hold"
+
+    def test_scales_in_when_idle(self):
+        decision = build_policy(CONFIG).decide(_telemetry(delay=0.01), _pool(4))
+        assert (decision.direction, decision.count) == ("down", 1)
+
+    def test_never_drains_below_min_servers(self):
+        decision = build_policy(CONFIG).decide(_telemetry(delay=0.0), _pool(1))
+        assert decision.direction == "hold"
+
+    def test_holds_while_a_drain_is_in_progress(self):
+        decision = build_policy(CONFIG).decide(
+            _telemetry(delay=1.0), _pool(4, draining=1)
+        )
+        assert decision.direction == "hold"
+
+    def test_in_band_signals_hold(self):
+        decision = build_policy(CONFIG).decide(_telemetry(delay=0.2), _pool(4))
+        assert decision.direction == "hold"
+
+
+class TestTargetPolicy:
+    def test_proportional_target_capped_by_step(self):
+        config = AutoScaleConfig(policy="target", step=2, max_servers=64,
+                                 high_delay=0.5, low_delay=0.1)
+        # setpoint 0.3s, delay 1.2s -> target 4 * 4 = 16, capped to +2
+        decision = build_policy(config).decide(_telemetry(delay=1.2), _pool(4))
+        assert (decision.direction, decision.count) == ("up", 2)
+
+    def test_scale_in_toward_target(self):
+        config = AutoScaleConfig(policy="target", step=3, max_servers=64,
+                                 high_delay=0.5, low_delay=0.1)
+        # delay 0.03s: target = round(8 * 0.03 / 0.3) = 1, capped to -3
+        decision = build_policy(config).decide(_telemetry(delay=0.03), _pool(8))
+        assert (decision.direction, decision.count) == ("down", 3)
+
+    def test_shed_breach_counts_as_full_band_breach(self):
+        config = AutoScaleConfig(policy="target", step=2, max_servers=64)
+        decision = build_policy(config).decide(
+            _telemetry(delay=0.2, shed_rate=0.5), _pool(4)
+        )
+        assert decision.direction == "up"
+
+
+class TestHysteresisPolicy:
+    def test_acts_only_after_patience_consecutive_breaches(self):
+        config = AutoScaleConfig(policy="hysteresis", patience=3, max_servers=8)
+        policy = build_policy(config)
+        assert policy.decide(_telemetry(delay=1.0), _pool(4)).direction == "hold"
+        assert policy.decide(_telemetry(delay=1.0), _pool(4)).direction == "hold"
+        assert policy.decide(_telemetry(delay=1.0), _pool(4)).direction == "up"
+
+    def test_one_calm_tick_resets_the_counter(self):
+        config = AutoScaleConfig(policy="hysteresis", patience=2, max_servers=8)
+        policy = build_policy(config)
+        assert policy.decide(_telemetry(delay=1.0), _pool(4)).direction == "hold"
+        assert policy.decide(_telemetry(delay=0.2), _pool(4)).direction == "hold"
+        assert policy.decide(_telemetry(delay=1.0), _pool(4)).direction == "hold"
+
+    def test_acting_resets_both_counters(self):
+        config = AutoScaleConfig(policy="hysteresis", patience=2, max_servers=8)
+        policy = build_policy(config)
+        policy.decide(_telemetry(delay=1.0), _pool(4))
+        assert policy.decide(_telemetry(delay=1.0), _pool(4)).direction == "up"
+        # fresh evidence needed before the next action
+        assert policy.decide(_telemetry(delay=1.0), _pool(6)).direction == "hold"
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"policy": "nope"},
+            {"interval": 0.0},
+            {"min_servers": 0},
+            {"min_servers": 5, "max_servers": 4},
+            {"step": 0},
+            {"low_delay": 0.5, "high_delay": 0.5},
+            {"high_shed_rate": 0.0},
+            {"patience": 0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoScaleConfig(**kwargs).validate()
+
+    def test_every_policy_is_buildable(self):
+        for name in POLICIES:
+            build_policy(AutoScaleConfig(policy=name))
+
+
+class TestDriver:
+    def test_scale_out_plans_one_add_servers(self):
+        scaler = AutoScaler(AutoScaleConfig(policy="step", step=2, max_servers=8))
+        decision, messages = scaler.plan(_telemetry(delay=1.0), _pool(4))
+        assert decision.direction == "up"
+        assert messages == [{"op": "add_servers", "count": 2, "aid": "autoscale-add-1"}]
+
+    def test_scale_in_drains_the_highest_active_server(self):
+        scaler = AutoScaler(AutoScaleConfig(policy="step", min_servers=1))
+        decision, messages = scaler.plan(_telemetry(delay=0.0), _pool(4))
+        assert decision.direction == "down"
+        assert [m["op"] for m in messages] == ["drain"]
+        assert messages[0]["server"] == 3
+
+    def test_drained_servers_are_removed_regardless_of_decision(self):
+        scaler = AutoScaler(AutoScaleConfig(policy="step"))
+        pool = _pool(4, draining=1, drained={4})
+        decision, messages = scaler.plan(_telemetry(delay=0.2), pool)
+        assert decision.direction == "hold"  # drain in progress
+        assert messages == [{"op": "remove", "server": 4, "aid": "autoscale-remove-4"}]
+
+    def test_dry_run_records_history_but_applies_nothing(self):
+        scaler = AutoScaler(
+            AutoScaleConfig(policy="step", step=1, max_servers=8, dry_run=True)
+        )
+        decision, messages = scaler.plan(_telemetry(delay=1.0), _pool(4))
+        assert decision.direction == "up"
+        assert messages == []
+        assert scaler.history[-1]["dry_run"]
+        assert scaler.summary()["dry_run"]
+
+
+def test_autoscale_loop_grows_a_live_pool():
+    """End to end: shed pressure -> the service's autoscale loop plans an
+    add_servers and applies it through the actor queue."""
+
+    async def scenario():
+        service = await start_service(
+            **SMALL,
+            autoscale=AutoScaleConfig(
+                policy="step", interval=0.05, max_servers=4, step=2,
+                high_delay=0.5, low_delay=1e-6, high_shed_rate=0.01,
+            ),
+        )
+        try:
+            # manufacture overload signals directly: the loop reads the
+            # admission telemetry, so a poisoned EWMA is indistinguishable
+            # from real queue pressure
+            service.admission.queue_delay_ewma = 2.0
+            service.admission.shed_rate = 0.5
+            for _ in range(80):
+                await asyncio.sleep(0.05)
+                pool = await rpc(service.port, {"op": "pool_status"})
+                if pool["total"] == 4:
+                    break
+            assert pool["total"] == 4, pool
+            status = await rpc(service.port, {"op": "status"})
+            assert status["autoscale"]["actions"] >= 1
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())

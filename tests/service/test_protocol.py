@@ -35,6 +35,10 @@ class TestDecodeLine:
             "snapshot": {},
             "shutdown": {},
             "log_tail": {"cursor": 0},
+            "add_servers": {"count": 1},
+            "drain": {"server": 0},
+            "remove": {"server": 0},
+            "pool_status": {},
         }
         for op in OPS:
             assert decode_line(line({"op": op, **minimal[op]}))["op"] == op

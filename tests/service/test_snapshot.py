@@ -15,10 +15,12 @@ from hypothesis import strategies as st
 
 from repro.service.server import ReservationService, ServiceConfig, accepted_checksum
 from repro.service.snapshot import (
+    SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
     SnapshotError,
     read_snapshot,
     snapshot_bytes,
+    state_checksum,
     write_snapshot,
 )
 
@@ -199,3 +201,95 @@ class TestSnapshotFile:
         path.write_text('{"hello": "world"}')
         with pytest.raises(SnapshotError, match="not a"):
             read_snapshot(path)
+
+
+def _write_document(path, document):
+    document = dict(document)
+    document["sha256"] = state_checksum(document["state"])
+    path.write_text(json.dumps(document))
+
+
+class TestSnapshotMigration:
+    """v1 snapshots (pre elastic pool) must restore under v2 and
+    re-export byte-identically; corrupt pool sections in a v2 snapshot
+    are hard errors, never a silently empty or all-active pool."""
+
+    def _v1_document(self, state: dict) -> dict:
+        # a faithful v1 snapshot: no pool section, no admin table
+        v1_state = json.loads(json.dumps(state))
+        v1_state.pop("admin_decided", None)
+        v1_state["scheduler"]["calendar"].pop("pool", None)
+        return {"format": SNAPSHOT_FORMAT, "version": 1, "state": v1_state}
+
+    def test_v1_restores_and_reexports_byte_identically_as_v2(self, tmp_path):
+        service = ReservationService(CONFIG)
+        for rid, (sr, lr, nr) in enumerate([(0.0, 10.0, 2), (15.0, 20.0, 1)]):
+            _apply(service, {"op": "reserve", "rid": rid, "sr": sr, "lr": lr, "nr": nr})
+        v2_state = _state(service)
+        path = tmp_path / "old.snap"
+        _write_document(path, self._v1_document(v2_state))
+
+        migrated = read_snapshot(path)
+        assert migrated["admin_decided"] == {}
+        restored = ReservationService(CONFIG, state=migrated)
+        assert _state(restored) == v2_state
+        assert snapshot_bytes(_state(restored)) == snapshot_bytes(v2_state)
+
+    def test_migrated_pool_is_all_active(self, tmp_path):
+        service = ReservationService(CONFIG)
+        path = tmp_path / "old.snap"
+        _write_document(path, self._v1_document(_state(service)))
+        restored = ReservationService(CONFIG, state=read_snapshot(path))
+        pool = _apply(restored, {"op": "pool_status"})
+        assert pool["servers"] == ["active"] * CONFIG.n_servers
+
+    def test_corrupt_pool_states_are_a_hard_error(self, tmp_path):
+        service = ReservationService(CONFIG)
+        state = _state(service)
+        state["scheduler"]["calendar"]["pool"] = ["bogus"] * CONFIG.n_servers
+        path = tmp_path / "bad.snap"
+        _write_document(
+            path,
+            {"format": SNAPSHOT_FORMAT, "version": SNAPSHOT_VERSION, "state": state},
+        )
+        with pytest.raises(SnapshotError, match="corrupt pool"):
+            read_snapshot(path)
+
+    def test_pool_length_mismatch_is_a_hard_error(self, tmp_path):
+        service = ReservationService(CONFIG)
+        state = _state(service)
+        state["scheduler"]["calendar"]["pool"] = ["active"]  # truncated
+        path = tmp_path / "bad.snap"
+        _write_document(
+            path,
+            {"format": SNAPSHOT_FORMAT, "version": SNAPSHOT_VERSION, "state": state},
+        )
+        with pytest.raises(SnapshotError, match="corrupt pool"):
+            read_snapshot(path)
+
+    def test_corrupt_admin_table_is_a_hard_error(self, tmp_path):
+        service = ReservationService(CONFIG)
+        state = _state(service)
+        state["admin_decided"] = {"autoscale-add-1": "not-a-verdict"}
+        path = tmp_path / "bad.snap"
+        _write_document(
+            path,
+            {"format": SNAPSHOT_FORMAT, "version": SNAPSHOT_VERSION, "state": state},
+        )
+        with pytest.raises(SnapshotError, match="corrupt admin_decided"):
+            read_snapshot(path)
+
+    def test_pool_survives_snapshot_round_trip(self, tmp_path):
+        service = ReservationService(CONFIG)
+        _apply(service, {"op": "reserve", "rid": 0, "sr": 0.0, "lr": 10.0, "nr": 1})
+        _apply(service, {"op": "add_servers", "count": 2, "aid": "grow-1"})
+        _apply(service, {"op": "drain", "server": 0})
+        path = tmp_path / "live.snap"
+        write_snapshot(path, _state(service))
+        restored = ReservationService(CONFIG, state=read_snapshot(path))
+        pool = _apply(restored, {"op": "pool_status"})
+        assert pool["total"] == CONFIG.n_servers + 2
+        assert pool["servers"][0] == "draining"
+        # the aid table rode along: the duplicate answers the recorded verdict
+        replay = _apply(restored, {"op": "add_servers", "count": 2, "aid": "grow-1"})
+        assert replay["replayed"] and replay["servers"] == [4, 5]

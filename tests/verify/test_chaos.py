@@ -67,3 +67,35 @@ def test_kill_shard_plan_requires_a_sharded_service() -> None:
     stream = generate_stream("dense", 14, 20)
     with pytest.raises(ValueError, match="sharded"):
         run_chaos(stream, ChaosPlan(kind="kill-shard"), shards=1)
+
+
+def test_scale_events_sigkill_mid_drain_restores_pool_and_verdicts(tmp_path) -> None:
+    """SIGKILL lands right after the first drain past the snapshot; the
+    restart must re-decide the lost window identically AND land on the
+    exact pool membership the kill interrupted.  Every pool mutation is
+    also sent twice — the duplicate must answer ``replayed: true`` from
+    the aid-keyed exactly-once table."""
+    stream = generate_stream("dense", 21, 150, scale_events=True)
+    assert any(op["kind"] == "drain" for op in stream.ops)
+    report = run_chaos(stream, ChaosPlan(kind="scale-events"), work_dir=str(tmp_path))
+    assert report["restarts"] == 1
+    assert report["scale_ops"] > 0
+    assert report["duplicate_checks"] > 0
+    assert report["pool_restore_mismatch"] is None
+    assert report["pool_equal"]
+    _assert_passed(report)
+
+
+def test_scale_events_sharded_pool_rebalance_survives_kill(tmp_path) -> None:
+    """The same plan against a sharded service: pool mutations run the
+    coordinated export -> mutate -> shard-map rebalance -> reload path,
+    and the kill/restart must still reproduce the uninterrupted
+    checksum."""
+    stream = generate_stream("sparse", 22, 120, scale_events=True)
+    assert any(op["kind"] in ("add_servers", "drain", "remove") for op in stream.ops)
+    report = run_chaos(
+        stream, ChaosPlan(kind="scale-events"), work_dir=str(tmp_path), shards=3
+    )
+    assert report["restarts"] == 1
+    assert report["pool_equal"]
+    _assert_passed(report)

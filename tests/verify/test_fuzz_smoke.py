@@ -47,9 +47,56 @@ def test_run_tallies_add_up() -> None:
     assert result.restores == sum(1 for op in stream.ops if op["kind"] == "restore")
 
 
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_scale_event_stream_has_no_divergence(profile: str, seed: int) -> None:
+    stream = generate_stream(profile, seed, SMOKE_OPS, scale_events=True)
+    assert stream.meta == {"scale_events": True}
+    result = run_stream(stream, state_stride=25)
+    assert result.divergence is None, result.divergence.describe()
+    assert result.scale_ops > 0
+
+
+def test_scale_events_off_is_bit_identical_to_before() -> None:
+    """The flag must not perturb historic streams: every (profile, seed,
+    ops) triple generated without scale events is the exact stream the
+    corpus and the long-running CI campaigns were built on."""
+    assert generate_stream("dense", 3, 80).ops == generate_stream(
+        "dense", 3, 80, scale_events=False
+    ).ops
+
+
+def test_scale_event_generation_is_deterministic() -> None:
+    a = generate_stream("sparse", 5, 300, scale_events=True)
+    b = generate_stream("sparse", 5, 300, scale_events=True)
+    assert a.ops == b.ops
+    kinds = {op["kind"] for op in a.ops}
+    assert {"add_servers", "drain", "remove", "pool_status"} <= kinds
+
+
+def test_scale_event_streams_exercise_refusals() -> None:
+    """The generator must deliberately produce malformed counts and
+    out-of-range servers — refusal verdicts are compared against the
+    oracle like any other decision, so they need traffic."""
+    ops = generate_stream("dense", 0, 1500, scale_events=True).ops
+    adds = [op for op in ops if op["kind"] == "add_servers"]
+    drains = [op for op in ops if op["kind"] == "drain"]
+    assert any(op["count"] <= 0 for op in adds)
+    assert any(op["count"] > 0 for op in adds)
+    assert drains
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("profile", sorted(PROFILES))
 def test_long_stream_has_no_divergence(profile: str) -> None:
     stream = generate_stream(profile, 0, 3000)
+    result = run_stream(stream, state_stride=200)
+    assert result.divergence is None, result.divergence.describe()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_long_scale_event_stream_has_no_divergence(profile: str) -> None:
+    stream = generate_stream(profile, 0, 3000, scale_events=True)
     result = run_stream(stream, state_stride=200)
     assert result.divergence is None, result.divergence.describe()
